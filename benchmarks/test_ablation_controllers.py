@@ -1,0 +1,82 @@
+"""Ablation: controller architecture — camera DNN vs MPC vs sensor fusion.
+
+Extends the paper's evaluation along its Section 6 future directions: the
+same SoC and course flown with (a) the camera-only DNN controller, (b) a
+classical MPC with data-dependent solver iterations, and (c) the
+rate-decoupled sensor-fusion network.  Reports mission quality, accelerator
+activity, and SoC energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import CoSimConfig
+from repro.analysis.render import format_table
+from repro.core.cosim import CoSimulation
+from repro.soc.energy import soc_energy
+
+
+def _fly(config: CoSimConfig):
+    cosim = CoSimulation(config)
+    result = cosim.run()
+    return result, soc_energy(cosim.soc)
+
+
+def test_controller_ablation(benchmark, run_once):
+    base = CoSimConfig(
+        world="tunnel",
+        target_velocity=3.0,
+        initial_angle_deg=20.0,
+        max_sim_time=40.0,
+    )
+    variants = {
+        "dnn/resnet14": replace(base, controller="dnn", model="resnet14"),
+        "dnn/resnet6": replace(base, controller="dnn", model="resnet6"),
+        "mpc": replace(base, controller="mpc"),
+        "fusion/resnet6": replace(base, controller="fusion", model="resnet6"),
+    }
+
+    def sweep():
+        return {label: _fly(config) for label, config in variants.items()}
+
+    data = run_once(benchmark, sweep)
+
+    rows = []
+    for label, (result, energy) in data.items():
+        status = f"{result.mission_time:.2f}s" if result.completed else "DNF"
+        rows.append([
+            label,
+            status,
+            result.collisions,
+            f"{result.activity_factor:.3f}",
+            f"{energy.total_mj:.0f} mJ",
+            f"{energy.gemmini_mj:.0f} mJ",
+        ])
+    print()
+    print(format_table(
+        ["controller", "mission", "coll.", "activity", "SoC energy", "accel energy"],
+        rows,
+        title="Ablation: controller architectures (tunnel @ 3 m/s, +20 deg)",
+    ))
+
+    # Every controller completes the (forgiving) tunnel without collisions.
+    for label, (result, _energy) in data.items():
+        assert result.completed, label
+        assert result.collisions == 0, label
+
+    # MPC uses no accelerator at all; the DNN controllers do.
+    assert data["mpc"][0].activity_factor == 0.0
+    assert data["dnn/resnet14"][0].activity_factor > 0.3
+
+    # Fusion cuts accelerator activity and energy vs the camera-only DNN
+    # with the same backbone.
+    assert data["fusion/resnet6"][0].activity_factor < data["dnn/resnet6"][0].activity_factor
+    assert data["fusion/resnet6"][1].gemmini_mj < data["dnn/resnet6"][1].gemmini_mj
+
+    # Accelerator energy tracks activity: ResNet14 > ResNet6 > fusion.
+    assert (
+        data["dnn/resnet14"][1].gemmini_mj
+        > data["dnn/resnet6"][1].gemmini_mj
+        > data["fusion/resnet6"][1].gemmini_mj
+    )

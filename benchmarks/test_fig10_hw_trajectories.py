@@ -1,0 +1,57 @@
+"""Figure 10: UAV trajectories for different hardware configurations.
+
+Tunnel course, ResNet14 at 3 m/s, initial angles -20/0/+20 degrees, for
+Table 2 configs A (BOOM+Gemmini), B (Rocket+Gemmini), C (BOOM only).
+Paper shape: A and B stabilize from every initial condition with similar
+trajectories; C's ~6 s inference latency makes it collide before a useful
+control target arrives.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig10_data
+from repro.analysis.render import format_table
+
+
+def test_fig10(benchmark, run_once):
+    data = run_once(benchmark, lambda: fig10_data(seeds=(0,)))
+
+    rows = []
+    for soc in ("A", "B", "C"):
+        for angle in (-20.0, 0.0, 20.0):
+            agg = data[soc][angle]
+            result = agg["results"][0]
+            status = f"{result.mission_time:.2f}s" if result.completed else "DNF"
+            max_offset = max(abs(p.d) for p in result.trajectory)
+            rows.append([
+                soc, f"{angle:+.0f} deg", status, result.collisions,
+                f"{max_offset:.2f} m", f"{result.mean_inference_latency_ms / 1e3:.2f}s",
+            ])
+    print()
+    print(format_table(
+        ["SoC", "start", "mission", "collisions", "max |offset|", "img->target lat."],
+        rows,
+        title="Figure 10 (tunnel, ResNet14 @ 3 m/s)",
+    ))
+
+    for angle in (-20.0, 0.0, 20.0):
+        a = data["A"][angle]["results"][0]
+        b = data["B"][angle]["results"][0]
+        c = data["C"][angle]["results"][0]
+        # Accelerated SoCs complete cleanly from every initial condition...
+        assert a.completed and a.collisions == 0, f"A @ {angle}"
+        assert b.completed and b.collisions == 0, f"B @ {angle}"
+        # ...with similar trajectories (insensitive to the host CPU).
+        assert abs(a.mission_time - b.mission_time) < 2.0
+        # The CPU-only SoC cannot navigate: collides, never finishes.
+        assert not c.completed, f"C @ {angle}"
+        assert c.collisions >= 1, f"C @ {angle}"
+
+    # Section 5.1's ~6 s image-to-target latency on the BOOM-only SoC.
+    c_latency_s = data["C"][20.0]["results"][0].mean_inference_latency_ms / 1e3
+    assert 4.0 < c_latency_s < 9.0
+
+    # Angled starts must actually correct back toward the center.
+    for soc in ("A", "B"):
+        result = data[soc][20.0]["results"][0]
+        assert abs(result.trajectory[-1].d) < 1.0

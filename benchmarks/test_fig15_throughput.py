@@ -1,0 +1,58 @@
+"""Figure 15: co-simulation throughput vs synchronization granularity.
+
+Paper shape: throughput is bottlenecked by the per-synchronization host
+overhead (FireSim scheduler polling the RoSE bridge) at fine granularity
+and by the maximum FPGA simulation rate at coarse granularity, with a
+knee in the 10-100M cycles/sync range the paper recommends.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig15_data
+from repro.analysis.render import format_table
+from repro.core.deploy import CLOUD_AWS, ON_PREMISE
+
+
+def test_fig15(benchmark, run_once):
+    points = run_once(benchmark, fig15_data)
+    cloud_points = fig15_data(CLOUD_AWS)
+
+    print()
+    print(format_table(
+        ["cycles/sync", "on-prem [MHz]", "sync-only [MHz]", "cloud [MHz]"],
+        [
+            [
+                f"{p.cycles_per_sync / 1e6:.0f}M",
+                f"{p.throughput_mhz:.2f}",
+                f"{p.sync_only_mhz:.2f}",
+                f"{c.throughput_mhz:.2f}",
+            ]
+            for p, c in zip(points, cloud_points)
+        ],
+        title="Figure 15 (simulation throughput vs sync granularity)",
+    ))
+
+    rates = [p.throughput_mhz for p in points]
+    fpga_max = ON_PREMISE.perf.fpga_sim_rate_mhz
+
+    # Monotone and saturating at the FPGA bound.
+    assert rates == sorted(rates)
+    assert rates[-1] <= fpga_max
+    assert rates[-1] > 0.95 * fpga_max
+
+    # Fine granularity pays the synchronization overhead: well below peak.
+    assert rates[0] < 0.4 * fpga_max
+
+    # The paper's recommended 10-100M window is within ~30% of peak while
+    # much finer sync is not.
+    by_gran = {p.cycles_per_sync: p.throughput_mhz for p in points}
+    assert by_gran[10_000_000] > 0.6 * fpga_max
+    assert by_gran[100_000_000] > 0.9 * fpga_max
+
+    # The cloud deployment (higher RPC overhead) is slower at fine
+    # granularity.
+    assert cloud_points[0].throughput_mhz < points[0].throughput_mhz
+
+    # The sync-only microbenchmark is an upper bound on the full loop.
+    for p in points:
+        assert p.sync_only_mhz >= p.throughput_mhz - 1e-9

@@ -1,0 +1,69 @@
+"""Figure 16: effect of synchronization granularity on the simulated UAV.
+
+Tunnel @ 3 m/s, ResNet14, +20 degree start; granularity swept from
+10M cycles / 1 frame to 400M cycles / 40 frames.  Paper shape: identical
+initial conditions diverge with granularity; the image-request ->
+DNN-output latency is near the compute latency at 10M cycles and inflates
+to ~one synchronization period (~400 ms, >3x) at 400M cycles.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig16_data
+from repro.analysis.render import format_table
+
+GRANULARITIES = (10_000_000, 20_000_000, 50_000_000, 100_000_000, 200_000_000, 400_000_000)
+
+
+def test_fig16(benchmark, run_once):
+    data = run_once(benchmark, lambda: fig16_data(granularities=GRANULARITIES))
+
+    rows = []
+    for cycles, result in data.items():
+        status = f"{result.mission_time:.1f}s" if result.completed else "DNF"
+        rows.append([
+            f"{cycles / 1e6:.0f}M",
+            result.config.sync.frames_per_sync,
+            f"{result.mean_inference_latency_ms:.0f}ms",
+            result.inference_count,
+            status,
+            result.collisions,
+        ])
+    print()
+    print(format_table(
+        ["cycles/sync", "frames/sync", "img->output latency", "inferences", "mission", "coll."],
+        rows,
+        title="Figure 16 (tunnel @ 3 m/s, ResNet14, +20 deg)",
+    ))
+
+    latency = {c: data[c].mean_inference_latency_ms for c in GRANULARITIES}
+
+    # Fine granularity: latency just above the ~98 ms compute latency
+    # (paper: "slightly above the expected ... compute latency ... due to
+    # the overhead of loading the image from the I/O").
+    assert 95 < latency[10_000_000] < 135
+
+    # Coarse granularity: latency ~ one synchronization period (400 ms at
+    # 400M cycles), >3x the fine-granularity latency — the paper's number.
+    assert latency[400_000_000] > 3.0 * latency[10_000_000]
+    assert 350 < latency[400_000_000] < 500
+
+    # Latency never decreases as granularity coarsens.
+    values = [latency[c] for c in GRANULARITIES]
+    assert all(b >= a - 1.0 for a, b in zip(values, values[1:]))
+
+    # Fewer inferences complete in the same course at coarse granularity.
+    assert data[400_000_000].inference_count < data[10_000_000].inference_count
+
+    # Trajectory divergence: same initial conditions, different paths.
+    fine = {round(p.time, 2): p.y for p in data[10_000_000].trajectory}
+    coarse = data[400_000_000].trajectory
+    diffs = [
+        abs(fine[round(p.time, 2)] - p.y)
+        for p in coarse
+        if round(p.time, 2) in fine and p.time > 2.0
+    ]
+    assert diffs and max(diffs) > 0.1
+
+    # The fine-granularity flight completes the course cleanly.
+    assert data[10_000_000].completed

@@ -1,0 +1,24 @@
+"""Table 2: hardware configurations evaluated using RoSE."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import table2_rows
+from repro.analysis.render import format_table
+from repro.soc.soc import Soc, soc_config
+
+PAPER_TABLE2 = [
+    ("A", "3-wide BOOM", "Gemmini"),
+    ("B", "Rocket", "Gemmini"),
+    ("C", "3-wide BOOM", "None"),
+]
+
+
+def test_table2(benchmark, run_once):
+    rows = run_once(benchmark, table2_rows)
+    print()
+    print(format_table(["Configuration", "CPU", "Accelerator"], rows, title="Table 2"))
+    assert rows == PAPER_TABLE2
+    # And the configurations actually instantiate as described.
+    for name, _cpu, accel in rows:
+        soc = Soc(soc_config(name))
+        assert (soc.gemmini is not None) == (accel == "Gemmini")

@@ -1,0 +1,69 @@
+"""Table 3: latency and accuracy of the trained DNN controllers.
+
+Latencies come from scheduling each variant's real operator graph onto the
+Gemmini/CPU cycle models; accuracies from the calibrated classifier's
+validation distribution.  Shape checks: latency monotone in depth, Rocket
+slower than BOOM everywhere, each cell within 2x of the paper, accuracy
+within a few points of Table 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import table3_rows
+from repro.analysis.render import format_table
+from repro.dnn.resnet import RESNET_NAMES
+
+PAPER = {
+    #           boom_ms  rocket_ms  accuracy
+    "resnet6": (77, 101, 0.72),
+    "resnet11": (83, 108, 0.78),
+    "resnet14": (85, 125, 0.82),
+    "resnet18": (130, 185, 0.83),
+    "resnet34": (225, 300, 0.86),
+}
+
+
+def test_table3(benchmark, run_once):
+    rows = run_once(benchmark, lambda: table3_rows(accuracy_samples=4000))
+    print()
+    print(
+        format_table(
+            ["Model", "Latency (BOOM+G)", "paper", "Latency (Rocket+G)", "paper",
+             "Val. accuracy", "paper"],
+            [
+                [
+                    r["model"],
+                    f"{r['latency_boom_ms']:.0f}ms",
+                    f"{PAPER[r['model']][0]}ms",
+                    f"{r['latency_rocket_ms']:.0f}ms",
+                    f"{PAPER[r['model']][1]}ms",
+                    f"{r['accuracy'] * 100:.0f}%",
+                    f"{PAPER[r['model']][2] * 100:.0f}%",
+                ]
+                for r in rows
+            ],
+            title="Table 3 (measured vs paper)",
+        )
+    )
+
+    by_model = {r["model"]: r for r in rows}
+    boom = [by_model[n]["latency_boom_ms"] for n in RESNET_NAMES]
+    rocket = [by_model[n]["latency_rocket_ms"] for n in RESNET_NAMES]
+
+    # Shape: monotone in depth on both cores.
+    assert boom == sorted(boom)
+    assert rocket == sorted(rocket)
+    for b, r in zip(boom, rocket):
+        assert r > b  # Rocket always slower
+
+    # Magnitudes: every latency within 2x of the paper's.
+    for name in RESNET_NAMES:
+        paper_boom, paper_rocket, paper_acc = PAPER[name]
+        assert paper_boom / 2 < by_model[name]["latency_boom_ms"] < paper_boom * 2
+        assert paper_rocket / 2 < by_model[name]["latency_rocket_ms"] < paper_rocket * 2
+        assert by_model[name]["accuracy"] == pytest.approx(paper_acc, abs=0.05)
+
+    # The big-model latency jump: ResNet34 well over 2x ResNet14 (paper 2.6x).
+    assert by_model["resnet34"]["latency_boom_ms"] > 1.8 * by_model["resnet14"]["latency_boom_ms"]

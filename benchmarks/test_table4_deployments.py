@@ -1,0 +1,29 @@
+"""Table 4: RoSE deployment configurations."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import table4_rows
+from repro.analysis.render import format_table
+
+
+def test_table4(benchmark, run_once):
+    deployments = run_once(benchmark, table4_rows)
+    print()
+    for name, deployment in deployments.items():
+        print(format_table(
+            ["", "AirSim", "FireSim"],
+            deployment.table_rows(),
+            title=f"Table 4 — {name}",
+        ))
+        print()
+
+    on_prem = deployments["on-premise"]
+    cloud = deployments["cloud-aws"]
+    # The paper's machine inventory.
+    assert on_prem.airsim.cpu == "Intel Core i7-3930K"
+    assert on_prem.firesim.fpga == "Xilinx U250"
+    assert cloud.airsim.instance == "g4dn.2xlarge"
+    assert cloud.firesim.instance == "f1.2xlarge"
+    assert cloud.firesim.os == "CentOS 7.9.2009"
+    # Performance-model consequence: cloud pays more per synchronization.
+    assert cloud.perf.sync_overhead_s > on_prem.perf.sync_overhead_s

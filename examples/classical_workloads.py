@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Classical robotics workloads: MPC and lidar SLAM (Section 6 extensions).
+
+The paper's future-work section highlights classical algorithms — SLAM and
+nonlinear MPC — whose iterative optimizers and growing data structures give
+them *data-dependent* runtimes that only a closed-loop co-simulation can
+characterize.  This example flies both:
+
+1. an MPC navigator whose solver iterations spike when the vehicle is
+   disturbed (watch the iteration trace settle after the +20 deg start);
+2. a lidar-SLAM navigator that builds an occupancy map onboard, localizes
+   against it, and steers the course entirely from its own pose estimate.
+
+Run:  python examples/classical_workloads.py        (takes ~30 s)
+"""
+
+import numpy as np
+
+from repro import CoSimConfig, run_mission
+from repro.analysis.render import format_table
+
+
+def mpc_demo() -> None:
+    print("== MPC navigation (tunnel @ 3 m/s, +20 deg start) ==")
+    result = run_mission(
+        CoSimConfig(
+            world="tunnel",
+            controller="mpc",
+            target_velocity=3.0,
+            initial_angle_deg=20.0,
+            max_sim_time=40.0,
+        )
+    )
+    print(result.summary())
+    history = result.mpc_stats.iteration_history
+    print("Solver iterations over the flight (data-dependent runtime):")
+    chunks = [history[i : i + len(history) // 8] for i in range(0, len(history), max(1, len(history) // 8))]
+    rows = [
+        [f"{i * 100 // len(chunks)}-{(i + 1) * 100 // len(chunks)}%",
+         f"{np.mean(chunk):.1f}", max(chunk)]
+        for i, chunk in enumerate(chunks) if chunk
+    ]
+    print(format_table(["flight phase", "mean iters", "max iters"], rows))
+    print("The +20 deg disturbance costs extra iterations early; cruise is cheap.")
+    print()
+
+
+def slam_demo() -> None:
+    print("== SLAM navigation (s-shape @ 6 m/s, steering from the estimate) ==")
+    result = run_mission(
+        CoSimConfig(
+            world="s-shape",
+            controller="slam",
+            target_velocity=6.0,
+            max_sim_time=45.0,
+        )
+    )
+    print(result.summary())
+    stats = result.slam_stats
+    print(f"SLAM updates:          {stats.updates}")
+    print(f"Mean matcher iters:    {stats.mean_iterations:.1f}")
+    print(f"Mean pose error:       {stats.mean_pose_error:.2f} m")
+    print(f"Final pose error:      {stats.final_pose_error:.2f} m")
+    print(f"Total SLAM compute:    {stats.total_flops / 1e6:.1f} MFLOPs "
+          "(charged to the SoC cycle by cycle)")
+    print()
+    print("Ground truth never reaches the controller: odometry noise is")
+    print("corrected by scan-matching against the map built in flight.")
+
+
+def main() -> None:
+    mpc_demo()
+    slam_demo()
+
+
+if __name__ == "__main__":
+    main()

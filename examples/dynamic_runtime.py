@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Dynamic DNN selection under deadlines (the Figure 13 workflow).
+
+Flies the s-shape course three ways: statically with ResNet14, statically
+with ResNet6, and with the Section 5.3 dynamic runtime that measures the
+forward depth sensor, derives the Equation 3-5 collision deadline, and
+switches to the low-latency ResNet6 (argmax policy) whenever the UAV is at
+risk — trading accelerator activity for responsiveness.
+
+Run:  python examples/dynamic_runtime.py        (takes ~30 s)
+"""
+
+from dataclasses import replace
+
+from repro import CoSimConfig, run_mission
+from repro.analysis.render import format_table
+from repro.app.deadline import DeadlinePolicy, process_deadline
+
+
+def main() -> None:
+    # The deadline model itself, at a glance.
+    print("Equation 3-5 deadline budget at 9 m/s:")
+    for depth in (30.0, 10.0, 5.0, 3.0):
+        budget = process_deadline(depth, 9.0)
+        risky = DeadlinePolicy().at_risk(depth, 9.0)
+        print(f"  depth {depth:5.1f} m -> t_process budget {budget:6.3f} s"
+              f"{'   << AT RISK: switch to ResNet6' if risky else ''}")
+    print()
+
+    base = CoSimConfig(world="s-shape", soc="A", target_velocity=9.0, max_sim_time=60.0)
+    runs = {
+        "static ResNet14": replace(base, model="resnet14"),
+        "static ResNet6": replace(base, model="resnet6"),
+        "dynamic (14<->6)": replace(base, dynamic_runtime=True),
+    }
+
+    rows = []
+    for label, config in runs.items():
+        result = run_mission(config)
+        status = f"{result.mission_time:.2f}s" if result.completed else "DNF"
+        by_model = result.app_stats.inferences_by_model
+        mix = " + ".join(f"{count}x{name[6:]}" for name, count in sorted(by_model.items()))
+        rows.append([
+            label,
+            status,
+            result.collisions,
+            f"{result.activity_factor:.3f}",
+            result.inference_count,
+            mix,
+            result.app_stats.session_switches,
+        ])
+
+    print(format_table(
+        ["runtime", "mission", "coll.", "activity", "inferences", "mix", "switches"],
+        rows,
+        title="Static vs dynamic DNN selection (s-shape @ 9 m/s)",
+    ))
+    print()
+    print("The dynamic runtime matches ResNet14's mission time at a lower")
+    print("accelerator activity factor, despite paying a session-switch")
+    print("penalty on every network change (Section 5.3).")
+
+
+if __name__ == "__main__":
+    main()

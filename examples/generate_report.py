@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Regenerate a quick paper-vs-measured reproduction report.
+
+Runs a reduced single-seed subset of the evaluation (Table 3's latency
+model, the Figure 12 velocity sweep, the Figure 15 throughput curve) and
+writes a markdown report — the living version of EXPERIMENTS.md's claims.
+
+Run:  python examples/generate_report.py [output.md]   (takes ~20 s)
+"""
+
+import sys
+
+from repro.analysis.report import quick_report
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "report.md"
+    text = quick_report()
+    with open(output, "w") as handle:
+        handle.write(text)
+    print(text)
+    print(f"(written to {output})")
+
+
+if __name__ == "__main__":
+    main()

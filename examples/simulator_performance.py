@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Co-simulation accuracy/throughput tradeoff (Figures 15 and 16).
+
+Part 1 models wall-clock simulation throughput across synchronization
+granularities for both Table 4 deployments (Figure 15).  Part 2 actually
+flies the same tunnel mission at increasingly coarse synchronization and
+measures how the image-request -> DNN-output latency inflates and the
+trajectory degrades (Figure 16).
+
+Run:  python examples/simulator_performance.py        (takes ~30 s)
+"""
+
+from repro.analysis.figures import fig15_data, fig16_data
+from repro.analysis.render import format_table
+from repro.core.deploy import CLOUD_AWS, ON_PREMISE
+
+
+def throughput_curves() -> None:
+    print("== Simulation throughput vs synchronization granularity (Fig 15) ==")
+    for deployment in (ON_PREMISE, CLOUD_AWS):
+        points = fig15_data(deployment)
+        rows = [
+            [f"{p.cycles_per_sync / 1e6:.0f}M", f"{p.throughput_mhz:.2f}", f"{p.sync_only_mhz:.2f}"]
+            for p in points
+        ]
+        print(format_table(
+            ["cycles/sync", "throughput [MHz]", "sync-only [MHz]"],
+            rows,
+            title=f"[{deployment.name}] FPGA max {deployment.perf.fpga_sim_rate_mhz} MHz, "
+                  f"per-sync overhead {deployment.perf.sync_overhead_s * 1e3:.0f} ms",
+        ))
+        print()
+
+
+def granularity_effects() -> None:
+    print("== Effect of granularity on the *simulated* system (Fig 16) ==")
+    print("(tunnel @ 3 m/s, ResNet14, +20 deg start; this re-flies the")
+    print(" mission at each granularity, so it takes a few seconds)")
+    data = fig16_data()
+    rows = []
+    for cycles, result in data.items():
+        status = f"{result.mission_time:.1f}s" if result.completed else "DNF"
+        rows.append([
+            f"{cycles / 1e6:.0f}M",
+            result.config.sync.frames_per_sync,
+            f"{result.mean_inference_latency_ms:.0f}ms",
+            result.inference_count,
+            status,
+            result.collisions,
+        ])
+    print(format_table(
+        ["cycles/sync", "frames/sync", "req->output latency", "inferences", "mission", "coll."],
+        rows,
+    ))
+    print()
+    print("Coarser synchronization adds artificial I/O latency (requests are")
+    print("only answered at sync boundaries), degrading the closed-loop")
+    print("behaviour — the accuracy/throughput tradeoff of Section 5.5.")
+
+
+def main() -> None:
+    throughput_curves()
+    granularity_effects()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""RoSE reproduction: hardware-software co-simulation for pre-silicon
+full-stack robotics SoC evaluation.
+
+A pure-Python reproduction of "RoSÉ: A Hardware-Software Co-Simulation
+Infrastructure Enabling Pre-Silicon Full-Stack Robotics SoC Evaluation"
+(ISCA 2023).  See DESIGN.md for the system inventory and the substitutions
+made for the GPU/FPGA-backed components.
+
+Quickstart::
+
+    from repro import CoSimConfig, run_mission
+
+    result = run_mission(CoSimConfig(world="tunnel", soc="A",
+                                     model="resnet14", target_velocity=3.0))
+    print(result.summary())
+"""
+
+from repro.core.config import CoSimConfig, SyncConfig
+from repro.core.cosim import CoSimulation, MissionResult, run_mission
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoSimConfig",
+    "SyncConfig",
+    "CoSimulation",
+    "MissionResult",
+    "run_mission",
+    "__version__",
+]

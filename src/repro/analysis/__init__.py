@@ -1,0 +1,34 @@
+"""Analysis: per-figure/table data generation and text rendering.
+
+Each ``table*`` / ``fig*`` function regenerates the data behind one of the
+paper's evaluation artifacts (see DESIGN.md's per-experiment index); the
+benchmarks print these and assert the paper's qualitative shape.
+"""
+
+from repro.analysis.render import format_table
+from repro.analysis.figures import (
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    fig14_data,
+    fig15_data,
+    fig16_data,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+
+__all__ = [
+    "format_table",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "fig10_data",
+    "fig11_data",
+    "fig12_data",
+    "fig13_data",
+    "fig14_data",
+    "fig15_data",
+    "fig16_data",
+]

@@ -1,0 +1,214 @@
+"""Data generators for every table and figure in the paper's evaluation.
+
+Each function returns plain data structures (dicts / lists of
+:class:`~repro.core.cosim.MissionResult` or numeric series) so benchmarks,
+examples and tests can render or assert on them without re-deriving the
+experiment setup.  The experiment parameters come straight from
+Sections 4-5; see DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from statistics import mean
+
+from repro.core.config import CoSimConfig, SyncConfig
+from repro.core.cosim import MissionResult, run_mission
+from repro.core.deploy import CLOUD_AWS, ON_PREMISE, Deployment
+from repro.dnn.calibrated import CalibratedTrailClassifier, classifier_profile
+from repro.dnn.resnet import RESNET_NAMES, build_all_graphs
+from repro.dnn.runtime import latency_table
+from repro.soc.cpu import boom_core, rocket_core
+from repro.soc.firesim import simulation_throughput_mhz
+from repro.soc.gemmini import default_gemmini
+from repro.soc.soc import CONFIG_A, CONFIG_B, CONFIG_C
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+def table2_rows() -> list[tuple[str, str, str]]:
+    """Table 2: the evaluated hardware configurations."""
+    rows = []
+    for config in (CONFIG_A, CONFIG_B, CONFIG_C):
+        cpu = {"boom": "3-wide BOOM", "rocket": "Rocket"}[config.cpu]
+        accel = "Gemmini" if config.has_gemmini else "None"
+        rows.append((config.name, cpu, accel))
+    return rows
+
+
+def table3_rows(accuracy_samples: int = 3000) -> list[dict]:
+    """Table 3: per-model DNN latency (BOOM+G, Rocket+G) and accuracy."""
+    graphs = build_all_graphs()
+    boom = latency_table(graphs, boom_core(), default_gemmini())
+    rocket = latency_table(graphs, rocket_core(), default_gemmini())
+    rows = []
+    for name in RESNET_NAMES:
+        profile = classifier_profile(name)
+        classifier = CalibratedTrailClassifier(profile, seed=99)
+        acc_ang, acc_lat = classifier.validation_accuracy(samples=accuracy_samples)
+        rows.append(
+            {
+                "model": name,
+                "latency_boom_ms": boom[name].latency_ms(),
+                "latency_rocket_ms": rocket[name].latency_ms(),
+                "accuracy": 0.5 * (acc_ang + acc_lat),
+                "target_accuracy": profile.validation_accuracy,
+            }
+        )
+    return rows
+
+
+def table4_rows() -> dict[str, Deployment]:
+    """Table 4: the two deployment configurations."""
+    return {"on-premise": ON_PREMISE, "cloud-aws": CLOUD_AWS}
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop figures
+# ---------------------------------------------------------------------------
+def _aggregate(results: list[MissionResult]) -> dict:
+    """Seed-aggregate of the metrics a figure reports."""
+    times = [r.mission_time if r.completed else r.sim_time for r in results]
+    return {
+        "mean_mission_time": mean(times),
+        "completed": sum(r.completed for r in results),
+        "runs": len(results),
+        "total_collisions": sum(r.collisions for r in results),
+        "mean_activity": mean(r.activity_factor for r in results),
+        "mean_velocity": mean(r.average_velocity for r in results),
+        "mean_inferences": mean(r.inference_count for r in results),
+        "mean_latency_ms": mean(r.mean_inference_latency_ms for r in results),
+        "results": results,
+    }
+
+
+def _runs(config: CoSimConfig, seeds: tuple[int, ...]) -> dict:
+    return _aggregate([run_mission(replace(config, seed=s)) for s in seeds])
+
+
+def fig10_data(seeds: tuple[int, ...] = (0,)) -> dict[str, dict[float, dict]]:
+    """Figure 10: trajectories per hardware configuration x initial angle.
+
+    Tunnel, ResNet14 at 3 m/s, starts at -20/0/+20 degrees.
+    """
+    data: dict[str, dict[float, dict]] = {}
+    for soc in ("A", "B", "C"):
+        data[soc] = {}
+        for angle in (-20.0, 0.0, 20.0):
+            config = CoSimConfig(
+                world="tunnel",
+                soc=soc,
+                model="resnet14",
+                target_velocity=3.0,
+                initial_angle_deg=angle,
+                max_sim_time=40.0,
+            )
+            data[soc][angle] = _runs(config, seeds)
+    return data
+
+
+def fig11_data(
+    seeds: tuple[int, ...] = (0, 1, 2),
+    models: tuple[str, ...] = RESNET_NAMES,
+) -> dict[str, dict]:
+    """Figure 11: DNN-architecture sweep in s-shape at 9 m/s (BOOM+G)."""
+    base = CoSimConfig(world="s-shape", soc="A", target_velocity=9.0, max_sim_time=60.0)
+    return {m: _runs(replace(base, model=m), seeds) for m in models}
+
+
+def fig12_data(
+    seeds: tuple[int, ...] = (0, 1, 2),
+    velocities: tuple[float, ...] = (6.0, 9.0, 12.0),
+) -> dict[float, dict]:
+    """Figure 12: velocity-target sweep, ResNet14 on BOOM+Gemmini."""
+    base = CoSimConfig(world="s-shape", soc="A", model="resnet14", max_sim_time=60.0)
+    return {v: _runs(replace(base, target_velocity=v), seeds) for v in velocities}
+
+
+def fig13_data(seeds: tuple[int, ...] = (0, 1, 2)) -> dict[str, dict]:
+    """Figure 13: static ResNet14 / static ResNet6 / dynamic runtime."""
+    base = CoSimConfig(world="s-shape", soc="A", target_velocity=9.0, max_sim_time=60.0)
+    return {
+        "static-resnet14": _runs(replace(base, model="resnet14"), seeds),
+        "static-resnet6": _runs(replace(base, model="resnet6"), seeds),
+        "dynamic": _runs(replace(base, dynamic_runtime=True), seeds),
+    }
+
+
+def fig14_data(
+    seeds: tuple[int, ...] = (0, 1, 2),
+    models: tuple[str, ...] = RESNET_NAMES,
+) -> dict[str, dict[str, dict]]:
+    """Figure 14: hardware x DNN co-design sweep (BOOM+G vs Rocket+G)."""
+    data: dict[str, dict[str, dict]] = {}
+    for soc in ("A", "B"):
+        base = CoSimConfig(world="s-shape", soc=soc, target_velocity=9.0, max_sim_time=60.0)
+        data[soc] = {m: _runs(replace(base, model=m), seeds) for m in models}
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Simulator-performance figures
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ThroughputPoint:
+    cycles_per_sync: int
+    throughput_mhz: float
+    sync_only_mhz: float
+
+
+def fig15_data(
+    deployment: Deployment = ON_PREMISE,
+    granularities: tuple[int, ...] = (
+        1_000_000,
+        2_000_000,
+        5_000_000,
+        10_000_000,
+        20_000_000,
+        50_000_000,
+        100_000_000,
+        200_000_000,
+        400_000_000,
+    ),
+) -> list[ThroughputPoint]:
+    """Figure 15: simulation throughput vs synchronization granularity."""
+    return [
+        ThroughputPoint(
+            cycles_per_sync=g,
+            throughput_mhz=simulation_throughput_mhz(deployment.perf, g, with_env=True),
+            sync_only_mhz=simulation_throughput_mhz(deployment.perf, g, with_env=False),
+        )
+        for g in granularities
+    ]
+
+
+def fig16_data(
+    granularities: tuple[int, ...] = (
+        10_000_000,
+        20_000_000,
+        50_000_000,
+        100_000_000,
+        200_000_000,
+        400_000_000,
+    ),
+    seed: int = 0,
+) -> dict[int, MissionResult]:
+    """Figure 16: trajectory + request latency vs sync granularity.
+
+    Tunnel at 3 m/s, ResNet14, +20 degree start — the paper's setup.
+    """
+    base = CoSimConfig(
+        world="tunnel",
+        soc="A",
+        model="resnet14",
+        target_velocity=3.0,
+        initial_angle_deg=20.0,
+        max_sim_time=40.0,
+        seed=seed,
+    )
+    results = {}
+    for cycles in granularities:
+        config = replace(base, sync=SyncConfig(cycles_per_sync=cycles))
+        results[cycles] = run_mission(config)
+    return results

@@ -1,0 +1,86 @@
+"""Terminal plotting: trajectory top views and series sparklines.
+
+The artifact renders figures with matplotlib; this repo is dependency-
+light, so the examples and benches render to text instead: a top-view
+raster of the course walls and the flown trajectory, and sparklines for
+scalar series (latency, iterations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.worlds import World
+
+#: Sparkline glyphs, low to high.
+_SPARKS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Render a numeric series as a one-line text sparkline."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Downsample by block max (peaks matter more than troughs).
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].max() if b > a else values[a] for a, b in zip(edges, edges[1:])]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    if span <= 0:
+        return _SPARKS[1] * values.size
+    indices = ((values - lo) / span * (len(_SPARKS) - 1)).round().astype(int)
+    return "".join(_SPARKS[i] for i in indices)
+
+
+def trajectory_plot(
+    world: World,
+    trajectories: dict[str, list],
+    width: int = 100,
+    height: int = 18,
+) -> str:
+    """Top-view ASCII raster: walls (``#``) plus one glyph per trajectory.
+
+    ``trajectories`` maps a single-character-worthy label to a list of
+    samples with ``x`` / ``y`` attributes (e.g.
+    :class:`~repro.env.simulator.TrajectorySample`).  The first character
+    of each label is the glyph.
+    """
+    walls = np.vstack([world.left_wall.points, world.right_wall.points])
+    xs = [walls[:, 0]]
+    ys = [walls[:, 1]]
+    for samples in trajectories.values():
+        if samples:
+            xs.append(np.array([p.x for p in samples]))
+            ys.append(np.array([p.y for p in samples]))
+    all_x = np.concatenate(xs)
+    all_y = np.concatenate(ys)
+    x_lo, x_hi = float(all_x.min()) - 1, float(all_x.max()) + 1
+    y_lo, y_hi = float(all_y.min()) - 1, float(all_y.max()) + 1
+
+    def to_cell(x, y):
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y_hi - y) / (y_hi - y_lo) * (height - 1))
+        return row, col
+
+    raster = [[" "] * width for _ in range(height)]
+
+    # Walls: sample each wall polyline densely.
+    for wall in (world.left_wall, world.right_wall):
+        for s in np.linspace(0, wall.length, width * 3):
+            point = wall.point_at_arclength(float(s))
+            row, col = to_cell(float(point[0]), float(point[1]))
+            raster[row][col] = "#"
+
+    # Trajectories, drawn in order so later ones overlay earlier ones.
+    for label, samples in trajectories.items():
+        glyph = label[0] if label else "*"
+        for p in samples:
+            row, col = to_cell(p.x, p.y)
+            raster[row][col] = glyph
+
+    legend = "  ".join(f"{label[0]}={label}" for label in trajectories)
+    lines = ["".join(row) for row in raster]
+    return "\n".join(lines + [legend])

@@ -1,0 +1,96 @@
+"""Paper-vs-measured report generation.
+
+Builds a markdown report of the reproduction status — the content of
+EXPERIMENTS.md, regenerated from live runs — so the claim "shape
+preserved" stays checkable as the code evolves.  The full closed-loop
+sweeps take minutes; :func:`quick_report` runs a reduced single-seed
+subset suitable for an example script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.figures import fig15_data, table3_rows
+from repro.core.config import CoSimConfig
+from repro.core.cosim import MissionResult, run_mission
+
+#: Paper numbers the report compares against (Table 3 and the headline
+#: mission times from Figures 11/12).
+PAPER_TABLE3 = {
+    "resnet6": (77, 101, 0.72),
+    "resnet11": (83, 108, 0.78),
+    "resnet14": (85, 125, 0.82),
+    "resnet18": (130, 185, 0.83),
+    "resnet34": (225, 300, 0.86),
+}
+PAPER_FIG12_BEST = 12.14  # s at 9 m/s
+
+
+def _mission_cell(result: MissionResult) -> str:
+    status = f"{result.mission_time:.2f}s" if result.completed else "DNF"
+    return f"{status} ({result.collisions} coll.)"
+
+
+def table3_section() -> list[str]:
+    lines = [
+        "## Table 3 — DNN latency and accuracy",
+        "",
+        "| model | BOOM+G paper | measured | Rocket+G paper | measured | accuracy paper | measured |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in table3_rows(accuracy_samples=2000):
+        paper_boom, paper_rocket, paper_acc = PAPER_TABLE3[row["model"]]
+        lines.append(
+            f"| {row['model']} | {paper_boom} ms | {row['latency_boom_ms']:.0f} ms "
+            f"| {paper_rocket} ms | {row['latency_rocket_ms']:.0f} ms "
+            f"| {paper_acc:.0%} | {row['accuracy']:.0%} |"
+        )
+    return lines
+
+
+def fig12_section(seed: int = 0) -> list[str]:
+    base = CoSimConfig(
+        world="s-shape", soc="A", model="resnet14", max_sim_time=60.0, seed=seed
+    )
+    lines = [
+        "## Figure 12 — velocity sweep (ResNet14, BOOM+Gemmini)",
+        "",
+        f"Paper optimum: 9 m/s at {PAPER_FIG12_BEST} s.",
+        "",
+        "| target | measured |",
+        "|---|---|",
+    ]
+    for velocity in (6.0, 9.0, 12.0):
+        result = run_mission(replace(base, target_velocity=velocity))
+        lines.append(f"| {velocity:.0f} m/s | {_mission_cell(result)} |")
+    return lines
+
+
+def fig15_section() -> list[str]:
+    lines = [
+        "## Figure 15 — co-simulation throughput",
+        "",
+        "| cycles/sync | throughput |",
+        "|---|---|",
+    ]
+    for point in fig15_data():
+        lines.append(
+            f"| {point.cycles_per_sync / 1e6:.0f}M | {point.throughput_mhz:.2f} MHz |"
+        )
+    return lines
+
+
+def quick_report(seed: int = 0) -> str:
+    """A reduced, single-seed reproduction report (markdown)."""
+    sections = [
+        ["# Reproduction report (quick subset)", "",
+         "Regenerated from live runs; see EXPERIMENTS.md for the full",
+         "multi-seed record and benchmarks/ for the asserted shapes.", ""],
+        table3_section(),
+        [""],
+        fig12_section(seed=seed),
+        [""],
+        fig15_section(),
+    ]
+    return "\n".join(line for section in sections for line in section) + "\n"

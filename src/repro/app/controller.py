@@ -1,0 +1,166 @@
+"""The DNN trail-navigation controller application.
+
+This is the program the simulated companion-computer SoC runs: an infinite
+perceive-infer-act loop over the RoSE I/O device.
+
+Each iteration: request a camera frame, wait for it (only satisfied at a
+synchronization boundary), run the DNN (cycle cost from the scheduled
+operator graph), convert the two softmax heads into velocity / angular
+velocity targets per Equation 2, and send a TARGET_CMD to the flight
+controller.
+
+Sign conventions (Equation 2 maps onto the simulator's frames):
+
+* class indices are 0 = left, 1 = center, 2 = right, naming where the
+  *drone* sits/points relative to the trail;
+* body-frame lateral velocity is positive to the left, yaw rate positive
+  counter-clockwise;
+* hence a "right" lateral classification commands positive (leftward)
+  lateral velocity, and a "right" angular classification commands positive
+  (CCW) yaw rate — both corrective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.packets import PacketType, camera_request, target_command
+from repro.dnn.calibrated import TrailInference
+from repro.dnn.dataset import LEFT, RIGHT
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ControllerGains:
+    """Equation 2's controller gains (the betas) plus the altitude hold.
+
+    The betas are *velocity-scheduled*: the commanded correction magnitude
+    scales linearly with the flight-velocity target (gain scheduling — a
+    faster drone needs proportionally stronger corrections to hold the same
+    trajectory curvature).  ``beta_lateral`` / ``beta_angular`` are the
+    effective gains at :data:`REFERENCE_VELOCITY`.
+    """
+
+    beta_lateral: float = 3.0  # m/s per unit softmax difference, at 9 m/s
+    beta_angular: float = 1.3  # rad/s per unit softmax difference, at 9 m/s
+    altitude: float = 1.5
+
+    REFERENCE_VELOCITY = 9.0  # m/s
+
+    def __post_init__(self) -> None:
+        if self.beta_lateral < 0 or self.beta_angular < 0:
+            raise ConfigError("controller gains must be non-negative")
+
+    def at_velocity(self, velocity: float) -> tuple[float, float]:
+        """Effective (lateral, angular) gains at a velocity target."""
+        scale = velocity / self.REFERENCE_VELOCITY
+        return self.beta_lateral * scale, self.beta_angular * scale
+
+
+def compute_targets(
+    inference: TrailInference,
+    target_velocity: float,
+    gains: ControllerGains,
+    argmax_policy: bool = False,
+) -> tuple[float, float, float]:
+    """Equation 2: ``(v_forward, v_lateral, yaw_rate)`` from the heads.
+
+    With ``argmax_policy`` the softmax outputs are replaced by one-hot
+    vectors, the compensation Section 5.2/5.3 applies to low-confidence
+    networks so corrections come at full gain.
+    """
+    y_angular = inference.angular_probs
+    y_lateral = inference.lateral_probs
+    if argmax_policy:
+        y_angular = np.eye(3)[inference.angular_pred]
+        y_lateral = np.eye(3)[inference.lateral_pred]
+    beta_lateral, beta_angular = gains.at_velocity(target_velocity)
+    v_lateral = beta_lateral * float(y_lateral[RIGHT] - y_lateral[LEFT])
+    yaw_rate = beta_angular * float(y_angular[RIGHT] - y_angular[LEFT])
+    return target_velocity, v_lateral, yaw_rate
+
+
+@dataclass
+class InferenceRecord:
+    """One control-loop iteration's measurements (simulated time)."""
+
+    request_cycle: int
+    response_cycle: int
+    model: str
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.response_cycle - self.request_cycle
+
+
+@dataclass
+class AppStats:
+    """Application-side telemetry shared with the host experiment.
+
+    ``records`` measure the image-request -> DNN-output latency in target
+    cycles — the quantity Figure 16(c) plots.
+    """
+
+    records: list[InferenceRecord] = field(default_factory=list)
+    session_switches: int = 0
+    inferences_by_model: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def inference_count(self) -> int:
+        return len(self.records)
+
+    def latency_cycles(self) -> list[int]:
+        return [r.latency_cycles for r in self.records]
+
+    def mean_latency_ms(self, frequency_hz: float = 1e9) -> float:
+        lats = self.latency_cycles()
+        if not lats:
+            return float("nan")
+        return 1e3 * float(np.mean(lats)) / frequency_hz
+
+    def record(self, request_cycle: int, response_cycle: int, model: str) -> None:
+        self.records.append(InferenceRecord(request_cycle, response_cycle, model))
+        self.inferences_by_model[model] = self.inferences_by_model.get(model, 0) + 1
+
+
+def trail_navigation_app(
+    rt,
+    session,
+    perception,
+    target_velocity: float,
+    gains: ControllerGains | None = None,
+    stats: AppStats | None = None,
+    argmax_policy: bool = False,
+    demux=None,
+):
+    """Target program: the static single-DNN controller (Sections 5.1-5.2).
+
+    ``rt`` is the :class:`~repro.soc.program.TargetRuntime`; ``session``
+    the loaded :class:`~repro.dnn.runtime.InferenceSession`; ``perception``
+    a :class:`~repro.app.perception.Perception`.  When sharing the SoC
+    with other tasks, pass the shared :class:`~repro.soc.demux.IoDemux`
+    so responses for neighbours are preserved.
+    """
+    gains = gains or ControllerGains()
+    stats = stats if stats is not None else AppStats()
+    model_name = session.graph.name
+    while True:
+        request_cycle = yield from rt.current_cycle()
+        if demux is not None:
+            frame = yield from demux.request(rt, camera_request(), PacketType.CAMERA_RESP)
+        else:
+            frame = yield from rt.request_response(
+                camera_request(), PacketType.CAMERA_RESP
+            )
+        yield from rt.run_inference(session)
+        inference = perception.infer_packet(frame)
+        v_forward, v_lateral, yaw_rate = compute_targets(
+            inference, target_velocity, gains, argmax_policy=argmax_policy
+        )
+        yield from rt.send_packet(
+            target_command(v_forward, v_lateral, yaw_rate, gains.altitude)
+        )
+        response_cycle = yield from rt.current_cycle()
+        stats.record(request_cycle, response_cycle, model_name)

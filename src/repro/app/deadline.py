@@ -1,0 +1,71 @@
+"""Collision-deadline model (Equations 3-5).
+
+Section 5.2 defines the compute-latency budget a UAV controller must meet:
+
+    t_collision = D_obj / velocity                         (Eq. 3)
+    t_collision >= t_sensor + t_process + t_actuation      (Eq. 4)
+    t_process  <= t_collision - t_sensor - t_actuation     (Eq. 5)
+
+``D_obj`` is the depth of the closest object along the current heading.
+The dynamic runtime (Section 5.3) compares the Eq. 5 budget against a
+threshold to choose between a high-accuracy and a low-latency network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Default latency contributions outside compute.  Sensor latency is one
+#: camera frame; actuation latency covers the flight-controller loop plus
+#: airframe response.
+DEFAULT_SENSOR_LATENCY_S = 1.0 / 60.0
+DEFAULT_ACTUATION_LATENCY_S = 0.15
+
+
+def time_to_collision(depth_m: float, velocity_mps: float) -> float:
+    """Equation 3: seconds until impact at constant velocity."""
+    if velocity_mps <= 0:
+        return float("inf")
+    if depth_m < 0:
+        raise ConfigError(f"depth must be non-negative, got {depth_m}")
+    return depth_m / velocity_mps
+
+
+def process_deadline(
+    depth_m: float,
+    velocity_mps: float,
+    sensor_latency_s: float = DEFAULT_SENSOR_LATENCY_S,
+    actuation_latency_s: float = DEFAULT_ACTUATION_LATENCY_S,
+) -> float:
+    """Equation 5: the compute-time budget (may be negative: already late)."""
+    if sensor_latency_s < 0 or actuation_latency_s < 0:
+        raise ConfigError("latency contributions must be non-negative")
+    return time_to_collision(depth_m, velocity_mps) - sensor_latency_s - actuation_latency_s
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """Threshold rule used by the dynamic runtime.
+
+    When the Eq. 5 budget falls below ``threshold_s`` the runtime is "at
+    risk of collision" and must switch to the low-latency network.
+    """
+
+    threshold_s: float = 0.40
+    sensor_latency_s: float = DEFAULT_SENSOR_LATENCY_S
+    actuation_latency_s: float = DEFAULT_ACTUATION_LATENCY_S
+
+    def at_risk(self, depth_m: float, velocity_mps: float) -> bool:
+        budget = process_deadline(
+            depth_m, velocity_mps, self.sensor_latency_s, self.actuation_latency_s
+        )
+        return budget < self.threshold_s
+
+    def meets_deadline(self, depth_m: float, velocity_mps: float, compute_s: float) -> bool:
+        """Equation 4 check for a known compute latency."""
+        budget = process_deadline(
+            depth_m, velocity_mps, self.sensor_latency_s, self.actuation_latency_s
+        )
+        return compute_s <= budget

@@ -1,0 +1,77 @@
+"""Mission-level sweep helpers and derived metrics.
+
+Thin, reusable wrappers over :func:`repro.core.cosim.run_mission` that
+express the paper's experiment axes: hardware configuration (Figure 10),
+DNN architecture (Figure 11), velocity target (Figure 12), static-vs-
+dynamic runtime (Figure 13), the hardware x software product sweep
+(Figure 14), and synchronization granularity (Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import CoSimConfig, SyncConfig
+from repro.core.cosim import MissionResult, run_mission
+
+
+def fly(config: CoSimConfig) -> MissionResult:
+    """Alias of :func:`run_mission` for sweep-builder readability."""
+    return run_mission(config)
+
+
+def sweep_hardware(
+    base: CoSimConfig, socs: tuple[str, ...] = ("A", "B", "C")
+) -> dict[str, MissionResult]:
+    """One mission per Table 2 hardware configuration."""
+    return {soc: fly(replace(base, soc=soc)) for soc in socs}
+
+
+def sweep_initial_angles(
+    base: CoSimConfig, angles_deg: tuple[float, ...] = (-20.0, 0.0, 20.0)
+) -> dict[float, MissionResult]:
+    """Figure 10's initial-condition axis."""
+    return {
+        angle: fly(replace(base, initial_angle_deg=angle)) for angle in angles_deg
+    }
+
+
+def sweep_models(
+    base: CoSimConfig, models: tuple[str, ...]
+) -> dict[str, MissionResult]:
+    """Figure 11 / 14's DNN-architecture axis."""
+    return {model: fly(replace(base, model=model)) for model in models}
+
+
+def sweep_velocities(
+    base: CoSimConfig, velocities: tuple[float, ...] = (6.0, 9.0, 12.0)
+) -> dict[float, MissionResult]:
+    """Figure 12's velocity-target axis."""
+    return {v: fly(replace(base, target_velocity=v)) for v in velocities}
+
+
+def sweep_sync_granularity(
+    base: CoSimConfig, cycles_per_sync: tuple[int, ...]
+) -> dict[int, MissionResult]:
+    """Figure 16's synchronization-granularity axis."""
+    results = {}
+    for cycles in cycles_per_sync:
+        sync = SyncConfig(
+            cycles_per_sync=cycles,
+            soc_frequency_hz=base.sync.soc_frequency_hz,
+            frame_rate_hz=base.sync.frame_rate_hz,
+        )
+        results[cycles] = fly(replace(base, sync=sync))
+    return results
+
+
+def compare_static_dynamic(
+    base: CoSimConfig, static_models: tuple[str, ...] = ("resnet6", "resnet14")
+) -> dict[str, MissionResult]:
+    """Figure 13: static single-DNN missions plus the dynamic runtime."""
+    results = {
+        model: fly(replace(base, model=model, dynamic_runtime=False))
+        for model in static_models
+    }
+    results["dynamic"] = fly(replace(base, dynamic_runtime=True))
+    return results

@@ -1,0 +1,65 @@
+"""Background DNN workload (multi-tenant accelerator contention).
+
+The paper's introduction motivates end-to-end evaluation with exactly this
+scenario: "the performance of each individual accelerator can be heavily
+impacted by system-level resource contentions where multiple
+general-purpose cores and accelerators are running together" (citing
+multi-tenant DNN execution).  This task models a secondary perception
+network — e.g. an object-detection monitor — running periodic inferences
+on the same SoC as the flight controller.  Its inferences serialize with
+the controller's on the shared core/accelerator, inflating the
+controller's image-to-command latency by queueing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class MonitorConfig:
+    """Rate of the background inference workload."""
+
+    rate_hz: float = 10.0  # inferences per second
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ConfigError("rate_hz must be positive")
+
+
+@dataclass
+class MonitorStats:
+    inferences: int = 0
+    total_cycles: int = 0
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        return self.total_cycles / self.inferences if self.inferences else 0.0
+
+
+def dnn_monitor_app(
+    rt,
+    session,
+    cpu,
+    config: MonitorConfig | None = None,
+    stats: MonitorStats | None = None,
+):
+    """Target program: periodic background inference.
+
+    Runs one inference per period on the shared compute resources; no
+    I/O, no actuation — pure contention load.
+    """
+    config = config or MonitorConfig()
+    stats = stats if stats is not None else MonitorStats()
+    period_cycles = int(cpu.frequency_hz / config.rate_hz)
+    while True:
+        start = yield from rt.current_cycle()
+        report = yield from rt.run_inference(session)
+        stats.inferences += 1
+        stats.total_cycles += report.total_cycles
+        now = yield from rt.current_cycle()
+        elapsed = now - start
+        if elapsed < period_cycles:
+            yield from rt.delay(period_cycles - elapsed)

@@ -1,0 +1,95 @@
+"""Roofline-style compute/safety analysis for UAV controllers.
+
+Section 5.2 cites roofline-style bottleneck analysis for UAV onboard
+compute (Krishnan et al. [32]): deadlines "can be used by models to set
+constraints on robotic systems, such as maximum safe velocity".  This
+module inverts the paper's Equations 3-5 into design-space curves:
+
+* :func:`max_safe_velocity` — the fastest the UAV may fly given its
+  controller's compute latency and an obstacle at a given depth;
+* :func:`min_required_depth` — the sensing range a controller needs to be
+  safe at a given velocity;
+* :func:`safe_velocity_curve` — velocity-vs-latency series for plotting
+  the controller design space (which DNN is safe at which speed).
+
+Derivation: safety requires t_collision >= t_sensor + t_process +
+t_actuation (Eq. 4) with t_collision = D / v (Eq. 3), hence
+``v <= D / (t_sensor + t_process + t_actuation)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.deadline import DEFAULT_ACTUATION_LATENCY_S, DEFAULT_SENSOR_LATENCY_S
+from repro.errors import ConfigError
+
+
+def _check_latencies(sensor_s: float, actuation_s: float) -> None:
+    if sensor_s < 0 or actuation_s < 0:
+        raise ConfigError("latency contributions must be non-negative")
+
+
+def max_safe_velocity(
+    depth_m: float,
+    process_latency_s: float,
+    sensor_latency_s: float = DEFAULT_SENSOR_LATENCY_S,
+    actuation_latency_s: float = DEFAULT_ACTUATION_LATENCY_S,
+) -> float:
+    """Fastest velocity satisfying Equation 4 for an obstacle at
+    ``depth_m``."""
+    _check_latencies(sensor_latency_s, actuation_latency_s)
+    if depth_m < 0:
+        raise ConfigError("depth must be non-negative")
+    if process_latency_s < 0:
+        raise ConfigError("process latency must be non-negative")
+    total = sensor_latency_s + process_latency_s + actuation_latency_s
+    if total <= 0:
+        return float("inf")
+    return depth_m / total
+
+
+def min_required_depth(
+    velocity_mps: float,
+    process_latency_s: float,
+    sensor_latency_s: float = DEFAULT_SENSOR_LATENCY_S,
+    actuation_latency_s: float = DEFAULT_ACTUATION_LATENCY_S,
+) -> float:
+    """Minimum obstacle depth at which ``velocity_mps`` is safe."""
+    _check_latencies(sensor_latency_s, actuation_latency_s)
+    if velocity_mps < 0:
+        raise ConfigError("velocity must be non-negative")
+    return velocity_mps * (sensor_latency_s + process_latency_s + actuation_latency_s)
+
+
+@dataclass(frozen=True)
+class ControllerSafety:
+    """One controller's point on the safety roofline."""
+
+    name: str
+    process_latency_s: float
+    max_safe_velocity: float
+
+
+def safe_velocity_curve(
+    controllers: dict[str, float],
+    depth_m: float,
+    sensor_latency_s: float = DEFAULT_SENSOR_LATENCY_S,
+    actuation_latency_s: float = DEFAULT_ACTUATION_LATENCY_S,
+) -> list[ControllerSafety]:
+    """Max safe velocity per controller (name -> compute latency seconds).
+
+    Sorted fastest-safe first; the roofline view of "which DNN can fly how
+    fast" given a sensing horizon.
+    """
+    curve = [
+        ControllerSafety(
+            name=name,
+            process_latency_s=latency,
+            max_safe_velocity=max_safe_velocity(
+                depth_m, latency, sensor_latency_s, actuation_latency_s
+            ),
+        )
+        for name, latency in controllers.items()
+    ]
+    return sorted(curve, key=lambda c: c.max_safe_velocity, reverse=True)

@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the artifact's runner scripts (``deploy/hephaestus/runner.py``
+flags, ``run-all.sh``) with three subcommands:
+
+* ``fly``    — run one closed-loop mission from flags, print the summary
+  (optionally the trajectory plot and a CSV/trace dump);
+* ``run``    — run every experiment in a JSON manifest;
+* ``table3`` — print the modeled DNN latency/accuracy table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import table3_rows
+from repro.analysis.plot import trajectory_plot
+from repro.analysis.render import format_table
+from repro.core.config import CoSimConfig, SyncConfig
+from repro.core.cosim import run_mission
+from repro.core.manifest import load_manifest
+from repro.core.trace import Tracer
+from repro.env.worlds import make_world
+
+
+def _add_fly_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--world", default="tunnel", help="tunnel | s-shape")
+    parser.add_argument("--vehicle", default="quadrotor", help="quadrotor | car")
+    parser.add_argument("--soc", default="A", help="Table 2 config: A | B | C")
+    parser.add_argument(
+        "--controller", default="dnn", help="dnn | mpc | fusion | slam | ros"
+    )
+    parser.add_argument("--model", default="resnet14", help="resnet6..resnet34")
+    parser.add_argument("--velocity", type=float, default=3.0, help="m/s target")
+    parser.add_argument("--angle", type=float, default=0.0, help="initial angle, deg")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-sim-time", type=float, default=60.0)
+    parser.add_argument(
+        "--cycles-per-sync", type=int, default=10_000_000, help="sync granularity"
+    )
+    parser.add_argument("--dynamic", action="store_true", help="dynamic DNN runtime")
+    parser.add_argument("--background", default=None, help="slam-mapper | dnn-monitor")
+    parser.add_argument("--plot", action="store_true", help="print a trajectory plot")
+    parser.add_argument("--csv", metavar="PATH", help="write the synchronizer CSV log")
+    parser.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
+
+
+def _config_from_args(args: argparse.Namespace) -> CoSimConfig:
+    return CoSimConfig(
+        world=args.world,
+        vehicle=args.vehicle,
+        soc=args.soc,
+        controller=args.controller,
+        model=args.model,
+        target_velocity=args.velocity,
+        initial_angle_deg=args.angle,
+        seed=args.seed,
+        max_sim_time=args.max_sim_time,
+        dynamic_runtime=args.dynamic,
+        background=args.background,
+        sync=SyncConfig(cycles_per_sync=args.cycles_per_sync),
+    )
+
+
+def _cmd_fly(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    tracer = Tracer() if args.trace else None
+    result = run_mission(config, tracer=tracer)
+    print(result.summary())
+    if args.plot:
+        world = make_world(config.world, **config.world_params)
+        print(trajectory_plot(world, {"o-flight": result.trajectory}))
+    if args.csv:
+        result.logger.write(args.csv)
+        print(f"wrote {len(result.logger)} synchronizer rows to {args.csv}")
+    if args.trace:
+        tracer.write(args.trace)
+        print(f"wrote {len(tracer)} trace events to {args.trace}")
+    return 0 if result.completed else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.manifest) as handle:
+        configs = load_manifest(handle.read())
+    print(f"{len(configs)} experiment(s) in {args.manifest}")
+    failures = 0
+    for name, config in configs.items():
+        result = run_mission(config)
+        print(f"[{name}] {result.summary()}")
+        failures += 0 if result.completed else 1
+    return 1 if failures else 0
+
+
+def _cmd_table3(_args: argparse.Namespace) -> int:
+    rows = table3_rows()
+    print(format_table(
+        ["Model", "Latency (BOOM+G)", "Latency (Rocket+G)", "Val. accuracy"],
+        [
+            [
+                r["model"],
+                f"{r['latency_boom_ms']:.0f}ms",
+                f"{r['latency_rocket_ms']:.0f}ms",
+                f"{r['accuracy'] * 100:.0f}%",
+            ]
+            for r in rows
+        ],
+        title="Table 3 (modeled)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RoSE reproduction: closed-loop robotics SoC co-simulation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fly = commands.add_parser("fly", help="run one closed-loop mission")
+    _add_fly_arguments(fly)
+    fly.set_defaults(handler=_cmd_fly)
+
+    run = commands.add_parser("run", help="run a JSON experiment manifest")
+    run.add_argument("manifest", help="path to a manifest (see repro.core.manifest)")
+    run.set_defaults(handler=_cmd_run)
+
+    table3 = commands.add_parser("table3", help="print the DNN latency table")
+    table3.set_defaults(handler=_cmd_table3)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

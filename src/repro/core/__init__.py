@@ -1,0 +1,50 @@
+"""RoSE co-simulation core — the paper's primary contribution.
+
+The pieces map one-to-one onto Figure 5 of the paper:
+
+* :mod:`repro.core.packets` — the serialized synchronization + data packet
+  protocol spoken between the synchronizer and the FireSim-side bridge
+  driver.
+* :mod:`repro.core.transport` — the byte transport those packets travel
+  over (in-process channel, or real TCP as deployed).
+* :mod:`repro.core.bridge` — the RoSE BRIDGE: hardware queues exposed to
+  the target SoC as memory-mapped registers, plus the control unit that
+  throttles RTL execution.
+* :mod:`repro.core.driver` — the host-side bridge driver.
+* :mod:`repro.core.synchronizer` — Algorithm 1's lockstep loop.
+* :mod:`repro.core.cosim` — top-level assembly of environment simulator +
+  SoC simulator + bridge + synchronizer.
+* :mod:`repro.core.config` / :mod:`repro.core.deploy` — experiment and
+  deployment configuration.
+"""
+
+from repro.core.packets import (
+    DataPacket,
+    PacketType,
+    decode_packet,
+    encode_packet,
+)
+from repro.core.transport import InProcessTransport, TcpTransport, Transport, transport_pair
+from repro.core.bridge import RoseBridge, BridgeConfig
+from repro.core.config import CoSimConfig, SyncConfig
+from repro.core.synchronizer import Synchronizer
+from repro.core.cosim import CoSimulation, MissionResult, run_mission
+
+__all__ = [
+    "PacketType",
+    "DataPacket",
+    "encode_packet",
+    "decode_packet",
+    "Transport",
+    "InProcessTransport",
+    "TcpTransport",
+    "transport_pair",
+    "RoseBridge",
+    "BridgeConfig",
+    "SyncConfig",
+    "CoSimConfig",
+    "Synchronizer",
+    "CoSimulation",
+    "MissionResult",
+    "run_mission",
+]

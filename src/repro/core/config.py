@@ -1,0 +1,128 @@
+"""Co-simulation configuration objects.
+
+:class:`SyncConfig` encodes Equation 1's constraint between the two
+simulators' time steps:
+
+    airsim_steps / firesim_steps = soc_clock_freq / airsim_frame_freq
+
+i.e. the number of environment frames per synchronization follows from
+the cycle budget, the SoC's target frequency, and the environment's frame
+rate.  The paper's Figure 16 sweep uses 10 M cycles / 1 frame up to
+400 M cycles / 40 frames (a 100 Hz frame rate at 1 GHz), which is this
+module's default regime.
+
+:class:`CoSimConfig` bundles everything one closed-loop experiment needs:
+the environment, the SoC configuration, the controller software, and the
+synchronization parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.env.simulator import EnvConfig
+from repro.errors import ConfigError
+from repro.soc import calib
+
+
+@dataclass(frozen=True)
+class SyncConfig:
+    """Lockstep synchronization parameters (Section 3.4.1, Equation 1)."""
+
+    cycles_per_sync: int = 10_000_000
+    soc_frequency_hz: float = calib.SOC_FREQUENCY_HZ
+    frame_rate_hz: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_sync <= 0:
+            raise ConfigError("cycles_per_sync must be positive")
+        if self.soc_frequency_hz <= 0 or self.frame_rate_hz <= 0:
+            raise ConfigError("frequencies must be positive")
+        if self.frames_per_sync < 1:
+            raise ConfigError(
+                "synchronization period shorter than one environment frame: "
+                f"{self.cycles_per_sync} cycles at {self.soc_frequency_hz:.0f} Hz "
+                f"covers {self.sync_period_seconds * self.frame_rate_hz:.3f} frames"
+            )
+
+    @property
+    def sync_period_seconds(self) -> float:
+        """Simulated seconds per synchronization."""
+        return self.cycles_per_sync / self.soc_frequency_hz
+
+    @property
+    def frames_per_sync(self) -> int:
+        """Environment frames per synchronization (Equation 1)."""
+        return int(round(self.sync_period_seconds * self.frame_rate_hz))
+
+    @property
+    def cycles_per_frame(self) -> float:
+        return self.cycles_per_sync / self.frames_per_sync
+
+    def describe(self) -> str:
+        return (
+            f"{self.cycles_per_sync / 1e6:.0f}M cycles / "
+            f"{self.frames_per_sync} frame(s) per sync"
+        )
+
+
+@dataclass
+class CoSimConfig:
+    """Everything one closed-loop mission needs."""
+
+    world: str = "tunnel"
+    vehicle: str = "quadrotor"  # "quadrotor" or "car" (artifact A.8.3)
+    soc: str = "A"  # Table 2 configuration name
+    controller: str = "dnn"  # "dnn", "mpc", "fusion" (camera+IMU), "slam" (lidar), "ros" (node pipeline)
+    model: str = "resnet14"  # DNN variant ("fusion": the camera backbone; "mpc": ignored)
+    target_velocity: float = 3.0  # m/s forward target (the §5.2 sweep knob)
+    initial_angle_deg: float = 0.0
+    sync: SyncConfig = field(default_factory=SyncConfig)
+    max_sim_time: float = 60.0  # give up after this much simulated time
+    dynamic_runtime: bool = False  # Section 5.3's adaptive DNN selection
+    argmax_policy: bool = False  # argmax instead of confidence-scaled gains
+    fusion_camera_every: int = 10  # camera branch rate divider ("fusion" only)
+    background: str | None = None  # concurrent workload: None, "slam-mapper", "dnn-monitor"
+    gemmini_dtype: str = "fp32"  # "fp32" (the paper's config) or "int8"
+    beta_lateral: float | None = None  # Equation 2 gains; None = defaults
+    beta_angular: float | None = None
+    world_params: dict = field(default_factory=dict)  # forwarded to the world builder
+    seed: int = 0
+    transport: str = "inprocess"
+
+    def __post_init__(self) -> None:
+        if self.target_velocity <= 0:
+            raise ConfigError("target_velocity must be positive")
+        if self.max_sim_time <= 0:
+            raise ConfigError("max_sim_time must be positive")
+        if self.controller not in ("dnn", "mpc", "fusion", "slam", "ros"):
+            raise ConfigError(
+                "controller must be 'dnn', 'mpc', 'fusion', 'slam' or 'ros', "
+                f"got {self.controller!r}"
+            )
+        if self.controller != "dnn" and self.dynamic_runtime:
+            raise ConfigError("dynamic_runtime applies to the DNN controller only")
+        if self.fusion_camera_every < 1:
+            raise ConfigError("fusion_camera_every must be at least 1")
+        if self.background not in (None, "slam-mapper", "dnn-monitor"):
+            raise ConfigError(
+                "background must be None, 'slam-mapper' or 'dnn-monitor', "
+                f"got {self.background!r}"
+            )
+        if self.background is not None and self.controller != "dnn":
+            raise ConfigError(
+                "background workloads are supported with the 'dnn' controller"
+            )
+        if self.gemmini_dtype not in ("fp32", "int8"):
+            raise ConfigError(
+                f"gemmini_dtype must be 'fp32' or 'int8', got {self.gemmini_dtype!r}"
+            )
+
+    def env_config(self) -> EnvConfig:
+        return EnvConfig(
+            world=self.world,
+            vehicle=self.vehicle,
+            frame_rate=self.sync.frame_rate_hz,
+            initial_angle_deg=self.initial_angle_deg,
+            seed=self.seed,
+        )

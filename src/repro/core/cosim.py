@@ -1,0 +1,348 @@
+"""Top-level co-simulation assembly and the mission runner.
+
+:class:`CoSimulation` wires together everything Figure 3 shows: the
+environment simulator behind its RPC server, the SoC model inside a
+FireSim host with the RoSE bridge, the controller application loaded as
+the target program, and the synchronizer in the middle.  :func:`run_mission`
+is the one-call entry point the examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.app.controller import AppStats, ControllerGains, trail_navigation_app
+from repro.app.dynamic import DynamicRuntimeConfig, dynamic_trail_app
+from repro.app.fusion import FusionConfig, FusionStats, fusion_controller_app
+from repro.app.mpc import MpcController, MpcStats, mpc_navigation_app
+from repro.app.perception import BehavioralPerception, Perception
+from repro.app.monitor import MonitorStats, dnn_monitor_app
+from repro.app.slam_nav import SlamNavStats, slam_mapping_app, slam_navigation_app
+from repro.dnn.fusion import FusionSessions
+from repro.slam.pipeline import SlamPipeline, slam_grid_for_world
+from repro.soc.demux import IoDemux
+from repro.core.config import CoSimConfig
+from repro.core.csvlog import SyncLogger
+from repro.core.synchronizer import Synchronizer
+from repro.core.transport import transport_pair
+from repro.dnn.calibrated import classifier_profile
+from repro.dnn.resnet import build_resnet_graph
+from repro.dnn.runtime import InferenceSession
+from repro.env.rpc import RpcClient, RpcServer
+from repro.env.simulator import EnvSimulator, TrajectorySample
+from repro.env.worlds import make_world
+from repro.soc.firesim import FireSimHost
+from repro.soc.soc import Soc, soc_config
+
+#: The dynamic runtime's fixed network pairing (Section 5.3).
+DYNAMIC_HI_MODEL = "resnet14"
+DYNAMIC_LO_MODEL = "resnet6"
+
+
+@dataclass
+class MissionResult:
+    """Everything the paper's figures report about one flight."""
+
+    config: CoSimConfig
+    completed: bool
+    mission_time: float | None
+    sim_time: float
+    collisions: int
+    progress: float
+    average_velocity: float
+    activity_factor: float
+    soc_cycles: int
+    gemmini_busy_cycles: int
+    inference_count: int
+    mean_inference_latency_ms: float
+    trajectory: list[TrajectorySample] = field(repr=False, default_factory=list)
+    app_stats: AppStats | None = field(repr=False, default=None)
+    mpc_stats: MpcStats | None = field(repr=False, default=None)
+    fusion_stats: FusionStats | None = field(repr=False, default=None)
+    slam_stats: SlamNavStats | None = field(repr=False, default=None)
+    background_stats: SlamNavStats | None = field(repr=False, default=None)
+    monitor_stats: MonitorStats | None = field(repr=False, default=None)
+    logger: SyncLogger | None = field(repr=False, default=None)
+
+    @property
+    def label(self) -> str:
+        if self.config.controller == "mpc":
+            mode = "mpc"
+        elif self.config.controller == "slam":
+            mode = "slam"
+        elif self.config.controller == "ros":
+            mode = f"ros-{self.config.model}"
+        elif self.config.controller == "fusion":
+            mode = f"fusion-{self.config.model}"
+        elif self.config.dynamic_runtime:
+            mode = "dynamic"
+        else:
+            mode = self.config.model
+        return f"{self.config.soc}/{mode}@{self.config.target_velocity:g}m/s"
+
+    def summary(self) -> str:
+        status = (
+            f"completed in {self.mission_time:.2f}s"
+            if self.completed
+            else f"DNF (progress {100 * self.progress:.0f}%)"
+        )
+        return (
+            f"{self.label}: {status}, {self.collisions} collision(s), "
+            f"avg velocity {self.average_velocity:.2f} m/s, "
+            f"activity factor {self.activity_factor:.3f}, "
+            f"{self.inference_count} inferences "
+            f"(mean latency {self.mean_inference_latency_ms:.1f} ms)"
+        )
+
+
+class CoSimulation:
+    """One configured closed-loop co-simulation, ready to run."""
+
+    def __init__(
+        self,
+        config: CoSimConfig,
+        perception: Perception | None = None,
+        tracer=None,
+    ):
+        self.config = config
+        self.tracer = tracer
+
+        # Environment side (Figure 3, left).
+        world = (
+            make_world(config.world, **config.world_params)
+            if config.world_params
+            else None
+        )
+        self.env = EnvSimulator(config.env_config(), world=world)
+        self._rpc_server = RpcServer(self.env)
+        self.rpc = RpcClient(self._rpc_server)
+
+        # Hardware side (Figure 3, right).  The SoC's target clock is the
+        # one SyncConfig's Equation 1 is built around — single source.
+        base_soc = soc_config(config.soc)
+        if (
+            base_soc.frequency_hz != config.sync.soc_frequency_hz
+            or base_soc.gemmini_dtype != config.gemmini_dtype
+        ):
+            base_soc = dataclasses.replace(
+                base_soc,
+                frequency_hz=config.sync.soc_frequency_hz,
+                gemmini_dtype=config.gemmini_dtype,
+            )
+        self.soc = Soc(base_soc)
+        self.app_stats = AppStats()
+        self.mpc_stats = MpcStats()
+        self.fusion_stats = FusionStats()
+        self.slam_stats = SlamNavStats()
+        self.background_stats = SlamNavStats()
+        self.monitor_stats = MonitorStats()
+        self._demux = IoDemux() if config.background else None
+        app = self._build_app(perception)
+        if app is not None:
+            self.soc.load_program(app)
+        if config.background == "slam-mapper":
+            self._load_background_mapper()
+        elif config.background == "dnn-monitor":
+            self._load_background_monitor()
+
+        # The link between them.
+        sync_end, firesim_end = transport_pair(config.transport)
+        self.host = FireSimHost(self.soc, firesim_end)
+        self.logger = SyncLogger()
+        self.synchronizer = Synchronizer(
+            rpc=self.rpc,
+            transport=sync_end,
+            sync=config.sync,
+            host_service=self.host.service,
+            logger=self.logger,
+            tracer=tracer,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_app(self, perception: Perception | None):
+        config = self.config
+        if config.controller == "mpc":
+            controller = MpcController(
+                world=self.env.world, target_velocity=config.target_velocity
+            )
+            return lambda rt: mpc_navigation_app(
+                rt, controller, self.soc.cpu, stats=self.mpc_stats
+            )
+        if config.controller == "ros":
+            from repro.roslite.trail_nodes import load_trail_pipeline
+
+            pipeline = load_trail_pipeline(
+                self.soc,
+                perception or self._behavioral(config.model),
+                self._session(config.model),
+                target_velocity=config.target_velocity,
+            )
+            self.app_stats = pipeline.stats
+            self.ros_pipeline = pipeline
+            return None
+        if config.controller == "slam":
+            env_world = self.env.world
+            pipeline = SlamPipeline(
+                slam_grid_for_world(env_world),
+                initial_x=self.env.dynamics.state.x,
+                initial_y=self.env.dynamics.state.y,
+                initial_yaw=self.env.dynamics.state.yaw,
+            )
+            return lambda rt: slam_navigation_app(
+                rt,
+                pipeline,
+                env_world,
+                self.soc.cpu,
+                target_velocity=config.target_velocity,
+                stats=self.slam_stats,
+                seed=config.seed + 31,
+            )
+        if config.controller == "fusion":
+            sessions = FusionSessions(
+                self.soc.cpu, self.soc.gemmini, camera_variant=config.model
+            )
+            chosen = perception or self._behavioral(config.model)
+            return lambda rt: fusion_controller_app(
+                rt,
+                sessions,
+                chosen,
+                target_velocity=config.target_velocity,
+                cpu=self.soc.cpu,
+                config=FusionConfig(camera_every=config.fusion_camera_every),
+                stats=self.fusion_stats,
+            )
+        defaults = ControllerGains()
+        gains = ControllerGains(
+            beta_lateral=(
+                defaults.beta_lateral if config.beta_lateral is None else config.beta_lateral
+            ),
+            beta_angular=(
+                defaults.beta_angular if config.beta_angular is None else config.beta_angular
+            ),
+        )
+        if config.dynamic_runtime:
+            session_hi = self._session(DYNAMIC_HI_MODEL)
+            session_lo = self._session(DYNAMIC_LO_MODEL)
+            perception_hi = perception or self._behavioral(DYNAMIC_HI_MODEL)
+            perception_lo = self._behavioral(DYNAMIC_LO_MODEL)
+            return lambda rt: dynamic_trail_app(
+                rt,
+                session_hi,
+                session_lo,
+                perception_hi,
+                perception_lo,
+                target_velocity=config.target_velocity,
+                config=DynamicRuntimeConfig(gains=gains),
+                stats=self.app_stats,
+            )
+        session = self._session(config.model)
+        chosen = perception or self._behavioral(config.model)
+        return lambda rt: trail_navigation_app(
+            rt,
+            session,
+            chosen,
+            target_velocity=config.target_velocity,
+            gains=gains,
+            stats=self.app_stats,
+            argmax_policy=config.argmax_policy,
+            demux=self._demux,
+        )
+
+    def _load_background_mapper(self) -> None:
+        """Add the concurrent SLAM mapping workload (multi-tenant mode)."""
+        pipeline = SlamPipeline(
+            slam_grid_for_world(self.env.world),
+            initial_x=self.env.dynamics.state.x,
+            initial_y=self.env.dynamics.state.y,
+            initial_yaw=self.env.dynamics.state.yaw,
+        )
+        self.soc.add_program(
+            lambda rt: slam_mapping_app(
+                rt,
+                pipeline,
+                self.soc.cpu,
+                stats=self.background_stats,
+                seed=self.config.seed + 47,
+                demux=self._demux,
+            ),
+            name="slam-mapper",
+        )
+
+    def _load_background_monitor(self) -> None:
+        """Add a periodic background DNN workload (accelerator tenant)."""
+        session = self._session("resnet6")
+        self.soc.add_program(
+            lambda rt: dnn_monitor_app(
+                rt, session, self.soc.cpu, stats=self.monitor_stats
+            ),
+            name="dnn-monitor",
+        )
+
+    def _session(self, model: str) -> InferenceSession:
+        return InferenceSession(build_resnet_graph(model), self.soc.cpu, self.soc.gemmini)
+
+    def _behavioral(self, model: str) -> BehavioralPerception:
+        return BehavioralPerception(
+            classifier_profile(model, quantized=self.config.gemmini_dtype == "int8"),
+            seed=self.config.seed + 17,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> MissionResult:
+        """Fly the mission to completion, timeout, or max simulated time."""
+        self.synchronizer.configure()
+        self.rpc.takeoff()
+        self.synchronizer.run(
+            max_sim_time=self.config.max_sim_time,
+            stop_condition=self.rpc.mission_complete,
+        )
+        self.synchronizer.shutdown()
+        return self._collect()
+
+    def _collect(self) -> MissionResult:
+        env = self.env
+        completed = env.mission_complete
+        mission_time = env.mission_time
+        if completed and mission_time and mission_time > 0:
+            avg_velocity = env.world.goal_arclength / mission_time
+        else:
+            traj = env.trajectory
+            avg_velocity = (
+                float(np.mean([p.speed for p in traj])) if traj else 0.0
+            )
+        return MissionResult(
+            config=self.config,
+            completed=completed,
+            mission_time=mission_time,
+            sim_time=env.sim_time,
+            collisions=env.collision_count,
+            progress=env.course_progress,
+            average_velocity=avg_velocity,
+            activity_factor=self.soc.activity_factor,
+            soc_cycles=self.soc.cycle,
+            gemmini_busy_cycles=self.soc.gemmini_busy_cycles,
+            inference_count=self.app_stats.inference_count,
+            mean_inference_latency_ms=self.app_stats.mean_latency_ms(
+                self.soc.config.frequency_hz
+            ),
+            trajectory=list(env.trajectory),
+            app_stats=self.app_stats,
+            mpc_stats=self.mpc_stats,
+            fusion_stats=self.fusion_stats,
+            slam_stats=self.slam_stats,
+            background_stats=self.background_stats,
+            monitor_stats=self.monitor_stats,
+            logger=self.logger,
+        )
+
+
+def run_mission(
+    config: CoSimConfig,
+    perception: Perception | None = None,
+    tracer=None,
+) -> MissionResult:
+    """Build and run one mission (the examples' and benches' entry point)."""
+    return CoSimulation(config, perception=perception, tracer=tracer).run()

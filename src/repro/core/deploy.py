@@ -1,0 +1,124 @@
+"""Deployment configurations (Table 4) and their performance models.
+
+The paper evaluates two deployments — an on-premise desktop/server pair
+and an AWS cloud pair (g4dn.2xlarge for AirSim, f1.2xlarge for FireSim).
+Table 4 is descriptive; what the throughput experiments (Figures 15/16)
+consume is each deployment's :class:`~repro.soc.firesim.HostPerfParams`.
+The synchronizer "executes on the FireSim machine to reduce latency to
+the RoSE BRIDGE", so the per-sync overhead is dominated by the
+environment-RPC round trip plus driver polling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.firesim import HostPerfParams
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine in a deployment (a Table 4 column)."""
+
+    role: str  # "airsim" | "firesim"
+    cpu: str
+    frequency_ghz: float
+    gpu: str | None
+    fpga: str | None
+    os: str
+    instance: str | None = None
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A full deployment: both machines plus the performance model."""
+
+    name: str
+    airsim: MachineSpec
+    firesim: MachineSpec
+    perf: HostPerfParams
+
+    def table_rows(self) -> list[tuple[str, str, str]]:
+        """(field, airsim value, firesim value) rows — Table 4's layout."""
+        def fmt(spec: MachineSpec) -> dict[str, str]:
+            return {
+                "Instance": spec.instance or "-",
+                "CPU": spec.cpu,
+                "Frequency": f"@{spec.frequency_ghz}GHz",
+                "GPU": spec.gpu or "N/A",
+                "FPGA": spec.fpga or "N/A",
+                "OS": spec.os,
+            }
+
+        left, right = fmt(self.airsim), fmt(self.firesim)
+        return [(key, left[key], right[key]) for key in left]
+
+
+ON_PREMISE = Deployment(
+    name="on-premise",
+    airsim=MachineSpec(
+        role="airsim",
+        cpu="Intel Core i7-3930K",
+        frequency_ghz=3.2,
+        gpu="GeForce GTX TITAN X",
+        fpga=None,
+        os="Ubuntu 18.04.6 LTS",
+    ),
+    firesim=MachineSpec(
+        role="firesim",
+        cpu="Intel Xeon Gold 6242",
+        frequency_ghz=2.8,
+        gpu=None,
+        fpga="Xilinx U250",
+        os="Ubuntu 18.04.6 LTS",
+    ),
+    # Per-sync overhead is dominated by the FireSim scheduler polling the
+    # RoSE bridge plus the synchronizer's RPC round trips (Section 5.5
+    # notes the scheduler-polling bottleneck at fine granularity).
+    perf=HostPerfParams(
+        name="on-premise",
+        fpga_sim_rate_mhz=30.0,
+        sync_overhead_s=0.12,
+        env_frame_wall_s=8.0e-3,
+    ),
+)
+
+CLOUD_AWS = Deployment(
+    name="cloud-aws",
+    airsim=MachineSpec(
+        role="airsim",
+        cpu="Intel Xeon Platinum 8259CL",
+        frequency_ghz=2.5,
+        gpu="Tesla T4",
+        fpga=None,
+        os="Ubuntu 18.04.6 LTS",
+        instance="g4dn.2xlarge",
+    ),
+    firesim=MachineSpec(
+        role="firesim",
+        cpu="Intel Xeon E5-2686",
+        frequency_ghz=2.3,
+        gpu=None,
+        fpga="Xilinx VU9P",
+        os="CentOS 7.9.2009",
+        instance="f1.2xlarge",
+    ),
+    # Cross-instance RPC adds latency; VU9P F1 sims run a bit slower.
+    perf=HostPerfParams(
+        name="cloud-aws",
+        fpga_sim_rate_mhz=25.0,
+        sync_overhead_s=0.20,
+        env_frame_wall_s=10.0e-3,
+    ),
+)
+
+DEPLOYMENTS = {d.name: d for d in (ON_PREMISE, CLOUD_AWS)}
+
+
+def deployment(name: str) -> Deployment:
+    try:
+        return DEPLOYMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown deployment {name!r}; available: {sorted(DEPLOYMENTS)}"
+        ) from None

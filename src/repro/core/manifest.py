@@ -1,0 +1,69 @@
+"""Experiment manifests: (de)serialize configurations to JSON.
+
+The artifact drives its experiments from declarative run configurations
+(``deploy/hephaestus/runner.py`` flags); this module provides the same
+capability for this repo: a :class:`CoSimConfig` round-trips through a
+JSON document, so experiment sweeps can be checked into version control
+and replayed bit-identically (configs are deterministic given their
+seed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.core.config import CoSimConfig, SyncConfig
+from repro.errors import ConfigError
+
+MANIFEST_FORMAT = "rose-repro-manifest/1"
+
+
+def config_to_dict(config: CoSimConfig) -> dict:
+    """Plain-dict form of a configuration (JSON-safe)."""
+    data = asdict(config)
+    data["sync"] = {
+        "cycles_per_sync": config.sync.cycles_per_sync,
+        "soc_frequency_hz": config.sync.soc_frequency_hz,
+        "frame_rate_hz": config.sync.frame_rate_hz,
+    }
+    return data
+
+
+def config_from_dict(data: dict) -> CoSimConfig:
+    """Inverse of :func:`config_to_dict` (validates via the dataclasses)."""
+    data = dict(data)
+    sync_data = data.pop("sync", None)
+    sync = SyncConfig(**sync_data) if sync_data else SyncConfig()
+    try:
+        return CoSimConfig(sync=sync, **data)
+    except TypeError as exc:
+        raise ConfigError(f"invalid configuration fields: {exc}") from exc
+
+
+def dump_manifest(configs: dict[str, CoSimConfig]) -> str:
+    """Serialize a named set of experiment configurations."""
+    return json.dumps(
+        {
+            "format": MANIFEST_FORMAT,
+            "experiments": {
+                name: config_to_dict(config) for name, config in configs.items()
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def load_manifest(text: str) -> dict[str, CoSimConfig]:
+    """Parse a manifest back into configurations."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid manifest JSON: {exc}") from exc
+    if data.get("format") != MANIFEST_FORMAT:
+        raise ConfigError(f"unsupported manifest format {data.get('format')!r}")
+    return {
+        name: config_from_dict(fields)
+        for name, fields in data.get("experiments", {}).items()
+    }

@@ -1,0 +1,273 @@
+"""Algorithm 1: the lockstep synchronization loop.
+
+The synchronizer is the process in the middle of Figure 5.  Each
+synchronization step it
+
+1. polls FireSim for packets the SoC emitted during the previous period
+   (and AirSim for pushed data, none in this pull-style deployment),
+2. decodes SoC I/O packets into environment RPC calls (sensor requests,
+   actuation commands) and transmits the serialized responses back toward
+   the bridge,
+3. allocates tokens: grants FireSim its cycle budget and grants the
+   environment its frame budget,
+4. polls both simulators until the step completes, then advances
+   simulation time by one synchronization period.
+
+Consequence of this loop (measured in Section 5.5): data crosses between
+the simulators only at step boundaries, so a sensor request issued
+mid-period is answered no earlier than the next boundary — coarse
+synchronization adds artificial latency to the modeled I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import SyncConfig
+from repro.core.csvlog import SyncLogger, SyncLogRow
+from repro.core.packets import (
+    DataPacket,
+    PacketType,
+    camera_response,
+    depth_response,
+    imu_response,
+    lidar_response,
+    state_response,
+    sync_grant,
+    sync_set_steps,
+    sync_shutdown,
+)
+from repro.core.transport import Transport
+from repro.env.rpc import RpcClient
+from repro.errors import SyncError
+
+
+@dataclass
+class SyncStats:
+    """Counters across one mission."""
+
+    steps: int = 0
+    packets_from_rtl: int = 0
+    packets_to_rtl: int = 0
+    camera_requests: int = 0
+    imu_requests: int = 0
+    depth_requests: int = 0
+    lidar_requests: int = 0
+    state_requests: int = 0
+    target_commands: int = 0
+    last_target: tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+    #: (sim_time of request) per camera request — latency studies read this.
+    camera_request_times: list[float] = field(default_factory=list)
+
+
+class Synchronizer:
+    """Drives one environment simulator and one FireSim host in lockstep.
+
+    ``host_service`` is invoked while waiting for the RTL side so an
+    in-process FireSim host gets to run; with a true remote host (TCP
+    transport to another process/thread) pass ``None`` and the wait polls
+    the transport.
+    """
+
+    def __init__(
+        self,
+        rpc: RpcClient,
+        transport: Transport,
+        sync: SyncConfig,
+        host_service: Callable[[], None] | None = None,
+        logger: SyncLogger | None = None,
+        tracer=None,
+    ):
+        self.rpc = rpc
+        self.transport = transport
+        self.sync = sync
+        self.host_service = host_service
+        self.logger = logger
+        self.tracer = tracer
+        self.stats = SyncStats()
+        self.sim_time = 0.0
+        self._pending_rtl: list[DataPacket] = []
+        self._configured = False
+
+    # ------------------------------------------------------------------
+    def configure(self) -> None:
+        """Program the bridge's per-sync budgets (set_firesim_steps)."""
+        self.transport.send(
+            sync_set_steps(self.sync.cycles_per_sync, self.sync.frames_per_sync)
+        )
+        if self.host_service:
+            self.host_service()
+        self._configured = True
+
+    def shutdown(self) -> None:
+        self.transport.send(sync_shutdown())
+        if self.host_service:
+            self.host_service()
+
+    # ------------------------------------------------------------------
+    def _dispatch_rtl_packet(self, packet: DataPacket) -> None:
+        """Translate one SoC I/O packet into environment API calls."""
+        self.stats.packets_from_rtl += 1
+        ptype = packet.ptype
+        if self.tracer is not None:
+            self.tracer.instant(
+                ptype.name, "packet-from-rtl", self.sim_time, track="io"
+            )
+        if ptype == PacketType.CAMERA_REQ:
+            self.stats.camera_requests += 1
+            self.stats.camera_request_times.append(self.sim_time)
+            image = self.rpc.get_camera_image()
+            self._transmit(
+                camera_response(
+                    height=image["height"],
+                    width=image["width"],
+                    timestamp=image["timestamp"],
+                    heading_error=image["heading_error"],
+                    lateral_offset=image["lateral_offset"],
+                    half_width=image["half_width"],
+                    pixels=image["pixels"],
+                )
+            )
+        elif ptype == PacketType.IMU_REQ:
+            self.stats.imu_requests += 1
+            imu = self.rpc.get_imu()
+            self._transmit(
+                imu_response(
+                    imu["accel_x"], imu["accel_y"], imu["accel_z"], imu["gyro_z"], imu["timestamp"]
+                )
+            )
+        elif ptype == PacketType.DEPTH_REQ:
+            self.stats.depth_requests += 1
+            self._transmit(depth_response(self.rpc.get_depth()))
+        elif ptype == PacketType.LIDAR_REQ:
+            self.stats.lidar_requests += 1
+            scan = self.rpc.get_lidar()
+            self._transmit(
+                lidar_response(scan["fov_rad"], scan["timestamp"], scan["ranges"])
+            )
+        elif ptype == PacketType.STATE_REQ:
+            self.stats.state_requests += 1
+            st = self.rpc.get_state()
+            self._transmit(
+                state_response(
+                    st["x"], st["y"], st["z"], st["yaw"], st["u"], st["v"], st["r"],
+                    self.sim_time,
+                )
+            )
+        elif ptype == PacketType.TARGET_CMD:
+            self.stats.target_commands += 1
+            v_forward, v_lateral, yaw_rate, altitude = packet.values
+            self.stats.last_target = (v_forward, v_lateral, yaw_rate, altitude)
+            self.rpc.send_velocity_target(v_forward, v_lateral, yaw_rate, altitude)
+        else:
+            raise SyncError(f"unexpected packet from RTL: {ptype.name}")
+
+    def _transmit(self, packet: DataPacket) -> None:
+        self.stats.packets_to_rtl += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                packet.ptype.name, "packet-to-rtl", self.sim_time, track="io"
+            )
+        self.transport.send(packet)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One iteration of Algorithm 1's main loop."""
+        if not self._configured:
+            raise SyncError("configure() must run before stepping")
+
+        # % Translate IO packets into AirSim APIs %
+        rtl_data, self._pending_rtl = self._pending_rtl, []
+        for packet in rtl_data:
+            self._dispatch_rtl_packet(packet)
+
+        # % Allocate tokens to start AirSim and FireSim %
+        step_index = self.stats.steps
+        self.transport.send(sync_grant(step_index))
+        self.rpc.continue_for_frames(self.sync.frames_per_sync)
+
+        # % Poll simulators until both finish %
+        self._wait_for_sync_done(step_index)
+
+        if self.tracer is not None:
+            self.tracer.span(
+                f"sync-step {step_index}",
+                "sync",
+                self.sim_time,
+                self.sync.sync_period_seconds,
+                step=step_index,
+            )
+        self.sim_time += self.sync.sync_period_seconds
+        self.stats.steps += 1
+        if self.logger is not None:
+            self._log_row()
+
+    def _wait_for_sync_done(self, step_index: int) -> None:
+        import time
+
+        deadline = time.monotonic() + 30.0
+        while True:
+            if self.host_service:
+                self.host_service()
+            done = False
+            for packet in self.transport.drain():
+                if packet.ptype == PacketType.SYNC_DONE:
+                    got_index = int(packet.values[0])
+                    if got_index != step_index:
+                        raise SyncError(
+                            f"out-of-order SYNC_DONE: expected {step_index}, got {got_index}"
+                        )
+                    done = True
+                elif packet.ptype.is_data:
+                    # Emitted by the SoC during this period; handled at the
+                    # start of the next loop iteration (Algorithm 1).
+                    self._pending_rtl.append(packet)
+                else:
+                    raise SyncError(f"unexpected packet at synchronizer: {packet.ptype.name}")
+            if done:
+                return
+            if self.host_service:
+                continue  # in-process host: no need to sleep
+            if time.monotonic() > deadline:
+                raise SyncError(f"FireSim did not complete step {step_index} within 30s")
+            time.sleep(0.0002)
+
+    def _log_row(self) -> None:
+        st = self.rpc.get_state()
+        course = self.rpc.get_course_state()
+        target = self.stats.last_target
+        self.logger.log(
+            SyncLogRow(
+                step=self.stats.steps,
+                sim_time=self.sim_time,
+                x=st["x"],
+                y=st["y"],
+                z=st["z"],
+                yaw=st["yaw"],
+                speed=st["speed"],
+                course_s=course["s"],
+                course_d=course["d"],
+                collisions=self.rpc.get_collision_count(),
+                camera_requests=self.stats.camera_requests,
+                imu_requests=self.stats.imu_requests,
+                depth_requests=self.stats.depth_requests,
+                target_v_forward=target[0],
+                target_v_lateral=target[1],
+                target_yaw_rate=target[2],
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_sim_time: float,
+        stop_condition: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run the lockstep loop until ``max_sim_time`` or the condition."""
+        if max_sim_time <= 0:
+            raise SyncError("max_sim_time must be positive")
+        while self.sim_time < max_sim_time:
+            self.step()
+            if stop_condition is not None and stop_condition():
+                return

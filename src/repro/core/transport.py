@@ -1,0 +1,182 @@
+"""Byte transports for the synchronizer <-> bridge-driver link.
+
+The paper deploys the synchronizer and the FireSim bridge driver as
+separate processes connected by TCP ("communicating ... with FireSim by
+using a TCP listener", Section 3.4.1).  Two interchangeable transports
+implement that link here:
+
+* :class:`InProcessTransport` — a deque pair, used when the whole
+  co-simulation runs in one process (the default for experiments; zero
+  copy, deterministic).
+* :class:`TcpTransport` — real localhost TCP sockets with the same framed
+  packet protocol, proving the orchestration works across a process
+  boundary exactly as deployed.
+
+Both ends speak :mod:`repro.core.packets` wire bytes; ``recv`` is a
+non-blocking poll returning ``None`` when no complete packet is available,
+which is the semantics the lockstep loop needs.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+
+from repro.core.packets import (
+    HEADER_SIZE,
+    DataPacket,
+    decode_header,
+    decode_packet,
+    encode_packet,
+)
+from repro.errors import TransportError
+
+
+class Transport:
+    """One endpoint of a bidirectional packet link."""
+
+    def send(self, packet: DataPacket) -> None:
+        raise NotImplementedError
+
+    def recv(self) -> DataPacket | None:
+        """Return the next complete packet, or ``None`` if none is pending."""
+        raise NotImplementedError
+
+    def recv_blocking(self, timeout: float = 5.0) -> DataPacket:
+        """Wait for the next packet; raises on timeout."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            packet = self.recv()
+            if packet is not None:
+                return packet
+            if time.monotonic() > deadline:
+                raise TransportError(f"no packet within {timeout}s")
+            time.sleep(0.0005)
+
+    def drain(self) -> list[DataPacket]:
+        """All packets currently pending."""
+        packets = []
+        while True:
+            packet = self.recv()
+            if packet is None:
+                return packets
+            packets.append(packet)
+
+    def close(self) -> None:
+        pass
+
+
+class InProcessTransport(Transport):
+    """One end of a deque-backed in-process link (see :func:`transport_pair`)."""
+
+    def __init__(self, outbox: deque, inbox: deque):
+        self._outbox = outbox
+        self._inbox = inbox
+        self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.packets_sent = 0
+
+    def send(self, packet: DataPacket) -> None:
+        if self._closed:
+            raise TransportError("send on closed transport")
+        wire = encode_packet(packet)
+        self.bytes_sent += len(wire)
+        self.packets_sent += 1
+        self._outbox.append(wire)
+
+    def recv(self) -> DataPacket | None:
+        if not self._inbox:
+            return None
+        wire = self._inbox.popleft()
+        self.bytes_received += len(wire)
+        return decode_packet(wire)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class TcpTransport(Transport):
+    """Framed packet transport over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._sock.setblocking(False)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buffer = bytearray()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.packets_sent = 0
+
+    def send(self, packet: DataPacket) -> None:
+        wire = encode_packet(packet)
+        self.bytes_sent += len(wire)
+        self.packets_sent += 1
+        view = memoryview(wire)
+        while view:
+            try:
+                sent = self._sock.send(view)
+            except BlockingIOError:
+                continue
+            except OSError as exc:
+                raise TransportError(f"TCP send failed: {exc}") from exc
+            view = view[sent:]
+
+    def _fill(self) -> None:
+        while True:
+            try:
+                chunk = self._sock.recv(65536)
+            except BlockingIOError:
+                return
+            except OSError as exc:
+                raise TransportError(f"TCP recv failed: {exc}") from exc
+            if not chunk:
+                return
+            self._buffer.extend(chunk)
+            self.bytes_received += len(chunk)
+
+    def recv(self) -> DataPacket | None:
+        self._fill()
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        _, length = decode_header(bytes(self._buffer[:HEADER_SIZE]))
+        total = HEADER_SIZE + length
+        if len(self._buffer) < total:
+            return None
+        wire = bytes(self._buffer[:total])
+        del self._buffer[:total]
+        return decode_packet(wire)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def transport_pair(kind: str = "inprocess") -> tuple[Transport, Transport]:
+    """Create both ends of a connected link.
+
+    ``kind`` is ``"inprocess"`` or ``"tcp"`` (localhost loopback).
+    """
+    if kind == "inprocess":
+        a_to_b: deque = deque()
+        b_to_a: deque = deque()
+        return (
+            InProcessTransport(outbox=a_to_b, inbox=b_to_a),
+            InProcessTransport(outbox=b_to_a, inbox=a_to_b),
+        )
+    if kind == "tcp":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            client = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+            server, _addr = listener.accept()
+        finally:
+            listener.close()
+        return TcpTransport(client), TcpTransport(server)
+    raise TransportError(f"unknown transport kind {kind!r}")

@@ -1,0 +1,57 @@
+"""DNN stack: the PyTorch / ONNX / ONNX-Runtime substitute.
+
+Three layers of functionality:
+
+* **Runnable networks** (:mod:`repro.dnn.layers`): a small numpy NN library
+  with explicit forward/backward, used to actually train and run the tiny
+  trail-classifier CNN on rendered camera images.
+* **Operator graphs** (:mod:`repro.dnn.graph`, :mod:`repro.dnn.resnet`):
+  ONNX-like static graphs of the paper's ResNet-6/11/14/18/34 dual-head
+  controllers with exact MAC / parameter / activation counts — the input to
+  the SoC cycle models.
+* **Runtime** (:mod:`repro.dnn.runtime`): the ONNX-Runtime analog that
+  schedules a graph's operators onto CPU / Gemmini backends and reports
+  cycle counts and accelerator activity.
+
+:mod:`repro.dnn.calibrated` provides the calibrated behavioural classifier
+used by the closed-loop experiments (see DESIGN.md for the substitution
+rationale).
+"""
+
+from repro.dnn.graph import Graph, Node, OpType
+from repro.dnn.resnet import RESNET_NAMES, build_resnet_graph, resnet_spec
+from repro.dnn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    CrossEntropyLoss,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Relu,
+    Sequential,
+)
+from repro.dnn.calibrated import CalibratedTrailClassifier, ClassifierProfile
+from repro.dnn.dataset import TrailDataset, generate_trail_dataset
+
+__all__ = [
+    "Graph",
+    "Node",
+    "OpType",
+    "RESNET_NAMES",
+    "build_resnet_graph",
+    "resnet_spec",
+    "Conv2d",
+    "BatchNorm2d",
+    "Relu",
+    "Linear",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+    "CrossEntropyLoss",
+    "CalibratedTrailClassifier",
+    "ClassifierProfile",
+    "TrailDataset",
+    "generate_trail_dataset",
+]

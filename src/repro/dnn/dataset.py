@@ -1,0 +1,182 @@
+"""Procedural trail-image dataset generation (Section 4.2.2).
+
+The paper trains its classifier heads on images "sampled ... with
+randomized positions, angles, and textures" from the AirSim tunnel
+environment: 2000 images per class for each of the three angular classes
+and three lateral classes (12,000 total), evaluated on a separate set of
+1,200 validation images.
+
+We reproduce the pipeline against the software-rendered FPV camera: sample
+poses whose heading error / lateral offset fall in the class bins below,
+render the corridor view, and label with both heads' classes.  "Texture"
+randomization maps to per-image render-noise reseeding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.camera import CameraParams, FpvCamera
+from repro.env.geometry import Pose2
+from repro.env.worlds import World, tunnel_world
+
+#: Class index convention shared with the calibrated classifier:
+#: 0 = left, 1 = center, 2 = right.
+LEFT, CENTER, RIGHT = 0, 1, 2
+CLASS_NAMES = ("left", "center", "right")
+
+#: Angular class boundaries (radians of heading error).  The drone is
+#: "angled left" when its heading error exceeds +ANGULAR_BOUNDARY (CCW
+#: positive), "angled right" below -ANGULAR_BOUNDARY.
+ANGULAR_BOUNDARY = math.radians(7.5)
+
+#: Lateral class boundaries as a fraction of the corridor half-width.
+LATERAL_BOUNDARY_FRACTION = 0.20
+
+
+def angular_class(heading_error: float) -> int:
+    """Class of the UAV's angle relative to the trail."""
+    if heading_error > ANGULAR_BOUNDARY:
+        return LEFT
+    if heading_error < -ANGULAR_BOUNDARY:
+        return RIGHT
+    return CENTER
+
+
+def lateral_class(offset: float, half_width: float) -> int:
+    """Class of the UAV's lateral offset relative to the trail.
+
+    ``offset`` is positive to the left of the centerline (the world's
+    course-coordinate convention).
+    """
+    boundary = LATERAL_BOUNDARY_FRACTION * half_width
+    if offset > boundary:
+        return LEFT
+    if offset < -boundary:
+        return RIGHT
+    return CENTER
+
+
+@dataclass
+class TrailDataset:
+    """Images plus per-head labels and the underlying continuous pose."""
+
+    images: np.ndarray  # (N, 1, H, W) float32 in [0, 1]
+    angular_labels: np.ndarray  # (N,) int
+    lateral_labels: np.ndarray  # (N,) int
+    heading_errors: np.ndarray  # (N,) float radians
+    lateral_offsets: np.ndarray  # (N,) float meters
+    half_width: float
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def split(self, fraction: float, seed: int = 0) -> tuple["TrailDataset", "TrailDataset"]:
+        """Random split into (first, second) with ``fraction`` in the first."""
+        if not (0.0 < fraction < 1.0):
+            raise ValueError("fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        first, second = order[:cut], order[cut:]
+
+        def take(idx: np.ndarray) -> "TrailDataset":
+            return TrailDataset(
+                images=self.images[idx],
+                angular_labels=self.angular_labels[idx],
+                lateral_labels=self.lateral_labels[idx],
+                heading_errors=self.heading_errors[idx],
+                lateral_offsets=self.lateral_offsets[idx],
+                half_width=self.half_width,
+            )
+
+        return take(first), take(second)
+
+
+def _sample_in_class(rng: np.random.Generator, cls: int, boundary: float, limit: float) -> float:
+    """Sample a continuous value inside a class bin.
+
+    Left bin: (boundary, limit]; center: [-boundary, boundary]; right:
+    [-limit, -boundary).  Values keep a small margin off the boundary so
+    labels are unambiguous.
+    """
+    margin = 0.15 * boundary
+    if cls == LEFT:
+        return float(rng.uniform(boundary + margin, limit))
+    if cls == RIGHT:
+        return float(rng.uniform(-limit, -boundary - margin))
+    return float(rng.uniform(-boundary + margin, boundary - margin))
+
+
+def generate_trail_dataset(
+    samples_per_class: int = 50,
+    world: World | None = None,
+    camera: CameraParams | None = None,
+    seed: int = 0,
+    balance: str = "angular",
+) -> TrailDataset:
+    """Render a class-balanced dataset.
+
+    ``balance`` selects which head's classes are balanced (the paper builds
+    one dataset per head); the other head's value is drawn from its full
+    range, so both labels remain informative.
+    """
+    if balance not in ("angular", "lateral"):
+        raise ValueError("balance must be 'angular' or 'lateral'")
+    world = world or tunnel_world()
+    cam_params = camera or CameraParams()
+    rng = np.random.default_rng(seed)
+    cam = FpvCamera(cam_params, seed=seed + 1)
+
+    half_width = world.half_width
+    angle_limit = math.radians(30.0)
+    offset_limit = 0.8 * half_width
+    lateral_boundary = LATERAL_BOUNDARY_FRACTION * half_width
+
+    n = samples_per_class * 3
+    images = np.empty((n, 1, cam_params.height, cam_params.width), dtype=np.float32)
+    ang = np.empty(n, dtype=np.int64)
+    lat = np.empty(n, dtype=np.int64)
+    errs = np.empty(n, dtype=np.float64)
+    offs = np.empty(n, dtype=np.float64)
+
+    i = 0
+    for cls in (LEFT, CENTER, RIGHT):
+        for _ in range(samples_per_class):
+            if balance == "angular":
+                heading_error = _sample_in_class(rng, cls, ANGULAR_BOUNDARY, angle_limit)
+                offset = float(rng.uniform(-offset_limit, offset_limit))
+            else:
+                offset = _sample_in_class(rng, cls, lateral_boundary, offset_limit)
+                heading_error = float(rng.uniform(-angle_limit, angle_limit))
+
+            # Random position along the course, away from the end caps.
+            s = float(rng.uniform(2.0, world.goal_arclength - 10.0))
+            center = world.centerline.point_at_arclength(s)
+            tangent = world.centerline.tangent_at_arclength(s)
+            normal = world.centerline.normal_at_arclength(s)
+            pos = center + offset * normal
+            course_yaw = math.atan2(tangent[1], tangent[0])
+            pose = Pose2(float(pos[0]), float(pos[1]), course_yaw + heading_error)
+
+            # "Randomized textures": reseed the render noise per image.
+            cam.reset(seed=int(rng.integers(0, 2**31 - 1)))
+            images[i, 0] = cam.render(world, pose)
+            ang[i] = angular_class(heading_error)
+            lat[i] = lateral_class(offset, half_width)
+            errs[i] = heading_error
+            offs[i] = offset
+            i += 1
+
+    order = rng.permutation(n)
+    return TrailDataset(
+        images=images[order],
+        angular_labels=ang[order],
+        lateral_labels=lat[order],
+        heading_errors=errs[order],
+        lateral_offsets=offs[order],
+        half_width=half_width,
+    )

@@ -1,0 +1,158 @@
+"""Sensor-fusion controller networks (a Section 6 extension).
+
+"[S]tate-of-the-art DNN workloads in robotics also have more irregular
+execution patterns.  For instance, controller networks that perform sensor
+fusion have separate backbones for each class of sensor.  In this case,
+branches of the network can be executed at different rates depending on
+sensor data, providing opportunities for both software and hardware
+schedulers to improve performance." (Section 6)
+
+This module builds such a network as three operator graphs:
+
+* a **camera backbone** — a truncated ResNet trunk producing a visual
+  feature vector (heavy; executed at the camera frame rate);
+* an **IMU backbone** — a small MLP over a window of inertial samples
+  (light; executed at the IMU sample rate);
+* a **fusion head** — fully-connected layers over the concatenated
+  features, emitting the usual dual 3-way heads (runs with the IMU
+  branch, consuming the *cached* camera features in between frames).
+
+:class:`FusionSessions` binds the three graphs to one SoC's backends so
+an application can execute each branch independently, at its own rate —
+the irregular schedule the paper points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import Graph, GraphBuilder, Shape
+from repro.dnn.resnet import resnet_spec
+from repro.dnn.runtime import InferenceReport, InferenceSession
+from repro.errors import GraphError
+from repro.soc.cpu import CpuModel
+from repro.soc.gemmini import GemminiModel
+
+#: Width of each backbone's feature vector.
+CAMERA_FEATURE_DIM = 128
+IMU_FEATURE_DIM = 32
+
+#: IMU window: 32 samples x 4 channels (3-axis accel + yaw gyro).
+IMU_WINDOW = 32
+IMU_CHANNELS = 4
+
+
+def build_camera_backbone(
+    variant: str = "resnet6", input_shape: Shape = (3, 128, 128)
+) -> Graph:
+    """Visual trunk: the named variant's stages, pooled to a feature
+    vector and projected to :data:`CAMERA_FEATURE_DIM`."""
+    spec = resnet_spec(variant)
+    b = GraphBuilder(f"fusion-camera-{variant}", input_shape)
+    b.conv(spec.stage_channels[0], 7, stride=2, padding=3, name="stem")
+    b.batchnorm()
+    b.relu()
+    b.maxpool(2, 2)
+    for stage, (blocks, channels) in enumerate(
+        zip(spec.stage_blocks, spec.stage_channels)
+    ):
+        for block in range(blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            entry = b.cursor
+            in_channels = b.graph.node(entry).output_shape[0]
+            b.conv(channels, 3, stride=stride, padding=1)
+            b.batchnorm()
+            b.relu()
+            b.conv(channels, 3, stride=1, padding=1)
+            body = b.batchnorm()
+            if stride != 1 or in_channels != channels:
+                b.conv(channels, 1, stride=stride, src=entry)
+                skip = b.batchnorm()
+            else:
+                skip = entry
+            b.add(body, skip)
+            b.relu()
+    b.globalavgpool()
+    b.linear(CAMERA_FEATURE_DIM, name="camera_features")
+    b.relu()
+    b.output()
+    return b.build()
+
+
+def build_imu_backbone(hidden: int = 64) -> Graph:
+    """Inertial trunk: MLP over a flattened IMU window."""
+    if hidden < 1:
+        raise GraphError("hidden width must be positive")
+    b = GraphBuilder("fusion-imu", (IMU_WINDOW * IMU_CHANNELS,))
+    b.linear(hidden)
+    b.relu()
+    b.linear(hidden)
+    b.relu()
+    b.linear(IMU_FEATURE_DIM, name="imu_features")
+    b.relu()
+    b.output()
+    return b.build()
+
+
+def build_fusion_head(hidden: int = 64, classes: int = 3) -> Graph:
+    """Head over the concatenated camera + IMU features."""
+    b = GraphBuilder("fusion-head", (CAMERA_FEATURE_DIM + IMU_FEATURE_DIM,))
+    b.linear(hidden)
+    b.relu()
+    trunk = b.cursor
+    for head in ("angular", "lateral"):
+        b.linear(classes, src=trunk, name=f"{head}_logits")
+        b.softmax(name=f"{head}_probs")
+        b.output()
+    return b.build()
+
+
+@dataclass(frozen=True)
+class FusionCosts:
+    """Per-branch cycle costs on one SoC."""
+
+    camera_report: InferenceReport
+    imu_report: InferenceReport
+    head_report: InferenceReport
+
+    @property
+    def camera_path_cycles(self) -> int:
+        """Full visual update: camera branch + head."""
+        return self.camera_report.total_cycles + self.head_report.total_cycles
+
+    @property
+    def imu_path_cycles(self) -> int:
+        """Fast inertial update: IMU branch + head (camera cached)."""
+        return self.imu_report.total_cycles + self.head_report.total_cycles
+
+
+class FusionSessions:
+    """The three branches bound to one SoC's compute resources.
+
+    The session-fixed cost (image unpack / normalization) belongs to the
+    camera branch only; the IMU branch and head are small enough that the
+    per-node dispatch dominates their CPU-side cost, which the reports
+    capture naturally.
+    """
+
+    def __init__(
+        self,
+        cpu: CpuModel,
+        gemmini: GemminiModel | None,
+        camera_variant: str = "resnet6",
+    ):
+        self.camera = InferenceSession(build_camera_backbone(camera_variant), cpu, gemmini)
+        self.imu = InferenceSession(
+            build_imu_backbone(), cpu, gemmini, include_session_fixed=False
+        )
+        self.head = InferenceSession(
+            build_fusion_head(), cpu, gemmini, include_session_fixed=False
+        )
+
+    @property
+    def costs(self) -> FusionCosts:
+        return FusionCosts(
+            camera_report=self.camera.report,
+            imu_report=self.imu.report,
+            head_report=self.head.report,
+        )

@@ -1,0 +1,367 @@
+"""ONNX-like static operator graphs ("onnx-lite").
+
+The paper's build flow "exports trained models in ONNX format" which are
+then "executed using ONNX-Runtime either directly on CPUs or systolic-array
+based matrix accelerators like Gemmini" (Section 3.3).  This module is the
+model-interchange layer of that flow: a static operator graph with exact
+per-node shape, MAC, parameter and activation accounting.  The SoC cycle
+models consume these numbers; the runtime schedules the nodes.
+
+Graphs serialize to/from JSON so trained models can be stored alongside
+experiment configurations, like the artifact's ``trail_dnn_resnet*.onnx``
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import GraphError
+
+Shape = tuple[int, ...]
+
+FP32_BYTES = 4
+
+
+class OpType(str, Enum):
+    """Operator vocabulary: the ops a TrailNet-style ResNet needs."""
+
+    INPUT = "input"
+    CONV = "conv"
+    BATCHNORM = "batchnorm"
+    RELU = "relu"
+    MAXPOOL = "maxpool"
+    GLOBALAVGPOOL = "globalavgpool"
+    FLATTEN = "flatten"
+    LINEAR = "linear"
+    ADD = "add"
+    SOFTMAX = "softmax"
+
+
+#: Ops the Gemmini systolic array can execute (matmul-shaped); everything
+#: else runs on the host CPU, matching the paper's ONNX-Runtime + Gemmini
+#: execution split.
+MATMUL_OPS = frozenset({OpType.CONV, OpType.LINEAR})
+
+
+@dataclass
+class Node:
+    """One operator instance.
+
+    ``macs`` counts multiply-accumulates; ``output_elems`` the number of
+    output activations (element-wise op cost); ``weight_bytes`` the FP32
+    parameter footprint streamed from DRAM.
+    """
+
+    name: str
+    op: OpType
+    inputs: list[str]
+    output_shape: Shape
+    macs: int = 0
+    param_count: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def output_elems(self) -> int:
+        n = 1
+        for d in self.output_shape:
+            n *= d
+        return n
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.param_count * FP32_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.output_elems * FP32_BYTES
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "op": self.op.value,
+            "inputs": list(self.inputs),
+            "output_shape": list(self.output_shape),
+            "macs": self.macs,
+            "param_count": self.param_count,
+            "attrs": dict(self.attrs),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "Node":
+        return Node(
+            name=d["name"],
+            op=OpType(d["op"]),
+            inputs=list(d["inputs"]),
+            output_shape=tuple(d["output_shape"]),
+            macs=int(d["macs"]),
+            param_count=int(d["param_count"]),
+            attrs=dict(d.get("attrs", {})),
+        )
+
+
+class Graph:
+    """An append-ordered DAG of :class:`Node`.
+
+    Nodes must be appended after all of their inputs, so append order is a
+    valid topological order; :meth:`validate` enforces it.
+    """
+
+    def __init__(self, name: str, input_shape: Shape):
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.nodes: dict[str, Node] = {}
+        self.outputs: list[str] = []
+        self.add(Node(name="input", op=OpType.INPUT, inputs=[], output_shape=self.input_shape))
+
+    def add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise GraphError(f"duplicate node name {node.name!r} in graph {self.name!r}")
+        for src in node.inputs:
+            if src not in self.nodes:
+                raise GraphError(
+                    f"node {node.name!r} references unknown input {src!r} "
+                    "(nodes must be appended after their inputs)"
+                )
+        self.nodes[node.name] = node
+        return node
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes.values())
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise GraphError(f"no node named {name!r} in graph {self.name!r}") from None
+
+    def mark_output(self, name: str) -> None:
+        self.node(name)
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    def validate(self) -> None:
+        """Check the append order is topological and outputs exist."""
+        seen: set[str] = set()
+        for node in self:
+            for src in node.inputs:
+                if src not in seen:
+                    raise GraphError(
+                        f"graph {self.name!r} is not topologically ordered: "
+                        f"{node.name!r} consumes {src!r} before it is defined"
+                    )
+            seen.add(node.name)
+        if not self.outputs:
+            raise GraphError(f"graph {self.name!r} has no outputs marked")
+        for out in self.outputs:
+            self.node(out)
+
+    # ------------------------------------------------------------------
+    # Aggregate accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_macs(self) -> int:
+        return sum(n.macs for n in self)
+
+    @property
+    def total_params(self) -> int:
+        return sum(n.param_count for n in self)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        return self.total_params * FP32_BYTES
+
+    @property
+    def total_activation_elems(self) -> int:
+        """Total activations produced by non-matmul (CPU-executed) ops."""
+        return sum(n.output_elems for n in self if n.op not in MATMUL_OPS and n.op != OpType.INPUT)
+
+    def count_ops(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self:
+            counts[node.op.value] = counts.get(node.op.value, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Serialization ("onnx-lite")
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "onnx-lite/1",
+                "name": self.name,
+                "input_shape": list(self.input_shape),
+                "outputs": list(self.outputs),
+                "nodes": [n.to_dict() for n in self if n.op != OpType.INPUT],
+            }
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "Graph":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"invalid onnx-lite JSON: {exc}") from exc
+        if data.get("format") != "onnx-lite/1":
+            raise GraphError(f"unsupported graph format {data.get('format')!r}")
+        graph = Graph(data["name"], tuple(data["input_shape"]))
+        for node_dict in data["nodes"]:
+            graph.add(Node.from_dict(node_dict))
+        for out in data["outputs"]:
+            graph.mark_output(out)
+        graph.validate()
+        return graph
+
+
+class GraphBuilder:
+    """Sequential graph construction with shape propagation.
+
+    Tracks a "cursor" (the most recent node) so networks read as a linear
+    layer list, with :meth:`checkpoint` / explicit input names for skip
+    connections.
+    """
+
+    def __init__(self, name: str, input_shape: Shape):
+        self.graph = Graph(name, input_shape)
+        self.cursor = "input"
+        self._counter: dict[str, int] = {}
+
+    def _fresh(self, prefix: str) -> str:
+        i = self._counter.get(prefix, 0)
+        self._counter[prefix] = i + 1
+        return f"{prefix}_{i}"
+
+    @property
+    def shape(self) -> Shape:
+        return self.graph.node(self.cursor).output_shape
+
+    def _append(self, node: Node) -> str:
+        self.graph.add(node)
+        self.cursor = node.name
+        return node.name
+
+    # -- ops -------------------------------------------------------------
+    def conv(
+        self,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        src: str | None = None,
+        name: str | None = None,
+    ) -> str:
+        src = src or self.cursor
+        c, h, w = self.graph.node(src).output_shape
+        oh = (h + 2 * padding - kernel_size) // stride + 1
+        ow = (w + 2 * padding - kernel_size) // stride + 1
+        if oh <= 0 or ow <= 0:
+            raise GraphError(
+                f"conv reduces {h}x{w} below 1x1 (k={kernel_size}, s={stride}, p={padding})"
+            )
+        macs = out_channels * c * kernel_size * kernel_size * oh * ow
+        params = out_channels * c * kernel_size * kernel_size
+        return self._append(
+            Node(
+                name=name or self._fresh("conv"),
+                op=OpType.CONV,
+                inputs=[src],
+                output_shape=(out_channels, oh, ow),
+                macs=macs,
+                param_count=params,
+                attrs={"kernel": kernel_size, "stride": stride, "padding": padding},
+            )
+        )
+
+    def batchnorm(self, src: str | None = None, name: str | None = None) -> str:
+        src = src or self.cursor
+        shape = self.graph.node(src).output_shape
+        return self._append(
+            Node(
+                name=name or self._fresh("bn"),
+                op=OpType.BATCHNORM,
+                inputs=[src],
+                output_shape=shape,
+                param_count=2 * shape[0],
+            )
+        )
+
+    def relu(self, src: str | None = None, name: str | None = None) -> str:
+        src = src or self.cursor
+        shape = self.graph.node(src).output_shape
+        return self._append(
+            Node(name=name or self._fresh("relu"), op=OpType.RELU, inputs=[src], output_shape=shape)
+        )
+
+    def maxpool(self, kernel_size: int, stride: int, src: str | None = None, name: str | None = None) -> str:
+        src = src or self.cursor
+        c, h, w = self.graph.node(src).output_shape
+        oh = (h - kernel_size) // stride + 1
+        ow = (w - kernel_size) // stride + 1
+        if oh <= 0 or ow <= 0:
+            raise GraphError(f"maxpool reduces {h}x{w} below 1x1")
+        return self._append(
+            Node(
+                name=name or self._fresh("maxpool"),
+                op=OpType.MAXPOOL,
+                inputs=[src],
+                output_shape=(c, oh, ow),
+                attrs={"kernel": kernel_size, "stride": stride},
+            )
+        )
+
+    def add(self, a: str, b: str, name: str | None = None) -> str:
+        sa = self.graph.node(a).output_shape
+        sb = self.graph.node(b).output_shape
+        if sa != sb:
+            raise GraphError(f"add shape mismatch: {a}:{sa} vs {b}:{sb}")
+        return self._append(
+            Node(name=name or self._fresh("add"), op=OpType.ADD, inputs=[a, b], output_shape=sa)
+        )
+
+    def globalavgpool(self, src: str | None = None, name: str | None = None) -> str:
+        src = src or self.cursor
+        c, _, _ = self.graph.node(src).output_shape
+        return self._append(
+            Node(
+                name=name or self._fresh("gap"),
+                op=OpType.GLOBALAVGPOOL,
+                inputs=[src],
+                output_shape=(c,),
+            )
+        )
+
+    def linear(self, out_features: int, src: str | None = None, name: str | None = None) -> str:
+        src = src or self.cursor
+        shape = self.graph.node(src).output_shape
+        if len(shape) != 1:
+            raise GraphError(f"linear requires a flat input, got {shape}")
+        in_features = shape[0]
+        return self._append(
+            Node(
+                name=name or self._fresh("fc"),
+                op=OpType.LINEAR,
+                inputs=[src],
+                output_shape=(out_features,),
+                macs=in_features * out_features,
+                param_count=in_features * out_features + out_features,
+            )
+        )
+
+    def softmax(self, src: str | None = None, name: str | None = None) -> str:
+        src = src or self.cursor
+        shape = self.graph.node(src).output_shape
+        return self._append(
+            Node(name=name or self._fresh("softmax"), op=OpType.SOFTMAX, inputs=[src], output_shape=shape)
+        )
+
+    def output(self, src: str | None = None) -> None:
+        self.graph.mark_output(src or self.cursor)
+
+    def build(self) -> Graph:
+        self.graph.validate()
+        return self.graph

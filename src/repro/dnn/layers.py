@@ -1,0 +1,467 @@
+"""A small numpy neural-network library with explicit backward passes.
+
+This is the trainable counterpart of the paper's PyTorch flow: enough of a
+layer zoo (conv / batchnorm / relu / pooling / linear / residual) to build
+and train the TrailNet-style dual-head classifiers on rendered camera
+images.  Layers follow a uniform protocol:
+
+* ``forward(x)`` caches whatever the backward pass needs;
+* ``backward(grad)`` returns the gradient w.r.t. the input and accumulates
+  parameter gradients;
+* ``parameters()`` yields :class:`Parameter` objects (value + grad).
+
+Convolutions are implemented with im2col so the heavy lifting stays inside
+numpy matmuls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Parameter:
+    """A trainable array and its gradient accumulator."""
+
+    value: np.ndarray
+    grad: np.ndarray = field(init=False)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.value = np.asarray(self.value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Layer:
+    """Base layer protocol."""
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+def _he_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    return (rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# im2col helpers
+# ---------------------------------------------------------------------------
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into (N * OH * OW, C * KH * KW) patches."""
+    n, c, h, w = x.shape
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    # Strided sliding-window view: (N, C, OH, OW, KH, KW)
+    s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Fold patch gradients back to the input layout (inverse of im2col)."""
+    n, c, h, w = x_shape
+    x_pad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        for j in range(kw):
+            x_pad[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[
+                :, :, i, j
+            ]
+    if pad > 0:
+        return x_pad[:, :, pad : pad + h, pad : pad + w]
+    return x_pad
+
+
+# ---------------------------------------------------------------------------
+# Layers
+# ---------------------------------------------------------------------------
+class Conv2d(Layer):
+    """2D convolution (NCHW), square kernel, same dilation=1 semantics."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str = "conv",
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            _he_init(rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in),
+            name=f"{name}.weight",
+        )
+        self.bias = (
+            Parameter(np.zeros(out_channels, dtype=np.float32), name=f"{name}.bias")
+            if bias
+            else None
+        )
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols, oh, ow = im2col(x, k, k, s, p)
+        w2d = self.weight.value.reshape(self.out_channels, -1)
+        out = cols @ w2d.T
+        if self.bias is not None:
+            out += self.bias.value
+        n = x.shape[0]
+        self._cache = (x.shape, cols, oh, ow)
+        return out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, cols, oh, ow = self._cache
+        n = grad.shape[0]
+        g2d = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, self.out_channels)
+        w2d = self.weight.value.reshape(self.out_channels, -1)
+        self.weight.grad += (g2d.T @ cols).reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += g2d.sum(axis=0)
+        dcols = g2d @ w2d
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return col2im(dcols, x_shape, k, k, s, p, oh, ow)
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+class BatchNorm2d(Layer):
+    """Batch normalization over (N, H, W) per channel, with running stats."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5, name: str = "bn"):
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels, dtype=np.float32), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(channels, dtype=np.float32), name=f"{name}.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std)
+        return self.gamma.value[None, :, None, None] * x_hat + self.beta.value[
+            None, :, None, None
+        ]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        m = grad.shape[0] * grad.shape[2] * grad.shape[3]
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad.sum(axis=(0, 2, 3))
+        g = grad * self.gamma.value[None, :, None, None]
+        if not self.training:
+            return g * inv_std[None, :, None, None]
+        gsum = g.sum(axis=(0, 2, 3))[None, :, None, None]
+        gxsum = (g * x_hat).sum(axis=(0, 2, 3))[None, :, None, None]
+        return inv_std[None, :, None, None] * (g - gsum / m - x_hat * gxsum / m)
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class Relu(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(x.dtype)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._mask
+
+
+class MaxPool2d(Layer):
+    """Max pooling with square window; window must tile the input."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k, s = self.kernel_size, self.stride
+        cols, oh, ow = im2col(x, k, k, s, 0)
+        n, c = x.shape[0], x.shape[1]
+        cols = cols.reshape(n * oh * ow, c, k * k)
+        idx = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, idx[:, :, None], axis=2)[:, :, 0]
+        self._cache = (x.shape, idx, oh, ow)
+        return out.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, idx, oh, ow = self._cache
+        k, s = self.kernel_size, self.stride
+        n, c = x_shape[0], x_shape[1]
+        g = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, c)
+        dcols = np.zeros((n * oh * ow, c, k * k), dtype=grad.dtype)
+        np.put_along_axis(dcols, idx[:, :, None], g[:, :, None], axis=2)
+        # Fold (rows, C, K*K) -> (rows, C*K*K) in im2col's layout.
+        dcols = dcols.reshape(n * oh * ow, c * k * k)
+        return col2im(dcols, x_shape, k, k, s, 0, oh, ow)
+
+
+class GlobalAvgPool2d(Layer):
+    """Average over the spatial dimensions, producing (N, C)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._shape
+        return np.broadcast_to(grad[:, :, None, None], self._shape) / (h * w)
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._shape)
+
+
+class Linear(Layer):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        name: str = "fc",
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            _he_init(rng, (out_features, in_features), in_features), name=f"{name}.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32), name=f"{name}.bias")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += grad.T @ self._x
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Sequential(Layer):
+    def __init__(self, *layers: Layer):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def train(self) -> None:
+        self.training = True
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for layer in self.layers:
+            layer.eval()
+
+
+class ResidualBlock(Layer):
+    """A basic (two-conv) residual block with optional downsampling."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+        name: str = "block",
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.body = Sequential(
+            Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng, name=f"{name}.conv1"),
+            BatchNorm2d(out_channels, name=f"{name}.bn1"),
+            Relu(),
+            Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng, name=f"{name}.conv2"),
+            BatchNorm2d(out_channels, name=f"{name}.bn2"),
+        )
+        self.downsample: Sequential | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng, name=f"{name}.ds"),
+                BatchNorm2d(out_channels, name=f"{name}.dsbn"),
+            )
+        self.relu = Relu()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = self.downsample.forward(x) if self.downsample else x
+        return self.relu.forward(self.body.forward(x) + identity)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu.backward(grad)
+        dx_body = self.body.backward(grad)
+        dx_skip = self.downsample.backward(grad) if self.downsample else grad
+        return dx_body + dx_skip
+
+    def parameters(self) -> list[Parameter]:
+        params = self.body.parameters()
+        if self.downsample:
+            params += self.downsample.parameters()
+        return params
+
+    def train(self) -> None:
+        self.training = True
+        self.body.train()
+        if self.downsample:
+            self.downsample.train()
+
+    def eval(self) -> None:
+        self.training = False
+        self.body.eval()
+        if self.downsample:
+            self.downsample.eval()
+
+
+class DualHead(Layer):
+    """Two parallel linear heads over a shared feature vector.
+
+    Mirrors Figure 8: one head classifies the angular view, the other the
+    lateral view (each 3 classes: left / center / right).
+    """
+
+    def __init__(self, in_features: int, classes: int = 3, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        self.angular = Linear(in_features, classes, rng=rng, name="head.angular")
+        self.lateral = Linear(in_features, classes, rng=rng, name="head.lateral")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Outputs are concatenated: columns [0:3] angular, [3:6] lateral.
+        return np.concatenate(
+            [self.angular.forward(x), self.lateral.forward(x)], axis=1
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        c = grad.shape[1] // 2
+        return self.angular.backward(grad[:, :c]) + self.lateral.backward(grad[:, c:])
+
+    def parameters(self) -> list[Parameter]:
+        return self.angular.parameters() + self.lateral.parameters()
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy with integer labels; returns (loss, dlogits)."""
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        n = logits.shape[0]
+        probs = softmax(logits, axis=1)
+        eps = 1e-12
+        loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+        dlogits = probs.copy()
+        dlogits[np.arange(n), labels] -= 1.0
+        return loss, dlogits / n

@@ -1,0 +1,128 @@
+"""Training loop for the runnable trail classifier (the PyTorch flow).
+
+Implements minibatch SGD with momentum and weight decay over the dual-head
+cross-entropy objective: both heads are supervised on every image (the
+angular head with the angular label, the lateral head with the lateral
+label), and per-head validation accuracy is reported — the quantity
+Table 3 lists for each network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dnn.dataset import TrailDataset
+from repro.dnn.layers import CrossEntropyLoss, Parameter
+from repro.dnn.resnet import TrailNetModel
+
+
+@dataclass
+class SgdConfig:
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    batch_size: int = 32
+    epochs: int = 5
+    seed: int = 0
+    lr_decay: float = 0.7  # multiplicative, per epoch
+
+
+class SgdOptimizer:
+    """SGD with classical momentum and decoupled weight decay."""
+
+    def __init__(self, parameters: list[Parameter], config: SgdConfig):
+        self.parameters = parameters
+        self.config = config
+        self.lr = config.learning_rate
+        self._velocity = [np.zeros_like(p.value) for p in parameters]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        cfg = self.config
+        for p, v in zip(self.parameters, self._velocity):
+            v *= cfg.momentum
+            v -= self.lr * (p.grad + cfg.weight_decay * p.value)
+            p.value += v
+
+    def decay_lr(self) -> None:
+        self.lr *= self.config.lr_decay
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    loss: float
+    angular_accuracy: float
+    lateral_accuracy: float
+
+
+@dataclass
+class TrainResult:
+    history: list[EpochStats] = field(default_factory=list)
+
+    @property
+    def final(self) -> EpochStats:
+        if not self.history:
+            raise ValueError("training produced no epochs")
+        return self.history[-1]
+
+
+def evaluate(model: TrailNetModel, dataset: TrailDataset, batch_size: int = 64) -> tuple[float, float]:
+    """Per-head accuracy of ``model`` on ``dataset`` (eval mode)."""
+    model.eval()
+    correct_a = correct_l = 0
+    for start in range(0, len(dataset), batch_size):
+        batch = slice(start, start + batch_size)
+        ang_probs, lat_probs = model.predict_probs(dataset.images[batch])
+        correct_a += int((ang_probs.argmax(axis=1) == dataset.angular_labels[batch]).sum())
+        correct_l += int((lat_probs.argmax(axis=1) == dataset.lateral_labels[batch]).sum())
+    n = len(dataset)
+    return correct_a / n, correct_l / n
+
+
+def train(
+    model: TrailNetModel,
+    train_set: TrailDataset,
+    val_set: TrailDataset,
+    config: SgdConfig | None = None,
+) -> TrainResult:
+    """Train the dual-head model; returns per-epoch stats."""
+    config = config or SgdConfig()
+    rng = np.random.default_rng(config.seed)
+    optimizer = SgdOptimizer(model.parameters(), config)
+    loss_fn = CrossEntropyLoss()
+    result = TrainResult()
+    classes = model.classes
+
+    for epoch in range(config.epochs):
+        model.train()
+        order = rng.permutation(len(train_set))
+        losses = []
+        for start in range(0, len(order), config.batch_size):
+            idx = order[start : start + config.batch_size]
+            if len(idx) < 2:
+                continue  # batchnorm needs at least two samples
+            images = train_set.images[idx]
+            optimizer.zero_grad()
+            logits = model.forward(images)
+            loss_a, grad_a = loss_fn(logits[:, :classes], train_set.angular_labels[idx])
+            loss_l, grad_l = loss_fn(logits[:, classes:], train_set.lateral_labels[idx])
+            model.backward(np.concatenate([grad_a, grad_l], axis=1))
+            optimizer.step()
+            losses.append(loss_a + loss_l)
+        acc_a, acc_l = evaluate(model, val_set)
+        result.history.append(
+            EpochStats(
+                epoch=epoch,
+                loss=float(np.mean(losses)) if losses else float("nan"),
+                angular_accuracy=acc_a,
+                lateral_accuracy=acc_l,
+            )
+        )
+        optimizer.decay_lr()
+    return result

@@ -1,0 +1,155 @@
+"""Software-rasterized first-person (FPV) camera.
+
+The evaluated drone "is equipped with a first-person view (FPV) camera with
+a field-of-view (FOV) of 90 degrees" (Section 4.1).  Unreal Engine's
+renderer is replaced by a small column-raycast rasterizer that draws the
+corridor walls with perspective and distance shading, plus a floor "trail"
+stripe along the course centerline.  The resulting images carry the same
+task-relevant signal the paper's TrailNet-style classifiers consume: the
+vanishing geometry shifts with heading error and wall asymmetry shifts with
+lateral offset, so left/center/right classes are learnable from pixels (the
+training example and tests train a real CNN on them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.geometry import Pose2
+from repro.env.worlds import World
+
+
+@dataclass
+class CameraParams:
+    """Rendering parameters for the FPV camera."""
+
+    width: int = 48
+    height: int = 32
+    fov_degrees: float = 90.0
+    camera_height: float = 1.5  # m above the floor
+    wall_height: float = 3.0  # m, visual wall height
+    trail_half_width: float = 0.35  # m, width of the floor trail stripe
+    max_depth: float = 60.0
+    texture_noise: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.width < 4 or self.height < 4:
+            raise ValueError("camera resolution must be at least 4x4")
+        if not (10.0 <= self.fov_degrees <= 170.0):
+            raise ValueError("fov_degrees must be in [10, 170]")
+
+
+class FpvCamera:
+    """Column-raycast corridor renderer.
+
+    ``render`` produces a float32 grayscale image in [0, 1] with shape
+    ``(height, width)``, row 0 at the top.
+    """
+
+    def __init__(self, params: CameraParams | None = None, seed: int = 2):
+        self.params = params or CameraParams()
+        self._rng = np.random.default_rng(seed)
+        p = self.params
+        half_fov = math.radians(p.fov_degrees) / 2.0
+        # Pinhole model: evenly spaced image-plane columns, not angles.
+        self._focal = (p.width / 2.0) / math.tan(half_fov)
+        cols = np.arange(p.width) - (p.width - 1) / 2.0
+        # Camera x points forward; positive column index = right of image =
+        # clockwise (negative) angle.
+        self._col_angles = -np.arctan2(cols, self._focal)
+        self._rows = np.arange(p.height)
+
+    def reset(self, seed: int | None = None) -> None:
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def render(self, world: World, pose: Pose2) -> np.ndarray:
+        """Render the FPV view of ``world`` from ``pose``."""
+        p = self.params
+        depths = world.panorama(pose, self._col_angles, max_range=p.max_depth)
+        depths = np.maximum(depths, 0.2)
+        # Correct fisheye: perpendicular distance for projection height.
+        perp = depths * np.cos(self._col_angles)
+        perp = np.maximum(perp, 0.2)
+
+        horizon = (p.height - 1) / 2.0
+        wall_top = horizon - (p.wall_height - p.camera_height) * self._focal / perp
+        wall_bottom = horizon + p.camera_height * self._focal / perp
+
+        image = np.zeros((p.height, p.width), dtype=np.float32)
+
+        rows = self._rows[:, None].astype(float)  # (H, 1)
+        in_wall = (rows >= wall_top[None, :]) & (rows < wall_bottom[None, :])
+        shade = 0.75 / (1.0 + 0.10 * depths)  # distance-attenuated wall shade
+        image += in_wall * shade[None, :]
+
+        # Sky above the walls.
+        image += (rows < wall_top[None, :]) * 0.08
+
+        # Floor below the walls, with a bright trail stripe on the
+        # centerline.  For each floor pixel, intersect its view ray with
+        # the ground plane and test proximity to the course centerline.
+        below = rows > wall_bottom[None, :]
+        if np.any(below):
+            drop = np.maximum(rows - horizon, 0.75)  # rows below horizon
+            ground_dist = p.camera_height * self._focal / drop  # (H, 1)
+            # World-frame point hit by (row, col) ray on the floor.
+            gx = (
+                pose.x
+                + ground_dist * np.cos(pose.yaw + self._col_angles)[None, :]
+            )
+            gy = (
+                pose.y
+                + ground_dist * np.sin(pose.yaw + self._col_angles)[None, :]
+            )
+            floor_pts = np.stack([gx, gy], axis=-1)  # (H, W, 2)
+            offsets = self._centerline_offsets(world, floor_pts[below])
+            floor_shade = np.full(offsets.shape, 0.22, dtype=np.float32)
+            floor_shade[np.abs(offsets) <= p.trail_half_width] = 0.95
+            image[below] = floor_shade
+
+        if p.texture_noise > 0:
+            image += self._rng.normal(0.0, p.texture_noise, image.shape).astype(
+                np.float32
+            )
+        return np.clip(image, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _centerline_offsets(world: World, points: np.ndarray) -> np.ndarray:
+        """Vectorized lateral offset of each point from the centerline."""
+        pts = world.centerline.points
+        dirs = np.diff(pts, axis=0)
+        lens = np.sqrt((dirs**2).sum(axis=1))
+        units = dirs / lens[:, None]
+        # (P, S) projections onto every centerline segment.
+        rel = points[:, None, :] - pts[None, :-1, :]
+        t = (rel * units[None, :, :]).sum(axis=2)
+        t = np.clip(t, 0.0, lens[None, :])
+        closest = pts[None, :-1, :] + t[..., None] * units[None, :, :]
+        diff = points[:, None, :] - closest
+        d2 = (diff**2).sum(axis=2)
+        idx = np.argmin(d2, axis=1)
+        rows = np.arange(points.shape[0])
+        normal = np.column_stack([-units[idx, 1], units[idx, 0]])
+        return (diff[rows, idx] * normal).sum(axis=1)
+
+
+def encode_image_u8(image: np.ndarray) -> bytes:
+    """Quantize a [0, 1] float image to uint8 bytes for packet transport."""
+    u8 = np.clip(np.asarray(image) * 255.0, 0.0, 255.0).astype(np.uint8)
+    return u8.tobytes()
+
+
+def decode_image_u8(data: bytes, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`encode_image_u8`."""
+    flat = np.frombuffer(data, dtype=np.uint8)
+    if flat.size != height * width:
+        raise ValueError(
+            f"image payload has {flat.size} bytes, expected {height * width}"
+        )
+    return (flat.reshape(height, width).astype(np.float32)) / 255.0

@@ -1,0 +1,250 @@
+"""RPC facade over the environment simulator.
+
+AirSim exposes "a remote-procedure-call (RPC) API for sensor readings and
+actuation, as well as simulator commands" (Section 3.1), and the RoSE
+synchronizer "communicat[es] with the AirSim server by using its RPC
+interface" (Section 3.4.1).  This module reproduces that boundary: the
+synchronizer never touches :class:`~repro.env.simulator.EnvSimulator`
+directly; it holds an :class:`RpcClient` whose calls are marshalled —
+method name plus JSON-serializable arguments — through an
+:class:`RpcServer` that dispatches to registered handlers.
+
+Keeping a real marshalling boundary (rather than plain method calls) does
+two things: it forces every datum crossing the boundary to be
+serializable, exactly as the real system requires, and it gives the
+deployment model a hook to account per-call RPC latency.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+from repro.env.camera import encode_image_u8
+from repro.env.flightctl import VelocityTarget
+from repro.env.simulator import EnvSimulator
+from repro.errors import SimulationError
+
+
+@dataclass
+class RpcStats:
+    """Counters the throughput model and tests consume."""
+
+    calls: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+
+
+class RpcServer:
+    """Dispatches marshalled calls to an :class:`EnvSimulator`.
+
+    Every handler takes and returns JSON-serializable values only; images
+    are transported as uint8 byte payloads alongside their shape, exactly
+    as they travel over the wire in the real deployment.
+    """
+
+    def __init__(self, simulator: EnvSimulator):
+        self.simulator = simulator
+        self.stats = RpcStats()
+        self._handlers: dict[str, Callable[..., Any]] = {
+            "ping": lambda: "pong",
+            "reset": self._reset,
+            "takeoff": self._takeoff,
+            "continue_for_frames": self._continue_for_frames,
+            "get_camera_image": self._get_camera_image,
+            "get_imu": self._get_imu,
+            "get_depth": self._get_depth,
+            "get_lidar": self._get_lidar,
+            "get_state": self._get_state,
+            "send_velocity_target": self._send_velocity_target,
+            "get_sim_time": lambda: self.simulator.sim_time,
+            "get_collision_count": lambda: self.simulator.collision_count,
+            "mission_complete": lambda: self.simulator.mission_complete,
+            "get_mission_time": lambda: self.simulator.mission_time,
+            "get_course_state": self._get_course_state,
+            "get_progress": lambda: self.simulator.course_progress,
+        }
+
+    @property
+    def methods(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def call(self, method: str, *args: Any) -> Any:
+        """Marshal and dispatch one RPC."""
+        if method not in self._handlers:
+            raise SimulationError(f"unknown RPC method {method!r}")
+        # Round-trip the arguments through JSON: anything that cannot be
+        # marshalled must fail here, at the boundary, not deep inside.
+        try:
+            encoded = json.dumps(args)
+        except TypeError as exc:
+            raise SimulationError(
+                f"RPC arguments for {method!r} are not serializable: {exc}"
+            ) from exc
+        self.stats.calls += 1
+        self.stats.bytes_out += len(encoded)
+        result = self._handlers[method](*json.loads(encoded))
+        self.stats.bytes_in += self._payload_size(result)
+        return result
+
+    @staticmethod
+    def _payload_size(result: Any) -> int:
+        if isinstance(result, (bytes, bytearray)):
+            return len(result)
+        if isinstance(result, dict) and any(
+            isinstance(v, (bytes, bytearray)) for v in result.values()
+        ):
+            return 32 + sum(
+                len(v) for v in result.values() if isinstance(v, (bytes, bytearray))
+            )
+        try:
+            return len(json.dumps(result))
+        except TypeError:
+            return 0
+
+    # -- handlers ------------------------------------------------------
+    def _reset(self) -> bool:
+        self.simulator.reset()
+        return True
+
+    def _takeoff(self) -> bool:
+        self.simulator.takeoff()
+        return True
+
+    def _continue_for_frames(self, frames: int) -> int:
+        self.simulator.continue_for_frames(int(frames))
+        return self.simulator.frame
+
+    def _get_camera_image(self) -> dict[str, Any]:
+        image = self.simulator.get_camera_image()
+        _s, d, heading_error = self.simulator.course_state()
+        return {
+            "height": image.shape[0],
+            "width": image.shape[1],
+            "pixels": encode_image_u8(image),
+            "timestamp": self.simulator.sim_time,
+            # Ground-truth image metadata (see EnvSimulator.course_state).
+            "heading_error": heading_error,
+            "lateral_offset": d,
+            "half_width": self.simulator.world.half_width,
+        }
+
+    def _get_imu(self) -> dict[str, float]:
+        reading = self.simulator.get_imu()
+        return {
+            "accel_x": reading.accel_x,
+            "accel_y": reading.accel_y,
+            "accel_z": reading.accel_z,
+            "gyro_z": reading.gyro_z,
+            "timestamp": reading.timestamp,
+        }
+
+    def _get_depth(self) -> float:
+        return self.simulator.get_depth()
+
+    def _get_lidar(self) -> dict[str, Any]:
+        scan = self.simulator.get_lidar()
+        return {
+            "beams": scan.beams,
+            "fov_rad": scan.fov_rad,
+            "timestamp": scan.timestamp,
+            "ranges": scan.ranges.tobytes(),
+        }
+
+    def _get_course_state(self) -> dict[str, float]:
+        s, d, heading_error = self.simulator.course_state()
+        return {"s": s, "d": d, "heading_error": heading_error}
+
+    def _get_state(self) -> dict[str, float]:
+        st = self.simulator.get_state()
+        return {
+            "x": st.x,
+            "y": st.y,
+            "z": st.z,
+            "yaw": st.yaw,
+            "u": st.u,
+            "v": st.v,
+            "r": st.r,
+            "speed": st.speed,
+        }
+
+    def _send_velocity_target(
+        self, v_forward: float, v_lateral: float, yaw_rate: float, altitude: float
+    ) -> bool:
+        self.simulator.send_velocity_target(
+            VelocityTarget(
+                v_forward=float(v_forward),
+                v_lateral=float(v_lateral),
+                yaw_rate=float(yaw_rate),
+                altitude=float(altitude),
+            )
+        )
+        return True
+
+
+class RpcClient:
+    """Typed client wrapper the synchronizer holds.
+
+    A client can wrap any server object exposing ``call`` — in tests a
+    recording fake takes the server's place.
+    """
+
+    def __init__(self, server: RpcServer):
+        self._server = server
+
+    def call(self, method: str, *args: Any) -> Any:
+        return self._server.call(method, *args)
+
+    # Typed conveniences -------------------------------------------------
+    def ping(self) -> bool:
+        return self.call("ping") == "pong"
+
+    def reset(self) -> None:
+        self.call("reset")
+
+    def takeoff(self) -> None:
+        self.call("takeoff")
+
+    def continue_for_frames(self, frames: int) -> int:
+        return int(self.call("continue_for_frames", frames))
+
+    def get_camera_image(self) -> dict[str, Any]:
+        return self.call("get_camera_image")
+
+    def get_imu(self) -> dict[str, float]:
+        return self.call("get_imu")
+
+    def get_depth(self) -> float:
+        return float(self.call("get_depth"))
+
+    def get_lidar(self) -> dict[str, Any]:
+        return self.call("get_lidar")
+
+    def get_state(self) -> dict[str, float]:
+        return self.call("get_state")
+
+    def send_velocity_target(
+        self, v_forward: float, v_lateral: float, yaw_rate: float, altitude: float
+    ) -> None:
+        self.call("send_velocity_target", v_forward, v_lateral, yaw_rate, altitude)
+
+    def get_sim_time(self) -> float:
+        return float(self.call("get_sim_time"))
+
+    def get_collision_count(self) -> int:
+        return int(self.call("get_collision_count"))
+
+    def mission_complete(self) -> bool:
+        return bool(self.call("mission_complete"))
+
+    def get_mission_time(self) -> float | None:
+        result = self.call("get_mission_time")
+        return None if result is None else float(result)
+
+    def get_course_state(self) -> dict[str, float]:
+        return self.call("get_course_state")
+
+    def get_progress(self) -> float:
+        return float(self.call("get_progress"))

@@ -1,0 +1,180 @@
+"""Inertial and depth sensor models.
+
+AirSim "uses its own ... inertial sensor models" (Section 3.1); we model
+the two non-camera sensors the paper's evaluation uses:
+
+* an IMU (Section 4.1: "the onboard flight controller has access to an
+  IMU") with Gaussian noise and a slowly-drifting bias, and
+* a forward-facing depth sensor (Section 5.3: "We determine the deadline by
+  measuring forward-facing depth-sensor readings from the UAV").
+
+Sensors use sample-and-hold semantics: readings are taken at frame
+boundaries from the current dynamics state, matching the frame-quantized
+stepping of the environment simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.physics import QuadrotorDynamics
+from repro.env.worlds import World
+
+GRAVITY = 9.81
+
+
+@dataclass(frozen=True)
+class ImuReading:
+    """One IMU sample: body-frame specific force and angular rate."""
+
+    accel_x: float
+    accel_y: float
+    accel_z: float
+    gyro_z: float
+    timestamp: float
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        return (self.accel_x, self.accel_y, self.accel_z, self.gyro_z, self.timestamp)
+
+
+@dataclass
+class ImuParams:
+    accel_noise_std: float = 0.08  # m/s^2
+    gyro_noise_std: float = 0.004  # rad/s
+    accel_bias_walk: float = 0.002  # m/s^2 per sqrt(s)
+    gyro_bias_walk: float = 0.0002  # rad/s per sqrt(s)
+
+
+class Imu:
+    """IMU with additive Gaussian noise and random-walk bias."""
+
+    def __init__(self, params: ImuParams | None = None, seed: int = 0):
+        self.params = params or ImuParams()
+        self._rng = np.random.default_rng(seed)
+        self._accel_bias = np.zeros(3)
+        self._gyro_bias = 0.0
+
+    def reset(self, seed: int | None = None) -> None:
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        self._accel_bias = np.zeros(3)
+        self._gyro_bias = 0.0
+
+    def read(self, dynamics: QuadrotorDynamics, dt: float) -> ImuReading:
+        """Sample the IMU given the current dynamics state."""
+        p = self.params
+        sqrt_dt = np.sqrt(max(dt, 1e-6))
+        self._accel_bias += self._rng.normal(0.0, p.accel_bias_walk * sqrt_dt, 3)
+        self._gyro_bias += float(self._rng.normal(0.0, p.gyro_bias_walk * sqrt_dt))
+
+        applied = dynamics.applied_acceleration
+        true_accel = np.array(
+            [applied.a_forward, applied.a_lateral, applied.a_vertical + GRAVITY]
+        )
+        noisy = (
+            true_accel
+            + self._accel_bias
+            + self._rng.normal(0.0, p.accel_noise_std, 3)
+        )
+        gyro = (
+            dynamics.state.r
+            + self._gyro_bias
+            + float(self._rng.normal(0.0, p.gyro_noise_std))
+        )
+        return ImuReading(
+            accel_x=float(noisy[0]),
+            accel_y=float(noisy[1]),
+            accel_z=float(noisy[2]),
+            gyro_z=gyro,
+            timestamp=dynamics.time,
+        )
+
+
+@dataclass
+class DepthParams:
+    max_range: float = 60.0  # m
+    noise_std: float = 0.05  # m, range-proportional below
+    noise_range_fraction: float = 0.01
+
+
+@dataclass
+class LidarParams:
+    beams: int = 64
+    fov_rad: float = 4.7124  # 270 degrees, a typical planar scanner
+    max_range: float = 30.0
+    noise_std: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.beams < 2:
+            raise ValueError("lidar needs at least 2 beams")
+        if not (0 < self.fov_rad <= 2 * np.pi):
+            raise ValueError("fov_rad must be in (0, 2*pi]")
+
+
+@dataclass(frozen=True)
+class LidarScan:
+    """One planar scan: evenly spaced beams across the field of view.
+
+    Beam 0 points at ``-fov/2`` relative to the vehicle heading, the last
+    beam at ``+fov/2``.
+    """
+
+    ranges: np.ndarray  # (beams,) float32, meters
+    fov_rad: float
+    timestamp: float
+
+    @property
+    def beams(self) -> int:
+        return int(self.ranges.shape[0])
+
+    def beam_angles(self) -> np.ndarray:
+        """Body-frame angle of each beam."""
+        return np.linspace(-self.fov_rad / 2.0, self.fov_rad / 2.0, self.beams)
+
+
+class Lidar:
+    """Planar multi-beam range scanner (ray casts against the walls)."""
+
+    def __init__(self, params: LidarParams | None = None, seed: int = 3):
+        self.params = params or LidarParams()
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self, seed: int | None = None) -> None:
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+
+    def scan(self, world: World, dynamics: QuadrotorDynamics) -> LidarScan:
+        p = self.params
+        angles = np.linspace(-p.fov_rad / 2.0, p.fov_rad / 2.0, p.beams)
+        ranges = world.panorama(
+            dynamics.state.pose, angles, max_range=p.max_range
+        )
+        noisy = ranges + self._rng.normal(0.0, p.noise_std, p.beams)
+        return LidarScan(
+            ranges=np.clip(noisy, 0.0, p.max_range).astype(np.float32),
+            fov_rad=p.fov_rad,
+            timestamp=dynamics.time,
+        )
+
+
+class DepthSensor:
+    """Forward-facing single-beam depth sensor (ray cast to nearest wall)."""
+
+    def __init__(self, params: DepthParams | None = None, seed: int = 1):
+        self.params = params or DepthParams()
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self, seed: int | None = None) -> None:
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+
+    def read(self, world: World, dynamics: QuadrotorDynamics) -> float:
+        p = self.params
+        true_depth = world.depth_along(
+            dynamics.state.pose, max_range=p.max_range
+        )
+        noise_std = p.noise_std + p.noise_range_fraction * true_depth
+        reading = true_depth + float(self._rng.normal(0.0, noise_std))
+        return float(np.clip(reading, 0.0, p.max_range))

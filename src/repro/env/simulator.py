@@ -1,0 +1,236 @@
+"""The environment simulator: frame-quantized stepping + RPC-style API.
+
+This is the AirSim stand-in.  Like AirSim (Section 3.4.1), the minimum time
+step is one *frame* — a physics update — whose simulated duration is a
+runtime parameter (typical rates 60-120 Hz).  The simulator only advances
+when granted frames (``continue_for_frames``), which is exactly the
+discrete time-stepping contract the RoSE synchronizer relies on; it never
+free-runs.
+
+The public methods mirror the subset of AirSim's RPC API the paper uses:
+sensor reads (camera / IMU / depth / kinematic state), actuation
+(``send_velocity_target``), and simulator commands (``reset``,
+``takeoff``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.env.camera import CameraParams, FpvCamera
+from repro.env.flightctl import SimpleFlightController, SimpleFlightGains, VelocityTarget
+from repro.env.physics import DroneState, QuadrotorDynamics, QuadrotorParams
+from repro.env.sensors import DepthSensor, Imu, Lidar
+from repro.env.worlds import World, make_world
+from repro.errors import SimulationError
+
+
+@dataclass
+class EnvConfig:
+    """Configuration of one environment simulation."""
+
+    world: str = "tunnel"
+    vehicle: str = "quadrotor"  # "quadrotor" or "car" (artifact A.8.3)
+    frame_rate: float = 60.0  # physics frames per simulated second
+    initial_angle_deg: float = 0.0
+    initial_lateral_offset: float = 0.0
+    cruise_altitude: float = 1.5
+    seed: int = 0
+    camera: CameraParams = field(default_factory=CameraParams)
+    quadrotor: QuadrotorParams = field(default_factory=QuadrotorParams)
+    gains: SimpleFlightGains = field(default_factory=SimpleFlightGains)
+
+    def __post_init__(self) -> None:
+        if self.frame_rate <= 0:
+            raise SimulationError("frame_rate must be positive")
+        if self.vehicle not in ("quadrotor", "car"):
+            raise SimulationError(
+                f"vehicle must be 'quadrotor' or 'car', got {self.vehicle!r}"
+            )
+
+    @property
+    def frame_dt(self) -> float:
+        return 1.0 / self.frame_rate
+
+
+@dataclass
+class TrajectorySample:
+    """One logged point of the flight trajectory."""
+
+    time: float
+    x: float
+    y: float
+    z: float
+    yaw: float
+    speed: float
+    s: float  # course arclength
+    d: float  # signed lateral offset
+
+
+class EnvSimulator:
+    """Frame-stepped UAV environment simulation.
+
+    Construction spawns the drone on the ground at the configured initial
+    pose.  Call :meth:`takeoff` to arm the flight controller, then advance
+    time with :meth:`continue_for_frames`.
+    """
+
+    def __init__(self, config: EnvConfig | None = None, world: World | None = None):
+        self.config = config or EnvConfig()
+        self.world = world if world is not None else make_world(self.config.world)
+        self.camera = FpvCamera(self.config.camera, seed=self.config.seed + 2)
+        self.imu = Imu(seed=self.config.seed)
+        self.depth_sensor = DepthSensor(seed=self.config.seed + 1)
+        self.lidar = Lidar(seed=self.config.seed + 3)
+        spawn = self.world.spawn_pose(
+            initial_angle=np.deg2rad(self.config.initial_angle_deg),
+            lateral_offset=self.config.initial_lateral_offset,
+            forward_offset=self._spawn_forward_offset(),
+        )
+        initial = DroneState(x=spawn.x, y=spawn.y, z=0.0, yaw=spawn.yaw)
+        if self.config.vehicle == "car":
+            from repro.env.car import CarController, CarDynamics
+
+            self.controller = CarController()
+            self.dynamics = CarDynamics(self.world, initial_state=initial)
+        else:
+            self.controller = SimpleFlightController(self.config.gains)
+            self.dynamics = QuadrotorDynamics(
+                self.world, params=self.config.quadrotor, initial_state=initial
+            )
+        self.frame = 0
+        self.trajectory: list[TrajectorySample] = []
+        self._goal_time: float | None = None
+        self._record_sample()
+
+    # ------------------------------------------------------------------
+    # Simulator commands
+    # ------------------------------------------------------------------
+    def _spawn_forward_offset(self) -> float:
+        """Clearance from the start cap, sized to the vehicle."""
+        return 2.5 if self.config.vehicle == "car" else 0.5
+
+    def reset(self) -> None:
+        """Respawn the drone at the initial pose with time rewound."""
+        spawn = self.world.spawn_pose(
+            initial_angle=np.deg2rad(self.config.initial_angle_deg),
+            lateral_offset=self.config.initial_lateral_offset,
+            forward_offset=self._spawn_forward_offset(),
+        )
+        self.dynamics.reset(DroneState(x=spawn.x, y=spawn.y, z=0.0, yaw=spawn.yaw))
+        self.controller.reset()
+        self.imu.reset(seed=self.config.seed)
+        self.depth_sensor.reset(seed=self.config.seed + 1)
+        self.camera.reset(seed=self.config.seed + 2)
+        self.lidar.reset(seed=self.config.seed + 3)
+        self.frame = 0
+        self.trajectory = []
+        self._goal_time = None
+        self._record_sample()
+
+    def takeoff(self) -> None:
+        """Arm the flight controller with an altitude-hold target."""
+        self.controller.arm(altitude=self.config.cruise_altitude)
+
+    def continue_for_frames(self, frames: int) -> None:
+        """Advance the simulation by ``frames`` physics frames.
+
+        This is the discrete-stepping entry point the synchronizer drives
+        once per synchronization period.
+        """
+        if frames < 0:
+            raise SimulationError("cannot step a negative number of frames")
+        dt = self.config.frame_dt
+        is_car = self.config.vehicle == "car"
+        for _ in range(frames):
+            if is_car:
+                command = self.controller.update(self.dynamics, dt)
+            else:
+                command = self.controller.update(self.dynamics.state, dt)
+            self.dynamics.step(command, dt)
+            self.frame += 1
+            self._record_sample()
+            if self._goal_time is None and self.world.reached_goal(
+                self.position
+            ):
+                self._goal_time = self.sim_time
+
+    # ------------------------------------------------------------------
+    # Sensor / state API (the AirSim RPC surface)
+    # ------------------------------------------------------------------
+    def get_camera_image(self) -> np.ndarray:
+        return self.camera.render(self.world, self.dynamics.state.pose)
+
+    def get_imu(self):
+        return self.imu.read(self.dynamics, self.config.frame_dt)
+
+    def get_depth(self) -> float:
+        return self.depth_sensor.read(self.world, self.dynamics)
+
+    def get_lidar(self):
+        return self.lidar.scan(self.world, self.dynamics)
+
+    def get_state(self) -> DroneState:
+        return self.dynamics.state.copy()
+
+    def send_velocity_target(self, target: VelocityTarget) -> None:
+        self.controller.set_target(target)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def sim_time(self) -> float:
+        return self.frame * self.config.frame_dt
+
+    @property
+    def position(self) -> np.ndarray:
+        return np.array([self.dynamics.state.x, self.dynamics.state.y])
+
+    @property
+    def collision_count(self) -> int:
+        return len(self.dynamics.collisions)
+
+    @property
+    def mission_complete(self) -> bool:
+        return self._goal_time is not None
+
+    @property
+    def mission_time(self) -> float | None:
+        """Sim time at which the goal was first reached, if it was."""
+        return self._goal_time
+
+    def course_state(self) -> tuple[float, float, float]:
+        """``(s, d, heading_error)`` of the current pose.
+
+        Exposed alongside camera frames as image metadata (AirSim likewise
+        exposes ground-truth kinematics); the calibrated behavioural
+        classifier consumes it in place of pixels.
+        """
+        st = self.dynamics.state
+        s, d = self.world.course_coordinates(np.array([st.x, st.y]))
+        return s, d, self.world.heading_error(st.pose)
+
+    @property
+    def course_progress(self) -> float:
+        """Fraction of the course completed, in [0, 1]."""
+        s, _ = self.world.course_coordinates(self.position)
+        return min(1.0, s / self.world.goal_arclength)
+
+    def _record_sample(self) -> None:
+        st = self.dynamics.state
+        s, d = self.world.course_coordinates(np.array([st.x, st.y]))
+        self.trajectory.append(
+            TrajectorySample(
+                time=self.sim_time,
+                x=st.x,
+                y=st.y,
+                z=st.z,
+                yaw=st.yaw,
+                speed=st.speed,
+                s=s,
+                d=d,
+            )
+        )

@@ -1,0 +1,238 @@
+"""Procedural corridor worlds (the paper's ``tunnel`` and ``s-shape`` maps).
+
+Section 4.2.3 of the paper describes two Unreal Engine environments: a
+straight tunnel, 50 m long and 3.2 m wide, and an "S"-shaped course of 80 m.
+We rebuild them as corridor worlds defined by a centerline polyline plus a
+width profile; the walls are lateral offsets of the centerline.  The world
+answers the queries the rest of the stack needs:
+
+* collision tests for the physics engine,
+* ray casts for the depth sensor and the camera rasterizer,
+* (s, d) course coordinates — arclength progress and signed lateral offset —
+  for trajectory logging and the behavioural (calibrated) classifier,
+* goal tests for mission completion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.env.geometry import Polyline, Pose2, SegmentSoup
+from repro.errors import SimulationError
+
+
+@dataclass
+class World:
+    """A corridor world: centerline, walls, and course metadata.
+
+    Parameters
+    ----------
+    name:
+        Human-readable map name (``"tunnel"`` / ``"s-shape"``).
+    centerline:
+        The course centerline, starting at the spawn point.
+    half_width:
+        Lateral distance from the centerline to each wall.
+    goal_arclength:
+        Arclength at which the mission counts as complete.
+    """
+
+    name: str
+    centerline: Polyline
+    half_width: float
+    goal_arclength: float
+    walls: SegmentSoup = field(init=False)
+    left_wall: Polyline = field(init=False)
+    right_wall: Polyline = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.half_width <= 0:
+            raise SimulationError(f"half_width must be positive: {self.half_width}")
+        if not (0 < self.goal_arclength <= self.centerline.length):
+            raise SimulationError(
+                "goal_arclength must lie within the centerline "
+                f"(got {self.goal_arclength}, length {self.centerline.length})"
+            )
+        self.left_wall = self.centerline.offset(self.half_width)
+        self.right_wall = self.centerline.offset(-self.half_width)
+        segments = self.left_wall.to_segments() + self.right_wall.to_segments()
+        segments.extend(self._end_caps())
+        self.walls = SegmentSoup(segments)
+
+    def _end_caps(self):
+        """Close the corridor at both ends so rays cannot escape."""
+        caps = []
+        for left, right in (
+            (self.left_wall.points[0], self.right_wall.points[0]),
+            (self.left_wall.points[-1], self.right_wall.points[-1]),
+        ):
+            from repro.env.geometry import Segment2
+
+            caps.append(
+                Segment2(float(left[0]), float(left[1]), float(right[0]), float(right[1]))
+            )
+        return caps
+
+    # ------------------------------------------------------------------
+    # Course coordinates
+    # ------------------------------------------------------------------
+    def course_coordinates(self, position: np.ndarray) -> tuple[float, float]:
+        """Return ``(s, d)``: arclength progress and signed lateral offset."""
+        return self.centerline.project(position)
+
+    def heading_error(self, pose: Pose2) -> float:
+        """Signed angle between the pose heading and the course tangent."""
+        s, _ = self.centerline.project(pose.position)
+        tangent = self.centerline.tangent_at_arclength(s)
+        course_yaw = math.atan2(tangent[1], tangent[0])
+        from repro.env.geometry import angle_difference
+
+        return angle_difference(pose.yaw, course_yaw)
+
+    def spawn_pose(
+        self,
+        initial_angle: float = 0.0,
+        lateral_offset: float = 0.0,
+        forward_offset: float = 0.5,
+    ) -> Pose2:
+        """Starting pose: near the course origin, offset laterally, rotated
+        by ``initial_angle`` (radians) relative to the course tangent.
+
+        ``forward_offset`` sets the distance from the corridor's start cap
+        (larger vehicles need more clearance).  The paper's Figure 10
+        sweeps initial angles of -20, 0 and +20 degrees.
+        """
+        if abs(lateral_offset) >= self.half_width:
+            raise SimulationError("spawn lateral_offset places the drone in a wall")
+        if forward_offset <= 0:
+            raise SimulationError("forward_offset must be positive")
+        start = self.centerline.point_at_arclength(0.0)
+        tangent = self.centerline.tangent_at_arclength(0.0)
+        normal = self.centerline.normal_at_arclength(0.0)
+        pos = start + lateral_offset * normal + forward_offset * tangent
+        course_yaw = math.atan2(tangent[1], tangent[0])
+        return Pose2(float(pos[0]), float(pos[1]), course_yaw + initial_angle)
+
+    # ------------------------------------------------------------------
+    # Physical queries
+    # ------------------------------------------------------------------
+    def wall_clearance(self, position: np.ndarray) -> float:
+        """Distance from ``position`` to the nearest wall."""
+        return self.walls.min_distance(position)
+
+    def in_collision(self, position: np.ndarray, radius: float) -> bool:
+        """True if a disc of ``radius`` at ``position`` touches a wall, or if
+        the position has left the corridor entirely."""
+        if self.wall_clearance(position) <= radius:
+            return True
+        _, d = self.course_coordinates(position)
+        return abs(d) >= self.half_width
+
+    def depth_along(self, pose: Pose2, relative_angle: float = 0.0, max_range: float = 100.0) -> float:
+        """Ray-cast distance to the nearest wall along the pose heading.
+
+        This is the forward-facing depth reading the paper's dynamic runtime
+        (Section 5.3) uses to derive deadlines.
+        """
+        return self.walls.cast_ray(
+            pose.position, pose.yaw + relative_angle, max_range=max_range
+        )
+
+    def panorama(self, pose: Pose2, angles: np.ndarray, max_range: float = 100.0) -> np.ndarray:
+        """Vectorized multi-ray cast (body-frame ``angles``) for the camera."""
+        return self.walls.cast_rays(pose.position, pose.yaw + np.asarray(angles), max_range)
+
+    def reached_goal(self, position: np.ndarray) -> bool:
+        s, _ = self.course_coordinates(position)
+        return s >= self.goal_arclength
+
+    def batch_course_frames(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized course frame for many points at once.
+
+        Returns ``(offsets, course_yaws)``: signed lateral offset and the
+        course-tangent heading at the closest centerline point, for an
+        ``(N, 2)`` array of world points.  Used by batched consumers (the
+        MPC rollout, the camera's floor shader) that would otherwise call
+        :meth:`course_coordinates` in a Python loop.
+        """
+        points = np.asarray(points, dtype=float)
+        pts = self.centerline.points
+        dirs = np.diff(pts, axis=0)
+        lens = np.sqrt((dirs**2).sum(axis=1))
+        units = dirs / lens[:, None]
+        rel = points[:, None, :] - pts[None, :-1, :]  # (N, S, 2)
+        t = np.clip((rel * units[None, :, :]).sum(axis=2), 0.0, lens[None, :])
+        closest = pts[None, :-1, :] + t[..., None] * units[None, :, :]
+        diff = points[:, None, :] - closest
+        idx = np.argmin((diff**2).sum(axis=2), axis=1)
+        rows = np.arange(points.shape[0])
+        chosen_units = units[idx]
+        normals = np.column_stack([-chosen_units[:, 1], chosen_units[:, 0]])
+        offsets = (diff[rows, idx] * normals).sum(axis=1)
+        course_yaws = np.arctan2(chosen_units[:, 1], chosen_units[:, 0])
+        return offsets, course_yaws
+
+
+def tunnel_world(length: float = 50.0, width: float = 3.2) -> World:
+    """The paper's ``tunnel`` map: a straight corridor, 50 m x 3.2 m.
+
+    Walls sit at y = +/-1.6 m, matching Figure 10's gray dashed boundaries.
+    """
+    points = np.column_stack(
+        [np.linspace(0.0, length, max(2, int(length) + 1)), np.zeros(max(2, int(length) + 1))]
+    )
+    return World(
+        name="tunnel",
+        centerline=Polyline(points),
+        half_width=width / 2.0,
+        goal_arclength=length - 1.0,
+    )
+
+
+def s_shape_world(
+    length: float = 80.0,
+    width: float = 6.4,
+    amplitude: float = 10.0,
+    resolution: int = 161,
+) -> World:
+    """The paper's ``s-shape`` map: an 80 m "S"-shaped course.
+
+    The paper describes it as wider than the tunnel, with more room for
+    error but requiring constant correction.  We realize the "S" as one
+    full sine period over the course length; the mission completes at
+    x = 80 m as in Figure 11.
+    """
+    x = np.linspace(0.0, length, resolution)
+    y = amplitude * np.sin(2.0 * math.pi * x / length)
+    centerline = Polyline(np.column_stack([x, y]))
+    return World(
+        name="s-shape",
+        centerline=centerline,
+        half_width=width / 2.0,
+        goal_arclength=centerline.length - 1.0,
+    )
+
+
+_BUILDERS = {
+    "tunnel": tunnel_world,
+    "s-shape": s_shape_world,
+    "s_shape": s_shape_world,
+}
+
+
+def make_world(name: str, **params) -> World:
+    """Build a world by name (``"tunnel"`` or ``"s-shape"``).
+
+    Keyword parameters are forwarded to the builder (e.g.
+    ``make_world("s-shape", amplitude=8.0)``).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown world {name!r}; available: {sorted(set(_BUILDERS))}"
+        ) from None
+    return builder(**params)

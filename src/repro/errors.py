@@ -1,0 +1,52 @@
+"""Exception hierarchy for the RoSE reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at an orchestration boundary.  Subsystems raise
+the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class PacketError(ReproError):
+    """A packet failed to encode, decode, or validate."""
+
+
+class TransportError(ReproError):
+    """A transport endpoint failed (closed, framing violation, timeout)."""
+
+
+class BridgeError(ReproError):
+    """The RoSE bridge was driven outside its protocol (e.g. queue overflow
+    on a full hardware queue, token underflow)."""
+
+
+class SyncError(ReproError):
+    """The synchronizer observed an inconsistent simulation state."""
+
+
+class SimulationError(ReproError):
+    """The environment simulator was driven incorrectly (e.g. stepping a
+    vehicle that has not taken off, out-of-world query)."""
+
+
+class TargetProgramError(ReproError):
+    """A target program running on the simulated SoC misbehaved."""
+
+
+class SchedulingError(ReproError):
+    """The DNN runtime could not place an operator on the requested
+    backend."""
+
+
+class GraphError(ReproError):
+    """An operator graph is malformed (cycles, shape mismatch, unknown
+    node)."""

@@ -1,0 +1,32 @@
+"""roslite: a minimal ROS-style middleware for target programs.
+
+The paper's software build flow "provides a port of the Robot Operating
+System (ROS) for RISC-V ... Both the roscpp and rospy interfaces are
+supported" (Section 3.3).  This package is the analog for the simulated
+SoC: a publish/subscribe message graph whose nodes are cooperative tasks
+on the multitasking SoC engine, with message-passing costs charged to the
+cycle model.
+
+* :mod:`repro.roslite.msgs` — common message types (Header, Image, Imu,
+  LaserScan, Twist), with byte-size accounting for the copy-cost model.
+* :mod:`repro.roslite.graph` — the node graph: topics, publishers,
+  subscribers, and a simulated-time Rate.
+* :mod:`repro.roslite.trail_nodes` — the trail-navigation controller
+  decomposed into ROS-style nodes (camera driver -> perception/control ->
+  actuation), wired over topics and run as concurrent SoC tasks.
+"""
+
+from repro.roslite.graph import Publisher, Rate, RosGraph, Subscriber
+from repro.roslite.msgs import Header, Image, Imu, LaserScan, Twist
+
+__all__ = [
+    "RosGraph",
+    "Publisher",
+    "Subscriber",
+    "Rate",
+    "Header",
+    "Image",
+    "Imu",
+    "LaserScan",
+    "Twist",
+]

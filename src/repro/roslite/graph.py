@@ -1,0 +1,161 @@
+"""The roslite node graph: topics, publishers, subscribers, rates.
+
+Nodes are cooperative tasks on the multitasking SoC engine; the graph is
+plain shared state between them (like the I/O demux).  Publishing copies
+the message into every subscriber's bounded queue — dropping the oldest
+message on overflow, ROS's default queue behaviour — and charges the
+message's byte size to the publishing task through the CPU copy-cost
+model.  Receiving polls the queue, sleeping between polls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.soc.cpu import CpuModel
+from repro.soc.program import TargetRuntime
+
+#: Fixed per-publish middleware overhead (serialization headers, queue
+#: bookkeeping) in CPU cycles.
+PUBLISH_OVERHEAD_CYCLES = 1_500
+#: Poll interval while a subscriber waits for a message.
+SUBSCRIBE_POLL_CYCLES = 20_000
+
+
+@dataclass
+class TopicStats:
+    published: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+
+class Subscriber:
+    """A bounded per-subscriber queue on one topic."""
+
+    def __init__(self, topic: "Topic", queue_size: int):
+        if queue_size < 1:
+            raise ConfigError("queue_size must be at least 1")
+        self.topic = topic
+        self.queue: deque = deque()
+        self.queue_size = queue_size
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def _push(self, message) -> bool:
+        """Returns False when the oldest message was dropped."""
+        dropped = False
+        if len(self.queue) >= self.queue_size:
+            self.queue.popleft()
+            dropped = True
+        self.queue.append(message)
+        return not dropped
+
+    def receive(self, rt: TargetRuntime, timeout_cycles: int | None = None):
+        """Generator helper: wait for the next message (None on timeout)."""
+        waited = 0
+        while True:
+            if self.queue:
+                return self.queue.popleft()
+            if timeout_cycles is not None and waited >= timeout_cycles:
+                return None
+            yield from rt.delay(SUBSCRIBE_POLL_CYCLES)
+            waited += SUBSCRIBE_POLL_CYCLES
+
+    def latest(self, rt: TargetRuntime):
+        """Generator helper: drain the queue and return the newest message
+        (or None if empty) — the sample-latest pattern control nodes use."""
+        yield from rt.delay(1)
+        message = None
+        while self.queue:
+            message = self.queue.popleft()
+        return message
+
+
+class Publisher:
+    """Handle for publishing onto one topic."""
+
+    def __init__(self, topic: "Topic", cpu: CpuModel):
+        self.topic = topic
+        self._cpu = cpu
+
+    def publish(self, rt: TargetRuntime, message) -> object:
+        """Generator helper: copy the message to every subscriber.
+
+        Charges the serialization/copy cost (bytes x subscribers) plus a
+        fixed middleware overhead to the calling task.
+        """
+        size = message.byte_size() if hasattr(message, "byte_size") else 64
+        copies = max(1, len(self.topic.subscribers))
+        cost = PUBLISH_OVERHEAD_CYCLES + copies * self._cpu.copy_cycles(size)
+        yield from rt.compute(cost)
+        self.topic.stats.published += 1
+        for subscriber in self.topic.subscribers:
+            if subscriber._push(message):
+                self.topic.stats.delivered += 1
+            else:
+                self.topic.stats.dropped += 1
+                self.topic.stats.delivered += 1
+
+
+@dataclass
+class Topic:
+    name: str
+    subscribers: list[Subscriber] = field(default_factory=list)
+    stats: TopicStats = field(default_factory=TopicStats)
+
+
+class RosGraph:
+    """The process-local master: topic registry shared by node tasks."""
+
+    def __init__(self, cpu: CpuModel):
+        self.cpu = cpu
+        self._topics: dict[str, Topic] = {}
+
+    def _topic(self, name: str) -> Topic:
+        if not name.startswith("/"):
+            raise ConfigError(f"topic names start with '/': {name!r}")
+        if name not in self._topics:
+            self._topics[name] = Topic(name=name)
+        return self._topics[name]
+
+    def advertise(self, name: str) -> Publisher:
+        return Publisher(self._topic(name), self.cpu)
+
+    def subscribe(self, name: str, queue_size: int = 2) -> Subscriber:
+        topic = self._topic(name)
+        subscriber = Subscriber(topic, queue_size)
+        topic.subscribers.append(subscriber)
+        return subscriber
+
+    def topic_stats(self, name: str) -> TopicStats:
+        return self._topic(name).stats
+
+    @property
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+
+class Rate:
+    """Simulated-time loop pacing (the rospy.Rate pattern)."""
+
+    def __init__(self, hz: float, cpu: CpuModel):
+        if hz <= 0:
+            raise ConfigError("rate must be positive")
+        self.period_cycles = int(cpu.frequency_hz / hz)
+        self._last: int | None = None
+
+    def sleep(self, rt: TargetRuntime):
+        """Generator helper: sleep out the remainder of the period."""
+        now = yield from rt.current_cycle()
+        if self._last is None:
+            self._last = now
+        elapsed = now - self._last
+        if elapsed < self.period_cycles:
+            yield from rt.delay(self.period_cycles - elapsed)
+            self._last += self.period_cycles
+        else:
+            self._last = now

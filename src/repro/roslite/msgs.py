@@ -1,0 +1,79 @@
+"""Common roslite message types.
+
+Mirrors the ROS ``common_msgs`` shapes the paper's workloads use (sensor
+images, IMU samples, laser scans, velocity commands).  Every message
+reports its serialized size so the middleware can charge realistic
+copy costs when it crosses a topic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Header:
+    """Message metadata: capture cycle (simulated) and frame id."""
+
+    stamp_cycle: int = 0
+    frame_id: str = ""
+
+    BYTE_SIZE = 16
+
+    def byte_size(self) -> int:
+        return self.BYTE_SIZE
+
+
+@dataclass(frozen=True)
+class Image:
+    """A camera frame (uint8 grayscale payload)."""
+
+    header: Header
+    height: int
+    width: int
+    data: bytes
+    #: Ground-truth course metadata rides along, as in the camera packet.
+    heading_error: float = 0.0
+    lateral_offset: float = 0.0
+    half_width: float = 1.6
+
+    def byte_size(self) -> int:
+        return self.header.byte_size() + 8 + len(self.data) + 24
+
+
+@dataclass(frozen=True)
+class Imu:
+    """An inertial sample."""
+
+    header: Header
+    accel: tuple[float, float, float]
+    gyro_z: float
+
+    def byte_size(self) -> int:
+        return self.header.byte_size() + 32
+
+
+@dataclass(frozen=True)
+class LaserScan:
+    """A planar lidar scan."""
+
+    header: Header
+    fov_rad: float
+    ranges: bytes  # packed float32
+
+    def byte_size(self) -> int:
+        return self.header.byte_size() + 8 + len(self.ranges)
+
+
+@dataclass(frozen=True)
+class Twist:
+    """A velocity command (the subset a UAV velocity target needs)."""
+
+    header: Header
+    linear_x: float = 0.0  # forward, m/s
+    linear_y: float = 0.0  # leftward, m/s
+    linear_z: float = 0.0  # altitude target, m (non-standard, documented)
+    angular_z: float = 0.0  # yaw rate, rad/s
+
+    def byte_size(self) -> int:
+        return self.header.byte_size() + 32

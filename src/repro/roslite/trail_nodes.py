@@ -1,0 +1,154 @@
+"""The trail-navigation controller as a roslite node pipeline.
+
+Decomposes the monolithic controller application into the node structure
+a real ROS deployment would use, each node a concurrent task on the SoC:
+
+* **camera_driver_node** — pulls frames over the RoSE I/O and publishes
+  ``/camera/image`` (sensor driver);
+* **perception_control_node** — subscribes to images, runs the DNN, and
+  publishes velocity commands on ``/cmd_vel`` (the TrailNet controller);
+* **actuation_node** — subscribes to ``/cmd_vel`` and forwards targets to
+  the flight controller over the RoSE I/O (the MAVLink bridge).
+
+End-to-end latency (frame capture -> TARGET_CMD written) is measured via
+the message headers' capture stamps — it includes every queue hop and all
+middleware copy costs, so the pipeline is directly comparable to the
+monolithic application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.app.controller import AppStats, ControllerGains, compute_targets
+from repro.core.packets import PacketType, camera_request, target_command
+from repro.dnn.calibrated import TrailInference
+from repro.roslite.graph import RosGraph, Rate
+from repro.roslite.msgs import Header, Image, Twist
+from repro.soc.demux import IoDemux
+
+
+@dataclass
+class TrailPipeline:
+    """Shared wiring for the three nodes."""
+
+    graph: RosGraph
+    demux: IoDemux
+    stats: AppStats = field(default_factory=AppStats)
+
+    @staticmethod
+    def create(cpu) -> "TrailPipeline":
+        return TrailPipeline(graph=RosGraph(cpu), demux=IoDemux())
+
+
+def camera_driver_node(rt, pipeline: TrailPipeline, cpu, rate_hz: float = 15.0):
+    """Sensor driver: RoSE I/O camera -> /camera/image."""
+    publisher = pipeline.graph.advertise("/camera/image")
+    rate = Rate(rate_hz, cpu)
+    while True:
+        capture_cycle = yield from rt.current_cycle()
+        frame = yield from pipeline.demux.request(
+            rt, camera_request(), PacketType.CAMERA_RESP
+        )
+        height, width, _ts, heading_error, lateral_offset, half_width = frame.values
+        yield from publisher.publish(
+            rt,
+            Image(
+                header=Header(stamp_cycle=capture_cycle, frame_id="fpv"),
+                height=int(height),
+                width=int(width),
+                data=frame.raw,
+                heading_error=heading_error,
+                lateral_offset=lateral_offset,
+                half_width=half_width,
+            ),
+        )
+        yield from rate.sleep(rt)
+
+
+def perception_control_node(
+    rt,
+    pipeline: TrailPipeline,
+    session,
+    perception,
+    target_velocity: float,
+    gains: ControllerGains | None = None,
+):
+    """TrailNet controller: /camera/image -> DNN -> /cmd_vel."""
+    gains = gains or ControllerGains()
+    images = pipeline.graph.subscribe("/camera/image", queue_size=1)
+    commands = pipeline.graph.advertise("/cmd_vel")
+    while True:
+        image = yield from images.receive(rt)
+        yield from rt.run_inference(session)
+        inference = _infer_image(perception, image)
+        v_forward, v_lateral, yaw_rate = compute_targets(
+            inference, target_velocity, gains
+        )
+        yield from commands.publish(
+            rt,
+            Twist(
+                header=image.header,  # propagate the capture stamp
+                linear_x=v_forward,
+                linear_y=v_lateral,
+                linear_z=gains.altitude,
+                angular_z=yaw_rate,
+            ),
+        )
+
+
+def actuation_node(rt, pipeline: TrailPipeline, session_name: str = "resnet"):
+    """MAVLink bridge: /cmd_vel -> RoSE TARGET_CMD."""
+    commands = pipeline.graph.subscribe("/cmd_vel", queue_size=1)
+    while True:
+        twist = yield from commands.receive(rt)
+        yield from rt.send_packet(
+            target_command(
+                twist.linear_x, twist.linear_y, twist.angular_z, twist.linear_z
+            )
+        )
+        done_cycle = yield from rt.current_cycle()
+        pipeline.stats.record(twist.header.stamp_cycle, done_cycle, session_name)
+
+
+def _infer_image(perception, image: Image) -> TrailInference:
+    """Adapt an :class:`Image` message to the perception interface."""
+    from repro.core.packets import camera_response
+
+    packet = camera_response(
+        image.height,
+        image.width,
+        float(image.header.stamp_cycle) / 1e9,
+        image.heading_error,
+        image.lateral_offset,
+        image.half_width,
+        image.data,
+    )
+    return perception.infer_packet(packet)
+
+
+def load_trail_pipeline(
+    soc,
+    perception,
+    session,
+    target_velocity: float,
+    gains: ControllerGains | None = None,
+    camera_rate_hz: float = 15.0,
+) -> TrailPipeline:
+    """Install the three-node pipeline on a :class:`~repro.soc.soc.Soc`."""
+    pipeline = TrailPipeline.create(soc.cpu)
+    soc.load_program(
+        lambda rt: camera_driver_node(rt, pipeline, soc.cpu, rate_hz=camera_rate_hz),
+        name="camera-driver",
+    )
+    soc.add_program(
+        lambda rt: perception_control_node(
+            rt, pipeline, session, perception, target_velocity, gains
+        ),
+        name="perception-control",
+    )
+    soc.add_program(
+        lambda rt: actuation_node(rt, pipeline, session_name=session.graph.name),
+        name="actuation",
+    )
+    return pipeline

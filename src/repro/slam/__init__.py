@@ -1,0 +1,32 @@
+"""SLAM substrate (a Section 6 extension).
+
+"[M]any classical algorithms such as SLAM and nonlinear MPC build upon
+iterative optimization algorithms or dynamically scaling data structures.
+These applications have data-dependent runtime behaviors and access
+patterns, where RoSE can capture their performance implications on both
+hardware and software." (Section 6)
+
+This package implements a lidar-based grid SLAM pipeline in that spirit:
+
+* :mod:`repro.slam.grid` — a log-odds occupancy grid with vectorized ray
+  integration (the dynamically *filling* data structure);
+* :mod:`repro.slam.scanmatch` — hill-climbing scan-to-map matching whose
+  iteration count depends on the odometry error (the data-dependent
+  optimizer);
+* :mod:`repro.slam.pipeline` — predict / correct / map-update pipeline
+  with an explicit FLOP accounting hook for the SoC cycle models.
+"""
+
+from repro.slam.grid import GridParams, OccupancyGrid
+from repro.slam.scanmatch import MatchResult, ScanMatcher
+from repro.slam.pipeline import SlamPipeline, SlamUpdate, slam_grid_for_world
+
+__all__ = [
+    "GridParams",
+    "OccupancyGrid",
+    "ScanMatcher",
+    "MatchResult",
+    "SlamPipeline",
+    "SlamUpdate",
+    "slam_grid_for_world",
+]

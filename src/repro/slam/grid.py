@@ -1,0 +1,178 @@
+"""Log-odds occupancy grid mapping.
+
+The standard grid-mapping formulation: each cell holds the log-odds of
+being occupied; a lidar beam decrements every cell it traverses (free
+space) and increments the cell at its endpoint (a hit), with saturation.
+Ray traversal is vectorized across all beams of a scan by sampling each
+ray at sub-cell spacing.
+
+The grid also counts the cells it touches per update — the access-pattern
+quantity the SoC cycle model charges for (Section 6's "dynamically
+scaling data structures").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GridParams:
+    """Geometry and update weights of the occupancy grid."""
+
+    origin_x: float
+    origin_y: float
+    width_m: float
+    height_m: float
+    resolution: float = 0.25  # meters per cell
+    hit_logodds: float = 1.2
+    miss_logodds: float = -0.35
+    clamp: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ConfigError("resolution must be positive")
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ConfigError("grid dimensions must be positive")
+        if self.clamp <= 0:
+            raise ConfigError("clamp must be positive")
+
+
+class OccupancyGrid:
+    """A 2D log-odds occupancy grid."""
+
+    def __init__(self, params: GridParams):
+        self.params = params
+        self.cols = max(2, int(math.ceil(params.width_m / params.resolution)))
+        self.rows = max(2, int(math.ceil(params.height_m / params.resolution)))
+        self.logodds = np.zeros((self.rows, self.cols), dtype=np.float32)
+        self.cells_touched_total = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    # Coordinate transforms (vectorized)
+    # ------------------------------------------------------------------
+    def world_to_cell(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map (N, 2) world points to (rows, cols, in_bounds mask)."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        cols = np.floor((points[:, 0] - self.params.origin_x) / self.params.resolution).astype(int)
+        rows = np.floor((points[:, 1] - self.params.origin_y) / self.params.resolution).astype(int)
+        valid = (rows >= 0) & (rows < self.rows) & (cols >= 0) & (cols < self.cols)
+        return rows, cols, valid
+
+    def cell_center(self, row: int, col: int) -> np.ndarray:
+        return np.array(
+            [
+                self.params.origin_x + (col + 0.5) * self.params.resolution,
+                self.params.origin_y + (row + 0.5) * self.params.resolution,
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def integrate_scan(
+        self,
+        pose_x: float,
+        pose_y: float,
+        pose_yaw: float,
+        beam_angles: np.ndarray,
+        ranges: np.ndarray,
+        max_range: float,
+    ) -> int:
+        """Integrate one scan taken from the given pose.
+
+        Returns the number of cell updates performed (the cost driver).
+        """
+        beam_angles = np.asarray(beam_angles, dtype=float)
+        ranges = np.asarray(ranges, dtype=float)
+        if beam_angles.shape != ranges.shape:
+            raise ConfigError("beam_angles and ranges must have matching shapes")
+        world_angles = pose_yaw + beam_angles
+        step = self.params.resolution * 0.5
+
+        free_rows: list[np.ndarray] = []
+        free_cols: list[np.ndarray] = []
+        hit_points = []
+        for angle, rng in zip(world_angles, ranges):
+            depth = float(min(rng, max_range))
+            if depth <= step:
+                continue
+            # Sample free space up to just short of the endpoint.
+            distances = np.arange(step, depth - step / 2, step)
+            if distances.size:
+                xs = pose_x + distances * math.cos(angle)
+                ys = pose_y + distances * math.sin(angle)
+                rows, cols, valid = self.world_to_cell(np.column_stack([xs, ys]))
+                free_rows.append(rows[valid])
+                free_cols.append(cols[valid])
+            if rng < max_range:  # a real hit, not a max-range miss
+                hit_points.append(
+                    (pose_x + depth * math.cos(angle), pose_y + depth * math.sin(angle))
+                )
+
+        touched = 0
+        if free_rows:
+            rows = np.concatenate(free_rows)
+            cols = np.concatenate(free_cols)
+            # Deduplicate per scan so overlapping beams don't over-clear.
+            flat = np.unique(rows * self.cols + cols)
+            self.logodds.reshape(-1)[flat] += self.params.miss_logodds
+            touched += flat.size
+        if hit_points:
+            rows, cols, valid = self.world_to_cell(np.array(hit_points))
+            flat = np.unique(rows[valid] * self.cols + cols[valid])
+            self.logodds.reshape(-1)[flat] += self.params.hit_logodds
+            touched += flat.size
+        np.clip(self.logodds, -self.params.clamp, self.params.clamp, out=self.logodds)
+        self.cells_touched_total += touched
+        self.updates += 1
+        return touched
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def occupancy_probability(self, points: np.ndarray) -> np.ndarray:
+        """P(occupied) for each (N, 2) world point; 0.5 out of bounds."""
+        rows, cols, valid = self.world_to_cell(points)
+        probs = np.full(rows.shape, 0.5)
+        lo = self.logodds[rows[valid], cols[valid]]
+        probs[valid] = 1.0 / (1.0 + np.exp(-lo))
+        return probs
+
+    def endpoint_evidence(
+        self, points: np.ndarray, known_threshold: float = 0.5
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(probs, known)`` for each point.
+
+        ``known`` marks points landing on cells with accumulated evidence
+        (|log-odds| above the threshold).  Scan matchers must score only
+        known cells: treating unexplored frontier cells as 0.5-probability
+        evidence systematically rewards poses that retreat into the mapped
+        region.
+        """
+        rows, cols, valid = self.world_to_cell(points)
+        probs = np.full(rows.shape, 0.5)
+        known = np.zeros(rows.shape, dtype=bool)
+        lo = self.logodds[rows[valid], cols[valid]]
+        probs[valid] = 1.0 / (1.0 + np.exp(-lo))
+        known[valid] = np.abs(lo) > known_threshold
+        return probs, known
+
+    @property
+    def observed_fraction(self) -> float:
+        """Fraction of cells with meaningful evidence (|logodds| > 0.5)."""
+        return float((np.abs(self.logodds) > 0.5).mean())
+
+    @property
+    def occupied_cells(self) -> int:
+        return int((self.logodds > 0.5).sum())
+
+    @property
+    def free_cells(self) -> int:
+        return int((self.logodds < -0.5).sum())

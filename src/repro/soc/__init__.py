@@ -1,0 +1,41 @@
+"""SoC + FireSim substrate (the Chipyard / FireSim substitute).
+
+A cycle-level, discrete-event model of the companion-computer SoC the
+paper evaluates: Rocket / BOOM core timing models, the Gemmini systolic
+array, a system bus and DRAM model, and the RoSE MMIO I/O device.  The
+:mod:`repro.soc.firesim` module wraps an SoC in the token-throttled
+stepping interface FireSim exposes to the RoSE bridge, plus a host-side
+wall-clock throughput model for the simulator-performance experiments.
+
+Cycle-accuracy caveat: this is a calibrated timing model, not RTL — see
+DESIGN.md ("Substitutions").
+"""
+
+from repro.soc.bus import SystemBus
+from repro.soc.memory import DramModel, Sram
+from repro.soc.cpu import CpuModel, boom_core, rocket_core
+from repro.soc.gemmini import GemminiModel, default_gemmini
+from repro.soc.soc import Soc, SocConfig, CONFIG_A, CONFIG_B, CONFIG_C, soc_config
+from repro.soc.firesim import FireSimHost, HostPerfParams, simulation_throughput_mhz
+from repro.soc.program import TargetRuntime
+
+__all__ = [
+    "SystemBus",
+    "DramModel",
+    "Sram",
+    "CpuModel",
+    "rocket_core",
+    "boom_core",
+    "GemminiModel",
+    "default_gemmini",
+    "Soc",
+    "SocConfig",
+    "CONFIG_A",
+    "CONFIG_B",
+    "CONFIG_C",
+    "soc_config",
+    "FireSimHost",
+    "HostPerfParams",
+    "simulation_throughput_mhz",
+    "TargetRuntime",
+]

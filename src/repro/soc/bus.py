@@ -1,0 +1,84 @@
+"""System bus model (TileLink-like, 128-bit).
+
+The RoSE I/O module sits "onto the system bus" (Figure 4) and Gemmini is
+constrained by "Gemmini's 128-bit maximum memory bus width"
+(Section 4.2.1).  The bus model answers two questions: how many cycles a
+burst transfer of N bytes takes, and which device owns an MMIO address.
+It also keeps utilization counters so experiments can report bus traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.soc import calib
+
+
+@dataclass(frozen=True)
+class MmioRegion:
+    """An address window claimed by a device."""
+
+    name: str
+    base: int
+    size: int
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+
+class SystemBus:
+    """Shared system interconnect with beat-level transfer accounting."""
+
+    def __init__(
+        self,
+        width_bits: int = calib.BUS_WIDTH_BITS,
+        latency_cycles: int = calib.BUS_LATENCY_CYCLES,
+    ):
+        if width_bits % 8 != 0 or width_bits <= 0:
+            raise ConfigError(f"bus width must be a positive multiple of 8: {width_bits}")
+        self.width_bits = width_bits
+        self.bytes_per_beat = width_bits // 8
+        self.latency_cycles = latency_cycles
+        self._regions: list[MmioRegion] = []
+        self.bytes_transferred = 0
+        self.transfer_cycles_total = 0
+
+    # -- address map -----------------------------------------------------
+    def register_region(self, name: str, base: int, size: int) -> MmioRegion:
+        region = MmioRegion(name, base, size)
+        for existing in self._regions:
+            if (
+                region.base < existing.base + existing.size
+                and existing.base < region.base + region.size
+            ):
+                raise ConfigError(
+                    f"MMIO region {name!r} overlaps {existing.name!r}"
+                )
+        self._regions.append(region)
+        return region
+
+    def route(self, address: int) -> MmioRegion:
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        raise ConfigError(f"no device at bus address 0x{address:08x}")
+
+    # -- timing ------------------------------------------------------------
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles for one burst transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError("transfer size must be non-negative")
+        beats = math.ceil(nbytes / self.bytes_per_beat) if nbytes else 0
+        cycles = self.latency_cycles + beats
+        self.bytes_transferred += nbytes
+        self.transfer_cycles_total += cycles
+        return cycles
+
+    def streaming_cycles(self, nbytes: int) -> float:
+        """Cycles for a long DMA stream at full bus bandwidth (no per-burst
+        latency; the DMA engine pipelines bursts)."""
+        if nbytes < 0:
+            raise ConfigError("transfer size must be non-negative")
+        return nbytes / self.bytes_per_beat

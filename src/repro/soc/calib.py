@@ -1,0 +1,84 @@
+"""Calibration constants for the SoC cycle models.
+
+Every constant here is either a structural parameter taken directly from
+the paper's experimental setup (Section 4.2.1) or a fitted efficiency
+factor anchored to the paper's own measurements (Table 3 and Section 5.1).
+Nothing else in the package hardcodes timing numbers.
+
+Structural parameters (from the paper):
+
+* Gemmini: 4x4 FP32 mesh, weight-stationary dataflow, 256 KiB scratchpad,
+  64 KiB accumulator, 128-bit maximum memory bus width.
+* SoC frequency: 1 GHz (Figure 6's example models a 1 GHz SoC).
+
+Fitted parameters (anchored to Table 3 / Section 5.1):
+
+* ``GEMMINI_COMPUTE_EFFICIENCY``: fraction of the 16 MAC/cycle peak the
+  mesh sustains across tiling, pipeline fill/drain and dependent-layer
+  stalls.  Fit so ResNet14 on BOOM+Gemmini lands near Table 3's 85 ms.
+* CPU per-element costs: cycles for one FP32 element of a CPU-executed op
+  (batchnorm / relu / residual add / pooling), fit to the BOOM-vs-Rocket
+  latency gap in Table 3 (the Gemmini work is identical across cores, so
+  the gap is all CPU-side).
+* ``macs_per_cycle`` (CPU fallback): FP32 MAC throughput of ONNX-Runtime
+  conv kernels on a scalar core; fit so ResNet14 on a BOOM-only SoC costs
+  about 6 G cycles, matching Section 5.1's observed "6-second latency
+  between an image request and control target update".
+"""
+
+from __future__ import annotations
+
+# --- Clocking -------------------------------------------------------------
+SOC_FREQUENCY_HZ: float = 1_000_000_000.0  # 1 GHz target clock
+
+# --- System bus / DRAM (128-bit = 16 bytes per beat) -----------------------
+BUS_WIDTH_BITS: int = 128
+BUS_LATENCY_CYCLES: int = 10
+DRAM_BANDWIDTH_BYTES_PER_CYCLE: float = 16.0
+DRAM_LATENCY_CYCLES: int = 30
+
+# --- Gemmini (Section 4.2.1) -----------------------------------------------
+GEMMINI_MESH_ROWS: int = 4
+GEMMINI_MESH_COLS: int = 4
+GEMMINI_SCRATCHPAD_BYTES: int = 256 * 1024
+GEMMINI_ACCUMULATOR_BYTES: int = 64 * 1024
+# Sustained efficiency of the mesh is shape-dependent: streaming M output
+# rows through a weight-stationary tile costs ~M + fill/drain cycles, so
+# small-M layers (late ResNet stages, where oh*ow shrinks to 16) waste most
+# of the pipeline:  eff(M) = BASE * M / (M + FILL).  BASE and FILL are
+# fitted jointly with the CPU constants against Table 3.
+GEMMINI_BASE_EFFICIENCY: float = 0.60
+GEMMINI_FILL_OVERHEAD_ROWS: int = 16
+GEMMINI_OP_SETUP_CYCLES: int = 2_000  # config + DMA descriptor setup per op
+
+# --- CPU cores --------------------------------------------------------------
+# BOOM: 3-wide out-of-order (SonicBOOM).  Rocket: 5-stage in-order scalar.
+BOOM_ELEM_OP_CYCLES: float = 10.0
+ROCKET_ELEM_OP_CYCLES: float = 30.0
+
+BOOM_MACS_PER_CYCLE: float = 0.075  # CPU-only FP32 conv throughput (fitted)
+ROCKET_MACS_PER_CYCLE: float = 0.025
+
+# Sustained FP32 throughput of hand-written scalar control code (MPC,
+# SLAM): far better than ONNX conv kernels (cache-resident, no framework
+# overhead), far below peak issue width.
+BOOM_SCALAR_FLOPS_PER_CYCLE: float = 1.2
+ROCKET_SCALAR_FLOPS_PER_CYCLE: float = 0.4
+
+BOOM_DISPATCH_CYCLES: int = 200_000  # ONNX-Runtime per-node overhead
+ROCKET_DISPATCH_CYCLES: int = 250_000
+
+BOOM_MMIO_ACCESS_CYCLES: int = 30  # uncached load/store across the bus
+ROCKET_MMIO_ACCESS_CYCLES: int = 90
+
+BOOM_COPY_CYCLES_PER_BYTE: float = 1.0  # packet payload copy in/out of queues
+ROCKET_COPY_CYCLES_PER_BYTE: float = 3.0
+
+# Per-inference fixed cost: image unpack + FP32 normalization +
+# ONNX-Runtime session overhead.  Dominated by scalar-FP image conversion,
+# hence the large Rocket/BOOM gap.
+BOOM_SESSION_FIXED_CYCLES: int = 15_000_000
+ROCKET_SESSION_FIXED_CYCLES: int = 17_000_000
+
+# Polling interval of the target application's packet-wait loop.
+TARGET_POLL_INTERVAL_CYCLES: int = 2_000

@@ -1,0 +1,119 @@
+"""CPU core timing models: Rocket (in-order) and SonicBOOM (3-wide OoO).
+
+The paper generates "two types of CPU cores ... a Rocket CPU, a 5-stage
+in-order scalar processor core generator, and for the superscalar
+out-of-order CPU we use SonicBOOM" (Section 4.2.1).  The cycle model
+characterizes each core by the throughputs the workloads exercise:
+
+* per-element cost of CPU-executed tensor ops (batchnorm, relu, residual
+  add, pooling, softmax),
+* FP32 MAC throughput of conv/gemm kernels when no accelerator is present,
+* per-operator runtime dispatch overhead (the ONNX-Runtime node walk),
+* uncached MMIO access latency and packet-copy throughput (the RoSE I/O
+  path), and
+* a fixed per-inference session cost (image unpack + normalization).
+
+Constants live in :mod:`repro.soc.calib` with their calibration rationale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.soc import calib
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Timing characteristics of one core."""
+
+    name: str
+    kind: str  # "in-order" | "out-of-order"
+    issue_width: int
+    elem_op_cycles: float
+    macs_per_cycle: float
+    dispatch_cycles: int
+    mmio_access_cycles: int
+    copy_cycles_per_byte: float
+    session_fixed_cycles: int
+    scalar_flops_per_cycle: float = 1.0
+    frequency_hz: float = calib.SOC_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.elem_op_cycles <= 0 or self.macs_per_cycle <= 0:
+            raise ConfigError(f"CPU {self.name!r} has non-positive throughput")
+        if self.issue_width < 1:
+            raise ConfigError(f"CPU {self.name!r} issue width must be >= 1")
+
+    # -- kernel cost models ----------------------------------------------
+    def elementwise_cycles(self, elements: int) -> int:
+        """Cycles for an element-wise tensor op over ``elements`` values."""
+        if elements < 0:
+            raise ConfigError("element count must be non-negative")
+        return math.ceil(elements * self.elem_op_cycles)
+
+    def matmul_cycles(self, macs: int) -> int:
+        """Cycles for a conv/gemm of ``macs`` multiply-accumulates on the
+        CPU (the no-accelerator fallback path)."""
+        if macs < 0:
+            raise ConfigError("MAC count must be non-negative")
+        return math.ceil(macs / self.macs_per_cycle)
+
+    def copy_cycles(self, nbytes: int) -> int:
+        """Cycles to copy a packet payload to/from the I/O queues."""
+        if nbytes < 0:
+            raise ConfigError("copy size must be non-negative")
+        return math.ceil(nbytes * self.copy_cycles_per_byte)
+
+    def scalar_flops_cycles(self, flops: int) -> int:
+        """Cycles for hand-written scalar FP32 control code (MPC / SLAM)."""
+        if flops < 0:
+            raise ConfigError("FLOP count must be non-negative")
+        return math.ceil(flops / self.scalar_flops_per_cycle)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+
+def boom_core() -> CpuModel:
+    """SonicBOOM: 3-wide superscalar out-of-order core."""
+    return CpuModel(
+        name="boom",
+        kind="out-of-order",
+        issue_width=3,
+        elem_op_cycles=calib.BOOM_ELEM_OP_CYCLES,
+        macs_per_cycle=calib.BOOM_MACS_PER_CYCLE,
+        dispatch_cycles=calib.BOOM_DISPATCH_CYCLES,
+        mmio_access_cycles=calib.BOOM_MMIO_ACCESS_CYCLES,
+        copy_cycles_per_byte=calib.BOOM_COPY_CYCLES_PER_BYTE,
+        session_fixed_cycles=calib.BOOM_SESSION_FIXED_CYCLES,
+        scalar_flops_per_cycle=calib.BOOM_SCALAR_FLOPS_PER_CYCLE,
+    )
+
+
+def rocket_core() -> CpuModel:
+    """Rocket: 5-stage in-order scalar core."""
+    return CpuModel(
+        name="rocket",
+        kind="in-order",
+        issue_width=1,
+        elem_op_cycles=calib.ROCKET_ELEM_OP_CYCLES,
+        macs_per_cycle=calib.ROCKET_MACS_PER_CYCLE,
+        dispatch_cycles=calib.ROCKET_DISPATCH_CYCLES,
+        mmio_access_cycles=calib.ROCKET_MMIO_ACCESS_CYCLES,
+        copy_cycles_per_byte=calib.ROCKET_COPY_CYCLES_PER_BYTE,
+        session_fixed_cycles=calib.ROCKET_SESSION_FIXED_CYCLES,
+        scalar_flops_per_cycle=calib.ROCKET_SCALAR_FLOPS_PER_CYCLE,
+    )
+
+
+_CORES = {"boom": boom_core, "rocket": rocket_core}
+
+
+def core_by_name(name: str) -> CpuModel:
+    try:
+        return _CORES[name]()
+    except KeyError:
+        raise ConfigError(f"unknown core {name!r}; available: {sorted(_CORES)}") from None

@@ -1,0 +1,174 @@
+"""Gemmini systolic-array cycle model.
+
+Models the accelerator the paper generates: "a 4x4 FP32 mesh to match
+Gemmini's 128-bit maximum memory bus width ... weight-stationary dataflow
+... a 256 KB scratchpad with a 64 KB accumulator" (Section 4.2.1).
+
+A conv/linear operator is lowered to a GEMM of shape (M, K, N) — im2col
+for convolutions — and costed as the max of compute and DMA time per the
+usual roofline argument, plus a fixed per-op setup cost:
+
+* compute: ``M*K*N`` MACs over a ``rows x cols`` mesh at a fitted
+  sustained efficiency (pipeline fill/drain, edge tiles);
+* DMA: weights streamed once, activations re-streamed once per weight
+  pass when the layer's weights exceed scratchpad capacity (the
+  weight-stationary penalty for large layers), outputs written back
+  through the accumulator.
+
+The model also reports busy cycles so the mission metrics can compute the
+accelerator activity factor of Figure 13.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dnn.graph import FP32_BYTES, Node, OpType
+from repro.errors import SchedulingError
+from repro.soc import calib
+from repro.soc.bus import SystemBus
+from repro.soc.memory import DramModel, Sram
+
+
+@dataclass(frozen=True)
+class GemmCost:
+    """Cycle breakdown of one operator on the accelerator."""
+
+    compute_cycles: int
+    dma_cycles: int
+    setup_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        # Compute and DMA overlap (double-buffered scratchpad); setup does not.
+        return max(self.compute_cycles, self.dma_cycles) + self.setup_cycles
+
+
+class GemminiModel:
+    """A weight-stationary systolic array with explicit SRAM capacities."""
+
+    #: Supported element types: bytes per element and the mesh dimension
+    #: that matches the 128-bit bus (16 bytes per beat), the same sizing
+    #: argument Section 4.2.1 applies to the FP32 configuration.
+    DTYPES = {"fp32": 4, "int8": 1}
+
+    def __init__(
+        self,
+        mesh_rows: int | None = None,
+        mesh_cols: int | None = None,
+        scratchpad_bytes: int = calib.GEMMINI_SCRATCHPAD_BYTES,
+        accumulator_bytes: int = calib.GEMMINI_ACCUMULATOR_BYTES,
+        base_efficiency: float = calib.GEMMINI_BASE_EFFICIENCY,
+        fill_overhead_rows: int = calib.GEMMINI_FILL_OVERHEAD_ROWS,
+        op_setup_cycles: int = calib.GEMMINI_OP_SETUP_CYCLES,
+        bus: SystemBus | None = None,
+        dram: DramModel | None = None,
+        dtype: str = "fp32",
+    ):
+        if dtype not in self.DTYPES:
+            raise SchedulingError(
+                f"dtype must be one of {sorted(self.DTYPES)}, got {dtype!r}"
+            )
+        self.dtype = dtype
+        self.element_bytes = self.DTYPES[dtype]
+        # Default mesh dimension matches the bus width for the element
+        # type: 4x4 for FP32, 16x16 for INT8 (16 bytes per beat).
+        default_mesh = 16 // self.element_bytes
+        mesh_rows = default_mesh if mesh_rows is None else mesh_rows
+        mesh_cols = default_mesh if mesh_cols is None else mesh_cols
+        if mesh_rows < 1 or mesh_cols < 1:
+            raise SchedulingError("mesh dimensions must be positive")
+        if not (0.0 < base_efficiency <= 1.0):
+            raise SchedulingError("base_efficiency must be in (0, 1]")
+        if fill_overhead_rows < 0:
+            raise SchedulingError("fill_overhead_rows must be non-negative")
+        self.mesh_rows = mesh_rows
+        self.mesh_cols = mesh_cols
+        self.scratchpad = Sram("scratchpad", scratchpad_bytes)
+        self.accumulator = Sram("accumulator", accumulator_bytes)
+        self.base_efficiency = base_efficiency
+        self.fill_overhead_rows = fill_overhead_rows
+        self.op_setup_cycles = op_setup_cycles
+        self.bus = bus or SystemBus()
+        self.dram = dram or DramModel()
+        self.busy_cycles = 0
+        self.ops_executed = 0
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.mesh_rows * self.mesh_cols
+
+    def efficiency(self, m: int) -> float:
+        """Sustained fraction of peak for a GEMM with ``m`` output rows.
+
+        Streaming ``m`` rows through a weight-stationary tile costs roughly
+        ``m`` beats plus a fixed fill/drain overhead, so small-``m`` layers
+        (late ResNet stages) waste most of the pipeline.
+        """
+        if m < 1:
+            raise SchedulingError(f"GEMM row count must be positive, got {m}")
+        return self.base_efficiency * m / (m + self.fill_overhead_rows)
+
+    # ------------------------------------------------------------------
+    def gemm_cost(self, m: int, k: int, n: int) -> GemmCost:
+        """Cost of a GEMM: (m x k) activations times (k x n) weights."""
+        if min(m, k, n) < 1:
+            raise SchedulingError(f"degenerate GEMM shape ({m}, {k}, {n})")
+        macs = m * k * n
+        compute = math.ceil(macs / (self.peak_macs_per_cycle * self.efficiency(m)))
+
+        weight_bytes = k * n * self.element_bytes
+        act_bytes = m * k * self.element_bytes
+        # Accumulation is wider than the element type; outputs write back
+        # at 4 bytes regardless of dtype.
+        out_bytes = m * n * FP32_BYTES
+        # Weight-stationary: weights stream in once; when they exceed the
+        # scratchpad the activations must be re-streamed per weight pass.
+        passes = self.scratchpad.passes_required(weight_bytes)
+        dma_bytes = weight_bytes + passes * act_bytes + out_bytes
+        dma = math.ceil(self.dram.stream_cycles(dma_bytes))
+        return GemmCost(
+            compute_cycles=compute,
+            dma_cycles=dma,
+            setup_cycles=self.op_setup_cycles,
+        )
+
+    def node_cost(self, node: Node) -> GemmCost:
+        """Cost of a CONV or LINEAR graph node."""
+        if node.op == OpType.CONV:
+            c_out, oh, ow = node.output_shape
+            kernel = int(node.attrs["kernel"])
+            # K = c_in * k^2, recovered from the parameter count.
+            k = node.param_count // c_out
+            if k * c_out != node.param_count:
+                raise SchedulingError(f"inconsistent conv node {node.name!r}")
+            return self.gemm_cost(m=oh * ow, k=k, n=c_out)
+        if node.op == OpType.LINEAR:
+            (n_out,) = node.output_shape
+            k = (node.param_count - n_out) // n_out
+            return self.gemm_cost(m=1, k=max(k, 1), n=n_out)
+        raise SchedulingError(
+            f"Gemmini cannot execute op {node.op.value!r} (node {node.name!r})"
+        )
+
+    def execute(self, node: Node) -> int:
+        """Account one node's execution; returns its total cycles."""
+        cost = self.node_cost(node)
+        self.busy_cycles += cost.total_cycles
+        self.ops_executed += 1
+        return cost.total_cycles
+
+    def reset_counters(self) -> None:
+        self.busy_cycles = 0
+        self.ops_executed = 0
+
+
+def default_gemmini() -> GemminiModel:
+    """The paper's configuration: 4x4 FP32, 256 KiB + 64 KiB SRAM."""
+    return GemminiModel()
+
+
+def int8_gemmini() -> GemminiModel:
+    """Gemmini's native configuration: 16x16 INT8 at the same bus width."""
+    return GemminiModel(dtype="int8")

@@ -1,0 +1,90 @@
+"""Memory models: DRAM and on-chip SRAM (scratchpad / accumulator).
+
+The DRAM model turns byte counts into stream cycles at a configured
+bandwidth; the SRAM model enforces capacity, which the Gemmini tiler uses
+to decide how many passes a layer's weights require (Section 4.2.1's
+256 KiB scratchpad / 64 KiB accumulator).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.soc import calib
+
+
+@dataclass
+class DramModel:
+    """Off-chip memory reached through the memory controller."""
+
+    bandwidth_bytes_per_cycle: float = calib.DRAM_BANDWIDTH_BYTES_PER_CYCLE
+    latency_cycles: int = calib.DRAM_LATENCY_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+
+    def stream_cycles(self, nbytes: int) -> float:
+        """Cycles to stream ``nbytes`` sequentially (DMA-style)."""
+        if nbytes < 0:
+            raise ConfigError("stream size must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_cycles + nbytes / self.bandwidth_bytes_per_cycle
+
+    def random_access_cycles(self, accesses: int) -> float:
+        """Cycles for ``accesses`` independent (non-streaming) requests."""
+        if accesses < 0:
+            raise ConfigError("access count must be non-negative")
+        return accesses * self.latency_cycles
+
+
+class Sram:
+    """A fixed-capacity on-chip memory with simple bump allocation.
+
+    The allocator exists so the Gemmini tiler can *prove* a tiling fits:
+    allocation failures surface as :class:`ConfigError` rather than as
+    silently-wrong cycle counts.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigError(f"SRAM {name!r} capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._allocated = 0
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._allocated
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes``; returns the offset."""
+        if nbytes < 0:
+            raise ConfigError("allocation size must be non-negative")
+        if nbytes > self.free_bytes:
+            raise ConfigError(
+                f"SRAM {self.name!r} overflow: requested {nbytes}, "
+                f"free {self.free_bytes} of {self.capacity_bytes}"
+            )
+        offset = self._allocated
+        self._allocated += nbytes
+        return offset
+
+    def reset(self) -> None:
+        self._allocated = 0
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.capacity_bytes
+
+    def passes_required(self, nbytes: int) -> int:
+        """How many residency passes a buffer of ``nbytes`` needs."""
+        if nbytes <= 0:
+            return 1
+        return max(1, math.ceil(nbytes / self.capacity_bytes))

@@ -1,0 +1,139 @@
+"""Target-program runtime API.
+
+Programs for the simulated SoC are written as Python generators that
+*yield timed operations*; the SoC execution engine interprets each op,
+charges its cycle cost against the current token budget, and sends back
+the op's result.  This style gives the model what it needs from a target
+binary — a totally ordered stream of I/O and compute with cycle costs —
+without simulating RISC-V instructions (see DESIGN.md).
+
+Primitive operations (what the engine interprets):
+
+``("delay", cycles)``
+    idle / generic CPU work of known cost.
+``("cpu", cycles)``
+    CPU compute (accounted as busy, same timing as delay).
+``("mmio_read", reg)``
+    uncached read of a RoSE register; resolves to the register value.
+    Popping ``RX_DATA`` additionally pays the payload copy cost.
+``("mmio_write", reg, value)``
+    uncached write; pushing ``TX_DATA`` pays the payload copy cost.
+``("inference", session)``
+    run one DNN inference; costs the session's report cycles and resolves
+    to the :class:`~repro.dnn.runtime.InferenceReport`.
+
+Programs normally use the composite helpers on :class:`TargetRuntime`
+(``recv_packet`` / ``send_packet`` / ``run_inference``) rather than raw
+ops.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.packets import DataPacket, PacketType
+from repro.errors import TargetProgramError
+from repro.soc import calib
+from repro.soc.iodev import (
+    REG_CYCLE,
+    REG_RX_COUNT,
+    REG_RX_DATA,
+    REG_TX_DATA,
+    REG_TX_SPACE,
+)
+
+#: Type alias for readability: a target program is a generator of ops.
+TargetProgram = Generator
+
+
+class TargetRuntime:
+    """Helper library available to target programs.
+
+    Stateless apart from configuration; all state lives in the SoC engine
+    that interprets the yielded ops.
+    """
+
+    def __init__(
+        self,
+        poll_interval_cycles: int = calib.TARGET_POLL_INTERVAL_CYCLES,
+        max_poll_interval_cycles: int = 1_000_000,
+    ):
+        if poll_interval_cycles <= 0:
+            raise TargetProgramError("poll interval must be positive")
+        if max_poll_interval_cycles < poll_interval_cycles:
+            raise TargetProgramError("max poll interval below initial interval")
+        self.poll_interval_cycles = poll_interval_cycles
+        self.max_poll_interval_cycles = max_poll_interval_cycles
+
+    # -- primitives ------------------------------------------------------
+    def delay(self, cycles: int):
+        yield ("delay", int(cycles))
+
+    def compute(self, cycles: int):
+        yield ("cpu", int(cycles))
+
+    def mmio_read(self, reg: int):
+        value = yield ("mmio_read", reg)
+        return value
+
+    def mmio_write(self, reg: int, value):
+        yield ("mmio_write", reg, value)
+
+    def current_cycle(self):
+        value = yield from self.mmio_read(REG_CYCLE)
+        return value
+
+    # -- composite I/O helpers --------------------------------------------
+    def recv_packet(self, timeout_cycles: int | None = None):
+        """Block (polling) until an RX packet arrives; returns it.
+
+        Returns ``None`` if ``timeout_cycles`` elapse first.  The polling
+        loop is what couples the application to the synchronization
+        granularity: data only appears at synchronization boundaries, so a
+        request issued mid-period stalls until the next boundary
+        (Section 5.5).  Polling backs off exponentially (the application
+        sleeps between polls), bounding both target-side poll traffic and
+        host-side simulation work during long stalls.
+        """
+        waited = 0
+        interval = self.poll_interval_cycles
+        while True:
+            count = yield from self.mmio_read(REG_RX_COUNT)
+            if count > 0:
+                packet = yield from self.mmio_read(REG_RX_DATA)
+                if packet is not None:
+                    return packet
+                # Lost the race to a concurrent task; fall through to wait.
+            if timeout_cycles is not None and waited >= timeout_cycles:
+                return None
+            yield ("delay", interval)
+            waited += interval
+            interval = min(interval * 2, self.max_poll_interval_cycles)
+
+    def recv_packet_of(self, ptype: PacketType, timeout_cycles: int | None = None):
+        """Receive until a packet of ``ptype`` arrives, discarding others."""
+        while True:
+            packet = yield from self.recv_packet(timeout_cycles)
+            if packet is None or packet.ptype == ptype:
+                return packet
+
+    def send_packet(self, packet: DataPacket):
+        """Push a packet to the TX queue, waiting for space if needed."""
+        while True:
+            space = yield from self.mmio_read(REG_TX_SPACE)
+            if space >= packet.payload_bytes:
+                break
+            yield ("delay", self.poll_interval_cycles)
+        yield ("mmio_write", REG_TX_DATA, packet)
+
+    def request_response(self, request: DataPacket, response_type: PacketType):
+        """Send a request and wait for its typed response (RPC pattern)."""
+        yield from self.send_packet(request)
+        response = yield from self.recv_packet_of(response_type)
+        return response
+
+    # -- compute helpers ----------------------------------------------------
+    def run_inference(self, session):
+        """Run one DNN inference on its session; returns the report."""
+        report = yield ("inference", session)
+        return report

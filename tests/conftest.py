@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.camera import CameraParams
+from repro.env.simulator import EnvConfig, EnvSimulator
+from repro.env.worlds import s_shape_world, tunnel_world
+
+
+@pytest.fixture(scope="session")
+def tunnel():
+    return tunnel_world()
+
+
+@pytest.fixture(scope="session")
+def s_shape():
+    return s_shape_world()
+
+
+@pytest.fixture
+def small_camera_params():
+    """A tiny camera for fast render tests."""
+    return CameraParams(width=16, height=12)
+
+
+@pytest.fixture
+def env_sim():
+    """A fresh tunnel environment simulator."""
+    return EnvSimulator(EnvConfig(world="tunnel"))

@@ -1,0 +1,156 @@
+"""Tests for the controller application: Equation 2, stats, deadline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.app.controller import (
+    AppStats,
+    ControllerGains,
+    InferenceRecord,
+    compute_targets,
+)
+from repro.app.deadline import (
+    DeadlinePolicy,
+    process_deadline,
+    time_to_collision,
+)
+from repro.dnn.calibrated import TrailInference
+from repro.errors import ConfigError
+
+
+def inference(angular, lateral):
+    angular = np.asarray(angular, dtype=float)
+    lateral = np.asarray(lateral, dtype=float)
+    return TrailInference(
+        angular_probs=angular,
+        lateral_probs=lateral,
+        angular_pred=int(angular.argmax()),
+        lateral_pred=int(lateral.argmax()),
+    )
+
+
+class TestGains:
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            ControllerGains(beta_lateral=-1.0)
+
+    def test_velocity_scheduling(self):
+        gains = ControllerGains(beta_lateral=3.0, beta_angular=1.5)
+        bl, ba = gains.at_velocity(4.5)
+        assert bl == pytest.approx(1.5)
+        assert ba == pytest.approx(0.75)
+
+    def test_reference_velocity_identity(self):
+        gains = ControllerGains()
+        bl, ba = gains.at_velocity(ControllerGains.REFERENCE_VELOCITY)
+        assert (bl, ba) == (gains.beta_lateral, gains.beta_angular)
+
+
+class TestEquation2:
+    GAINS = ControllerGains(beta_lateral=3.0, beta_angular=1.3)
+    V = ControllerGains.REFERENCE_VELOCITY  # gains at face value
+
+    def test_centered_inference_no_correction(self):
+        result = inference([0, 1, 0], [0, 1, 0])
+        vf, vl, yr = compute_targets(result, self.V, self.GAINS)
+        assert vf == self.V
+        assert vl == 0.0
+        assert yr == 0.0
+
+    def test_drone_left_of_trail_corrects_right(self):
+        # Lateral class LEFT (index 0): drone is left -> move right
+        # (negative lateral velocity; +lateral is leftward).
+        result = inference([0, 1, 0], [1, 0, 0])
+        _, vl, _ = compute_targets(result, self.V, self.GAINS)
+        assert vl == pytest.approx(-3.0)
+
+    def test_drone_right_of_trail_corrects_left(self):
+        result = inference([0, 1, 0], [0, 0, 1])
+        _, vl, _ = compute_targets(result, self.V, self.GAINS)
+        assert vl == pytest.approx(3.0)
+
+    def test_drone_angled_left_turns_clockwise(self):
+        result = inference([1, 0, 0], [0, 1, 0])
+        _, _, yr = compute_targets(result, self.V, self.GAINS)
+        assert yr == pytest.approx(-1.3)
+
+    def test_drone_angled_right_turns_counter_clockwise(self):
+        result = inference([0, 0, 1], [0, 1, 0])
+        _, _, yr = compute_targets(result, self.V, self.GAINS)
+        assert yr == pytest.approx(1.3)
+
+    def test_confidence_scales_magnitude(self):
+        weak = inference([0.2, 0.5, 0.3], [0.3, 0.4, 0.3])
+        strong = inference([0.02, 0.05, 0.93], [0.0, 0.1, 0.9])
+        _, vl_weak, yr_weak = compute_targets(weak, self.V, self.GAINS)
+        _, vl_strong, yr_strong = compute_targets(strong, self.V, self.GAINS)
+        assert abs(vl_strong) > abs(vl_weak)
+        assert abs(yr_strong) > abs(yr_weak)
+
+    def test_argmax_policy_full_gain(self):
+        weak = inference([0.2, 0.3, 0.5], [0.45, 0.3, 0.25])
+        _, vl, yr = compute_targets(weak, self.V, self.GAINS, argmax_policy=True)
+        assert yr == pytest.approx(1.3)  # full angular correction
+        assert vl == pytest.approx(-3.0)  # full lateral correction
+
+    def test_forward_velocity_passthrough(self):
+        result = inference([0, 1, 0], [0, 1, 0])
+        vf, _, _ = compute_targets(result, 12.0, self.GAINS)
+        assert vf == 12.0
+
+
+class TestAppStats:
+    def test_record_and_latency(self):
+        stats = AppStats()
+        stats.record(1_000_000, 99_000_000, "resnet14")
+        stats.record(2_000_000, 90_000_000, "resnet6")
+        assert stats.inference_count == 2
+        assert stats.latency_cycles() == [98_000_000, 88_000_000]
+        assert stats.mean_latency_ms(1e9) == pytest.approx(93.0)
+        assert stats.inferences_by_model == {"resnet14": 1, "resnet6": 1}
+
+    def test_empty_latency_is_nan(self):
+        assert math.isnan(AppStats().mean_latency_ms())
+
+    def test_record_latency_property(self):
+        record = InferenceRecord(10, 25, "m")
+        assert record.latency_cycles == 15
+
+
+class TestDeadlineModel:
+    def test_equation_3(self):
+        assert time_to_collision(18.0, 9.0) == pytest.approx(2.0)
+
+    def test_zero_velocity_never_collides(self):
+        assert time_to_collision(5.0, 0.0) == float("inf")
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            time_to_collision(-1.0, 3.0)
+
+    def test_equation_5(self):
+        budget = process_deadline(
+            18.0, 9.0, sensor_latency_s=0.1, actuation_latency_s=0.4
+        )
+        assert budget == pytest.approx(1.5)
+
+    def test_budget_can_be_negative(self):
+        assert process_deadline(0.5, 10.0) < 0
+
+    def test_invalid_latencies_rejected(self):
+        with pytest.raises(ConfigError):
+            process_deadline(10.0, 1.0, sensor_latency_s=-0.1)
+
+    def test_policy_at_risk(self):
+        policy = DeadlinePolicy(threshold_s=0.4, sensor_latency_s=0.0, actuation_latency_s=0.0)
+        assert policy.at_risk(depth_m=3.0, velocity_mps=9.0)  # 0.33 s < 0.4
+        assert not policy.at_risk(depth_m=9.0, velocity_mps=9.0)  # 1 s
+
+    def test_policy_meets_deadline(self):
+        policy = DeadlinePolicy(sensor_latency_s=0.0, actuation_latency_s=0.0)
+        assert policy.meets_deadline(depth_m=9.0, velocity_mps=9.0, compute_s=0.5)
+        assert not policy.meets_deadline(depth_m=9.0, velocity_mps=9.0, compute_s=1.5)

@@ -1,0 +1,124 @@
+"""Tests for the RoSE bridge hardware queues and control unit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import packets as pk
+from repro.core.bridge import BridgeConfig, RoseBridge
+from repro.errors import BridgeError
+
+
+@pytest.fixture
+def bridge():
+    return RoseBridge()
+
+
+class TestControlUnit:
+    def test_set_steps(self, bridge):
+        bridge.set_steps(10_000_000, 1)
+        assert bridge.cycles_per_sync == 10_000_000
+        assert bridge.frames_per_sync == 1
+
+    def test_set_steps_rejects_non_positive(self, bridge):
+        with pytest.raises(BridgeError):
+            bridge.set_steps(0, 1)
+        with pytest.raises(BridgeError):
+            bridge.set_steps(100, 0)
+
+    def test_grant_before_set_rejected(self, bridge):
+        with pytest.raises(BridgeError):
+            bridge.grant_step()
+
+    def test_grant_returns_budget_and_counts(self, bridge):
+        bridge.set_steps(5_000_000, 1)
+        assert bridge.grant_step() == 5_000_000
+        assert bridge.counters.steps_granted == 1
+
+
+class TestRxQueue:
+    def test_inject_and_pop(self, bridge):
+        assert bridge.host_inject(pk.depth_response(3.0))
+        assert bridge.target_rx_count() == 1
+        packet = bridge.target_rx_pop()
+        assert packet.values == (3.0,)
+        assert bridge.target_rx_count() == 0
+
+    def test_fifo_order(self, bridge):
+        bridge.host_inject(pk.depth_response(1.0))
+        bridge.host_inject(pk.depth_response(2.0))
+        assert bridge.target_rx_pop().values == (1.0,)
+        assert bridge.target_rx_pop().values == (2.0,)
+
+    def test_pop_empty_underflows(self, bridge):
+        with pytest.raises(BridgeError):
+            bridge.target_rx_pop()
+
+    def test_head_bytes(self, bridge):
+        assert bridge.target_rx_head_bytes() == 0
+        bridge.host_inject(pk.depth_response(1.0))
+        assert bridge.target_rx_head_bytes() == 8
+
+    def test_capacity_backpressure(self):
+        bridge = RoseBridge(BridgeConfig(rx_capacity_bytes=20, tx_capacity_bytes=64))
+        assert bridge.host_inject(pk.depth_response(1.0))  # 8 bytes
+        assert bridge.host_inject(pk.depth_response(2.0))  # 16 bytes
+        assert not bridge.host_inject(pk.depth_response(3.0))  # would exceed 20
+        assert bridge.counters.rx_rejected == 1
+
+    def test_space_freed_after_pop(self):
+        bridge = RoseBridge(BridgeConfig(rx_capacity_bytes=16, tx_capacity_bytes=64))
+        bridge.host_inject(pk.depth_response(1.0))
+        bridge.host_inject(pk.depth_response(2.0))
+        assert not bridge.host_inject(pk.depth_response(3.0))
+        bridge.target_rx_pop()
+        assert bridge.host_inject(pk.depth_response(3.0))
+
+    def test_sync_packet_rejected_in_data_queue(self, bridge):
+        with pytest.raises(BridgeError):
+            bridge.host_inject(pk.sync_grant(1))
+
+    def test_buffered_bytes_tracks(self, bridge):
+        bridge.host_inject(pk.depth_response(1.0))
+        assert bridge.rx_buffered_bytes == 8
+        bridge.target_rx_pop()
+        assert bridge.rx_buffered_bytes == 0
+
+
+class TestTxQueue:
+    def test_push_and_collect(self, bridge):
+        bridge.target_tx_push(pk.camera_request())
+        bridge.target_tx_push(pk.target_command(1, 0, 0, 1.5))
+        collected = bridge.host_collect()
+        assert [p.ptype for p in collected] == [
+            pk.PacketType.CAMERA_REQ,
+            pk.PacketType.TARGET_CMD,
+        ]
+        assert bridge.host_collect() == []
+
+    def test_space_accounting(self, bridge):
+        before = bridge.target_tx_space()
+        bridge.target_tx_push(pk.target_command(1, 0, 0, 1.5))
+        assert bridge.target_tx_space() == before - 32
+
+    def test_overflow_raises(self):
+        bridge = RoseBridge(BridgeConfig(rx_capacity_bytes=64, tx_capacity_bytes=8))
+        with pytest.raises(BridgeError):
+            bridge.target_tx_push(pk.target_command(1, 0, 0, 1.5))
+
+    def test_sync_packet_rejected(self, bridge):
+        with pytest.raises(BridgeError):
+            bridge.target_tx_push(pk.sync_done(0, 1))
+
+    def test_counters(self, bridge):
+        bridge.target_tx_push(pk.camera_request())
+        bridge.host_collect()
+        bridge.host_inject(pk.depth_response(1.0))
+        bridge.target_rx_pop()
+        c = bridge.counters
+        assert (c.tx_enqueued, c.tx_dequeued, c.rx_enqueued, c.rx_dequeued) == (1, 1, 1, 1)
+
+
+def test_invalid_config():
+    with pytest.raises(BridgeError):
+        BridgeConfig(rx_capacity_bytes=0)

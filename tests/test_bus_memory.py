@@ -1,0 +1,148 @@
+"""Tests for the system bus and memory models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.soc.bus import SystemBus
+from repro.soc.memory import DramModel, Sram
+
+
+class TestSystemBus:
+    def test_default_is_128_bit(self):
+        bus = SystemBus()
+        assert bus.bytes_per_beat == 16
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemBus(width_bits=13)
+
+    def test_transfer_cycles_single_beat(self):
+        bus = SystemBus(width_bits=128, latency_cycles=10)
+        assert bus.transfer_cycles(16) == 11
+        assert bus.transfer_cycles(1) == 11
+
+    def test_transfer_cycles_multi_beat(self):
+        bus = SystemBus(width_bits=128, latency_cycles=10)
+        assert bus.transfer_cycles(160) == 20
+
+    def test_zero_transfer(self):
+        bus = SystemBus(latency_cycles=10)
+        assert bus.transfer_cycles(0) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemBus().transfer_cycles(-1)
+
+    def test_counters_accumulate(self):
+        bus = SystemBus()
+        bus.transfer_cycles(32)
+        bus.transfer_cycles(32)
+        assert bus.bytes_transferred == 64
+        assert bus.transfer_cycles_total > 0
+
+    def test_streaming_cycles(self):
+        bus = SystemBus(width_bits=128)
+        assert bus.streaming_cycles(1600) == 100.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_transfer_at_least_latency(self, nbytes):
+        bus = SystemBus(latency_cycles=7)
+        assert bus.transfer_cycles(nbytes) >= 7
+
+
+class TestMmioRouting:
+    def test_route_to_registered_region(self):
+        bus = SystemBus()
+        bus.register_region("dev", 0x1000, 0x100)
+        assert bus.route(0x1050).name == "dev"
+
+    def test_route_unmapped_raises(self):
+        bus = SystemBus()
+        with pytest.raises(ConfigError):
+            bus.route(0xDEAD)
+
+    def test_overlapping_regions_rejected(self):
+        bus = SystemBus()
+        bus.register_region("a", 0x1000, 0x100)
+        with pytest.raises(ConfigError):
+            bus.register_region("b", 0x1080, 0x100)
+
+    def test_adjacent_regions_allowed(self):
+        bus = SystemBus()
+        bus.register_region("a", 0x1000, 0x100)
+        bus.register_region("b", 0x1100, 0x100)
+        assert bus.route(0x10FF).name == "a"
+        assert bus.route(0x1100).name == "b"
+
+
+class TestDram:
+    def test_stream_cycles(self):
+        dram = DramModel(bandwidth_bytes_per_cycle=16, latency_cycles=30)
+        assert dram.stream_cycles(160) == pytest.approx(40.0)
+
+    def test_zero_stream_free(self):
+        assert DramModel().stream_cycles(0) == 0.0
+
+    def test_random_access(self):
+        dram = DramModel(latency_cycles=30)
+        assert dram.random_access_cycles(10) == 300
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigError):
+            DramModel(bandwidth_bytes_per_cycle=0)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            DramModel().stream_cycles(-1)
+        with pytest.raises(ConfigError):
+            DramModel().random_access_cycles(-1)
+
+
+class TestSram:
+    def test_alloc_and_offsets(self):
+        sram = Sram("sp", 1024)
+        assert sram.alloc(100) == 0
+        assert sram.alloc(100) == 100
+        assert sram.allocated_bytes == 200
+        assert sram.free_bytes == 824
+
+    def test_overflow_raises(self):
+        sram = Sram("sp", 128)
+        sram.alloc(100)
+        with pytest.raises(ConfigError):
+            sram.alloc(100)
+
+    def test_reset(self):
+        sram = Sram("sp", 128)
+        sram.alloc(100)
+        sram.reset()
+        assert sram.free_bytes == 128
+
+    def test_fits(self):
+        sram = Sram("sp", 128)
+        assert sram.fits(128)
+        assert not sram.fits(129)
+
+    def test_passes_required(self):
+        sram = Sram("sp", 100)
+        assert sram.passes_required(0) == 1
+        assert sram.passes_required(100) == 1
+        assert sram.passes_required(101) == 2
+        assert sram.passes_required(1000) == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            Sram("sp", 0)
+
+    @given(st.integers(1, 10_000), st.integers(1, 10_000))
+    @settings(max_examples=30)
+    def test_passes_cover_buffer(self, capacity, nbytes):
+        sram = Sram("sp", capacity)
+        passes = sram.passes_required(nbytes)
+        assert passes * capacity >= nbytes
+        assert (passes - 1) * capacity < nbytes

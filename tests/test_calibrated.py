@@ -1,0 +1,162 @@
+"""Tests for the calibrated behavioural classifier."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn.calibrated import (
+    CalibratedTrailClassifier,
+    ClassifierProfile,
+    classification_accuracy,
+    classifier_profile,
+    fit_sigma,
+)
+from repro.dnn.dataset import ANGULAR_BOUNDARY
+from repro.dnn.resnet import RESNET_NAMES
+
+#: Table 3's accuracy column.
+PAPER_ACCURACY = {
+    "resnet6": 0.72,
+    "resnet11": 0.78,
+    "resnet14": 0.82,
+    "resnet18": 0.83,
+    "resnet34": 0.86,
+}
+
+
+class TestAccuracyModel:
+    def test_zero_noise_is_perfect(self):
+        assert classification_accuracy(1e-9) == pytest.approx(1.0, abs=1e-3)
+
+    def test_huge_noise_approaches_chance(self):
+        # With unbounded noise on a 3-class problem the perceived value is
+        # nearly independent of the truth.
+        assert classification_accuracy(50.0) < 0.45
+
+    def test_monotone_decreasing(self):
+        sigmas = [0.2, 0.5, 1.0, 2.0, 4.0]
+        accs = [classification_accuracy(s) for s in sigmas]
+        assert accs == sorted(accs, reverse=True)
+
+    @given(st.floats(0.45, 0.98))
+    @settings(max_examples=15, deadline=None)
+    def test_fit_sigma_inverts(self, target):
+        sigma = fit_sigma(target)
+        assert classification_accuracy(sigma) == pytest.approx(target, abs=5e-3)
+
+    def test_fit_sigma_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            fit_sigma(0.2)
+        with pytest.raises(ValueError):
+            fit_sigma(1.0)
+
+
+class TestProfiles:
+    def test_all_variants_have_profiles(self):
+        for name in RESNET_NAMES:
+            profile = classifier_profile(name)
+            assert profile.validation_accuracy == PAPER_ACCURACY[name]
+
+    def test_deeper_is_more_accurate_and_sharper(self):
+        profiles = [classifier_profile(n) for n in RESNET_NAMES]
+        accs = [p.validation_accuracy for p in profiles]
+        temps = [p.temperature for p in profiles]
+        sigmas = [p.sigma for p in profiles]
+        assert accs == sorted(accs)
+        assert temps == sorted(temps, reverse=True)
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            classifier_profile("resnet50")
+
+    def test_profile_cached(self):
+        assert classifier_profile("resnet14") is classifier_profile("resnet14")
+
+
+class TestClassifierBehaviour:
+    def test_probs_normalized(self):
+        clf = CalibratedTrailClassifier(classifier_profile("resnet14"), seed=0)
+        result = clf.infer(0.1, 0.2, 1.6)
+        assert result.angular_probs.sum() == pytest.approx(1.0)
+        assert result.lateral_probs.sum() == pytest.approx(1.0)
+
+    def test_extreme_pose_classified_correctly(self):
+        clf = CalibratedTrailClassifier(classifier_profile("resnet34"), seed=0)
+        # Far beyond the boundary: even a noisy perception gets it right.
+        result = clf.infer(math.radians(30), -1.2, 1.6)
+        assert result.angular_pred == 0  # LEFT
+        assert result.lateral_pred == 2  # RIGHT
+
+    def test_validation_accuracy_matches_table3(self):
+        for name in RESNET_NAMES:
+            clf = CalibratedTrailClassifier(classifier_profile(name), seed=11)
+            acc_ang, acc_lat = clf.validation_accuracy(samples=4000)
+            target = PAPER_ACCURACY[name]
+            assert acc_ang == pytest.approx(target, abs=0.035), name
+            assert acc_lat == pytest.approx(target, abs=0.035), name
+
+    def test_deeper_networks_more_confident(self):
+        # Average winner probability at a mildly off-center pose.
+        def mean_confidence(name):
+            clf = CalibratedTrailClassifier(classifier_profile(name), seed=5)
+            vals = []
+            for _ in range(400):
+                result = clf.infer(math.radians(12), 0.0, 1.6)
+                vals.append(result.angular_probs.max())
+            return float(np.mean(vals))
+
+        assert mean_confidence("resnet34") > mean_confidence("resnet14") > mean_confidence("resnet6")
+
+    def test_seeded_determinism(self):
+        a = CalibratedTrailClassifier(classifier_profile("resnet14"), seed=3)
+        b = CalibratedTrailClassifier(classifier_profile("resnet14"), seed=3)
+        ra = a.infer(0.1, 0.2, 1.6, timestamp=0.0)
+        rb = b.infer(0.1, 0.2, 1.6, timestamp=0.0)
+        np.testing.assert_array_equal(ra.angular_probs, rb.angular_probs)
+
+
+class TestTemporalCorrelation:
+    def test_nearby_timestamps_correlated(self):
+        profile = ClassifierProfile.from_accuracy("x", 0.7, 1.0, correlation_time=1.0)
+        clf = CalibratedTrailClassifier(profile, seed=0)
+        # Two inferences 1 ms apart perceive nearly the same error.
+        r1 = clf.infer(0.0, 0.0, 1.6, timestamp=0.0)
+        r2 = clf.infer(0.0, 0.0, 1.6, timestamp=0.001)
+        np.testing.assert_allclose(r1.angular_probs, r2.angular_probs, atol=0.05)
+
+    def test_distant_timestamps_decorrelate(self):
+        profile = ClassifierProfile.from_accuracy("x", 0.7, 1.0, correlation_time=0.1)
+        clf = CalibratedTrailClassifier(profile, seed=0)
+        firsts, laters = [], []
+        for i in range(300):
+            clf2 = CalibratedTrailClassifier(profile, seed=i)
+            firsts.append(clf2.infer(0.0, 0.0, 1.6, timestamp=0.0).angular_probs[0])
+            laters.append(clf2.infer(0.0, 0.0, 1.6, timestamp=100.0).angular_probs[0])
+        corr = np.corrcoef(firsts, laters)[0, 1]
+        assert abs(corr) < 0.2
+
+    def test_marginal_distribution_preserved(self):
+        """OU-correlated errors must keep the calibrated accuracy."""
+        clf = CalibratedTrailClassifier(classifier_profile("resnet14"), seed=21)
+        # Closed-loop-style regular timestamps, poses near the boundary.
+        correct = 0
+        n = 4000
+        rng = np.random.default_rng(0)
+        for i in range(n):
+            truth = float(rng.uniform(1.15, 4.0)) * ANGULAR_BOUNDARY  # LEFT class
+            result = clf.infer(truth, 0.0, 1.6, timestamp=i * 0.1)
+            correct += result.angular_pred == 0
+        # Compare against the same marginal computed without timestamps.
+        clf_iid = CalibratedTrailClassifier(classifier_profile("resnet14"), seed=22)
+        correct_iid = 0
+        for i in range(n):
+            truth = float(rng.uniform(1.15, 4.0)) * ANGULAR_BOUNDARY
+            result = clf_iid.infer(truth, 0.0, 1.6)
+            correct_iid += result.angular_pred == 0
+        assert correct / n == pytest.approx(correct_iid / n, abs=0.05)

@@ -1,0 +1,116 @@
+"""Tests for the FPV camera rasterizer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.env.camera import CameraParams, FpvCamera, decode_image_u8, encode_image_u8
+from repro.env.geometry import Pose2
+from repro.env.worlds import tunnel_world
+
+
+@pytest.fixture
+def camera():
+    return FpvCamera(CameraParams(width=48, height=32, texture_noise=0.0), seed=1)
+
+
+class TestCameraParams:
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError):
+            CameraParams(width=2, height=2)
+
+    def test_rejects_extreme_fov(self):
+        with pytest.raises(ValueError):
+            CameraParams(fov_degrees=200.0)
+
+    def test_default_fov_is_90(self):
+        assert CameraParams().fov_degrees == 90.0
+
+
+class TestRender:
+    def test_shape_and_range(self, camera, tunnel):
+        image = camera.render(tunnel, Pose2(10, 0, 0))
+        assert image.shape == (32, 48)
+        assert image.dtype == np.float32
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_centered_view_symmetric(self, tunnel):
+        camera = FpvCamera(CameraParams(width=48, height=32, texture_noise=0.0), seed=1)
+        image = camera.render(tunnel, Pose2(10, 0, 0))
+        left = image[:, :24]
+        right = image[:, 24:][:, ::-1]
+        assert np.abs(left - right).mean() < 0.05
+
+    def test_offset_view_asymmetric(self, camera, tunnel):
+        image = camera.render(tunnel, Pose2(10, 1.0, 0))
+        left = image[:, :24].mean()
+        right = image[:, 24:].mean()
+        assert abs(left - right) > 0.01
+
+    def test_yawed_view_differs_from_straight(self, camera, tunnel):
+        straight = camera.render(tunnel, Pose2(10, 0, 0))
+        yawed = camera.render(tunnel, Pose2(10, 0, math.radians(20)))
+        assert np.abs(straight - yawed).mean() > 0.02
+
+    def test_near_wall_fills_more_of_frame(self, camera, tunnel):
+        far = camera.render(tunnel, Pose2(5, 0, 0))
+        # Facing the side wall from close: large bright wall area.
+        near = camera.render(tunnel, Pose2(5, 1.0, math.pi / 2))
+        wall_shade_near = (near > 0.4).mean()
+        wall_shade_far = (far > 0.4).mean()
+        assert wall_shade_near > wall_shade_far
+
+    def test_trail_visible_on_floor(self, camera, tunnel):
+        image = camera.render(tunnel, Pose2(10, 0, 0))
+        bottom_center = image[-6:, 20:28]
+        bottom_sides = image[-6:, :8]
+        # The centerline trail stripe (0.95 shade) dominates the center
+        # bottom rows and is absent from the side columns.
+        assert (bottom_center > 0.9).mean() > 0.5
+        assert (bottom_sides > 0.9).mean() < 0.2
+
+    def test_trail_shifts_with_offset(self, camera, tunnel):
+        # Drone left of center: the trail appears on the right half.
+        image = camera.render(tunnel, Pose2(10, 1.0, 0))
+        bottom = image[-8:]
+        right_trail = (bottom[:, 24:] > 0.8).sum()
+        left_trail = (bottom[:, :24] > 0.8).sum()
+        assert right_trail > left_trail
+
+    def test_deterministic_given_seed(self, tunnel):
+        a = FpvCamera(CameraParams(texture_noise=0.05), seed=9).render(tunnel, Pose2(10, 0, 0))
+        b = FpvCamera(CameraParams(texture_noise=0.05), seed=9).render(tunnel, Pose2(10, 0, 0))
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_changes_with_reset_seed(self, tunnel):
+        camera = FpvCamera(CameraParams(texture_noise=0.05), seed=9)
+        a = camera.render(tunnel, Pose2(10, 0, 0))
+        camera.reset(seed=10)
+        b = camera.render(tunnel, Pose2(10, 0, 0))
+        assert np.abs(a - b).max() > 0.0
+
+
+class TestImageCodec:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        image = rng.random((12, 16)).astype(np.float32)
+        decoded = decode_image_u8(encode_image_u8(image), 12, 16)
+        np.testing.assert_allclose(decoded, image, atol=1.0 / 255.0)
+
+    def test_encode_clips(self):
+        image = np.array([[-1.0, 2.0]], dtype=np.float32)
+        decoded = decode_image_u8(encode_image_u8(image), 1, 2)
+        assert decoded[0, 0] == 0.0
+        assert decoded[0, 1] == 1.0
+
+    def test_decode_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            decode_image_u8(b"\x00" * 10, 4, 4)
+
+    def test_byte_length(self):
+        image = np.zeros((8, 6), dtype=np.float32)
+        assert len(encode_image_u8(image)) == 48

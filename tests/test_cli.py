@@ -1,0 +1,97 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.config import CoSimConfig
+from repro.core.manifest import dump_manifest
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fly_defaults(self):
+        args = build_parser().parse_args(["fly"])
+        assert args.world == "tunnel"
+        assert args.soc == "A"
+        assert args.velocity == 3.0
+
+    def test_fly_flags(self):
+        args = build_parser().parse_args(
+            ["fly", "--world", "s-shape", "--soc", "B", "--velocity", "9",
+             "--dynamic", "--cycles-per-sync", "50000000"]
+        )
+        assert args.world == "s-shape"
+        assert args.dynamic
+        assert args.cycles_per_sync == 50_000_000
+
+
+class TestFlyCommand:
+    def test_complete_mission_exit_zero(self, capsys, tmp_path):
+        csv_path = tmp_path / "log.csv"
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "fly", "--model", "resnet14", "--velocity", "3", "--angle", "0",
+            "--max-sim-time", "30", "--plot",
+            "--csv", str(csv_path), "--trace", str(trace_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "#" in out  # trajectory plot walls
+        assert csv_path.read_text().startswith("step,")
+        assert json.loads(trace_path.read_text())["traceEvents"]
+
+    def test_incomplete_mission_exit_one(self, capsys):
+        code = main(["fly", "--max-sim-time", "2"])
+        assert code == 1
+        assert "DNF" in capsys.readouterr().out
+
+    def test_invalid_flag_combination_raises(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["fly", "--controller", "mpc", "--dynamic", "--max-sim-time", "2"])
+
+
+class TestRunCommand:
+    def test_manifest_run(self, capsys, tmp_path):
+        manifest = tmp_path / "exp.json"
+        manifest.write_text(
+            dump_manifest(
+                {
+                    "quick": CoSimConfig(
+                        world="tunnel", model="resnet14", target_velocity=3.0,
+                        max_sim_time=30.0,
+                    )
+                }
+            )
+        )
+        code = main(["run", str(manifest)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[quick]" in out
+        assert "completed" in out
+
+    def test_manifest_with_failure_exit_one(self, capsys, tmp_path):
+        manifest = tmp_path / "exp.json"
+        manifest.write_text(
+            dump_manifest(
+                {"short": CoSimConfig(world="tunnel", max_sim_time=2.0)}
+            )
+        )
+        assert main(["run", str(manifest)]) == 1
+
+
+class TestTable3Command:
+    def test_prints_all_models(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        for model in ("resnet6", "resnet11", "resnet14", "resnet18", "resnet34"):
+            assert model in out

@@ -1,0 +1,157 @@
+"""Tests for the CPU and Gemmini cycle models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn.graph import GraphBuilder, Node, OpType
+from repro.errors import ConfigError, SchedulingError
+from repro.soc.cpu import boom_core, core_by_name, rocket_core
+from repro.soc.gemmini import GemminiModel, default_gemmini
+
+
+class TestCpuModels:
+    def test_boom_is_wider_and_faster(self):
+        boom, rocket = boom_core(), rocket_core()
+        assert boom.issue_width > rocket.issue_width
+        assert boom.elem_op_cycles < rocket.elem_op_cycles
+        assert boom.macs_per_cycle > rocket.macs_per_cycle
+        assert boom.mmio_access_cycles < rocket.mmio_access_cycles
+
+    def test_kinds(self):
+        assert boom_core().kind == "out-of-order"
+        assert rocket_core().kind == "in-order"
+
+    def test_core_by_name(self):
+        assert core_by_name("boom").name == "boom"
+        assert core_by_name("rocket").name == "rocket"
+        with pytest.raises(ConfigError):
+            core_by_name("alder-lake")
+
+    def test_elementwise_cycles(self):
+        boom = boom_core()
+        assert boom.elementwise_cycles(100) == 100 * boom.elem_op_cycles
+
+    def test_matmul_cycles_rounds_up(self):
+        boom = boom_core()
+        assert boom.matmul_cycles(1) >= 1
+
+    def test_copy_cycles(self):
+        rocket = rocket_core()
+        assert rocket.copy_cycles(100) == 300
+
+    def test_negative_inputs_rejected(self):
+        boom = boom_core()
+        with pytest.raises(ConfigError):
+            boom.elementwise_cycles(-1)
+        with pytest.raises(ConfigError):
+            boom.matmul_cycles(-1)
+        with pytest.raises(ConfigError):
+            boom.copy_cycles(-1)
+
+    def test_cycles_to_seconds(self):
+        boom = boom_core()
+        assert boom.cycles_to_seconds(1e9) == pytest.approx(1.0)
+
+
+class TestGemminiStructure:
+    def test_paper_configuration(self):
+        g = default_gemmini()
+        assert g.peak_macs_per_cycle == 16  # 4x4 mesh
+        assert g.scratchpad.capacity_bytes == 256 * 1024
+        assert g.accumulator.capacity_bytes == 64 * 1024
+
+    def test_invalid_mesh(self):
+        with pytest.raises(SchedulingError):
+            GemminiModel(mesh_rows=0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(SchedulingError):
+            GemminiModel(base_efficiency=1.5)
+
+    def test_efficiency_rises_with_rows(self):
+        g = default_gemmini()
+        assert g.efficiency(16) < g.efficiency(256) < g.efficiency(4096)
+        assert g.efficiency(10**9) == pytest.approx(g.base_efficiency, rel=1e-3)
+
+    def test_efficiency_rejects_zero_rows(self):
+        with pytest.raises(SchedulingError):
+            default_gemmini().efficiency(0)
+
+
+class TestGemmCost:
+    def test_compute_bound_large_gemm(self):
+        g = default_gemmini()
+        cost = g.gemm_cost(m=1024, k=576, n=64)
+        # 37.7M MACs: compute dominates DMA at this arithmetic intensity.
+        assert cost.compute_cycles > cost.dma_cycles
+        assert cost.total_cycles == cost.compute_cycles + cost.setup_cycles
+
+    def test_small_m_hurts_compute_efficiency(self):
+        g = default_gemmini()
+        # Same MAC count; fewer output rows -> worse mesh utilization.
+        tall = g.gemm_cost(m=4096, k=64, n=64)
+        flat = g.gemm_cost(m=16, k=1024, n=1024)
+        assert tall.compute_cycles < flat.compute_cycles
+
+    def test_dma_grows_with_weight_bytes(self):
+        g = default_gemmini()
+        small = g.gemm_cost(m=256, k=64, n=64)
+        large = g.gemm_cost(m=256, k=64, n=1024)
+        assert large.dma_cycles > small.dma_cycles
+
+    def test_degenerate_shape_rejected(self):
+        with pytest.raises(SchedulingError):
+            default_gemmini().gemm_cost(0, 10, 10)
+
+    def test_weight_refetch_penalty(self):
+        g = default_gemmini()
+        # Same MACs; one layer's weights fit the scratchpad, the other's
+        # don't, forcing activation re-streaming.
+        small = g.gemm_cost(m=4096, k=128, n=128)  # 64 KiB of weights
+        large = g.gemm_cost(m=64, k=1024, n=1024)  # 4 MiB of weights
+        assert large.dma_cycles > small.dma_cycles
+
+    @given(st.integers(1, 512), st.integers(1, 512), st.integers(1, 128))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_positive_and_monotone_in_macs(self, m, k, n):
+        g = default_gemmini()
+        cost = g.gemm_cost(m, k, n)
+        assert cost.compute_cycles >= 1
+        bigger = g.gemm_cost(m, k, 2 * n)
+        assert bigger.compute_cycles >= cost.compute_cycles
+
+
+class TestNodeCost:
+    def _conv_node(self) -> Node:
+        b = GraphBuilder("g", (3, 16, 16))
+        name = b.conv(8, 3, padding=1)
+        return b.graph.node(name)
+
+    def test_conv_node(self):
+        g = default_gemmini()
+        cost = g.node_cost(self._conv_node())
+        assert cost.total_cycles > 0
+
+    def test_linear_node(self):
+        b = GraphBuilder("g", (3, 16, 16))
+        b.globalavgpool()
+        name = b.linear(10)
+        g = default_gemmini()
+        assert g.node_cost(b.graph.node(name)).total_cycles > 0
+
+    def test_non_matmul_rejected(self):
+        node = Node("r", OpType.RELU, ["input"], (3, 4, 4))
+        with pytest.raises(SchedulingError):
+            default_gemmini().node_cost(node)
+
+    def test_execute_accounts_busy_cycles(self):
+        g = default_gemmini()
+        node = self._conv_node()
+        cycles = g.execute(node)
+        assert g.busy_cycles == cycles
+        assert g.ops_executed == 1
+        g.reset_counters()
+        assert g.busy_cycles == 0

@@ -1,0 +1,120 @@
+"""Tests for the energy model and roofline safety analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.roofline import (
+    ControllerSafety,
+    max_safe_velocity,
+    min_required_depth,
+    safe_velocity_curve,
+)
+from repro.errors import ConfigError
+from repro.soc.energy import EnergyParams, EnergyReport, estimate_energy, soc_energy
+from repro.soc.soc import CONFIG_A, Soc
+
+
+class TestEnergyModel:
+    def test_breakdown_sums(self):
+        report = estimate_energy(
+            total_cycles=1_000_000_000,
+            cpu_busy_cycles=400_000_000,
+            gemmini_busy_cycles=300_000_000,
+        )
+        assert report.total_mj == pytest.approx(
+            report.cpu_mj + report.gemmini_mj + report.leakage_mj
+        )
+        assert report.dynamic_mj == pytest.approx(report.cpu_mj + report.gemmini_mj)
+
+    def test_known_values(self):
+        params = EnergyParams(
+            cpu_active_pj_per_cycle=100.0,
+            gemmini_active_pj_per_cycle=200.0,
+            leakage_mw=10.0,
+            frequency_hz=1e9,
+        )
+        report = estimate_energy(1_000_000_000, 500_000_000, 250_000_000, params)
+        assert report.cpu_mj == pytest.approx(50.0)  # 0.5e9 * 100 pJ
+        assert report.gemmini_mj == pytest.approx(50.0)
+        assert report.leakage_mj == pytest.approx(10.0)  # 10 mW * 1 s
+
+    def test_idle_soc_pays_leakage_only(self):
+        report = estimate_energy(10**9, 0, 0)
+        assert report.dynamic_mj == 0.0
+        assert report.leakage_mj > 0.0
+
+    def test_busy_exceeding_total_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_energy(100, 200, 0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_energy(-1, 0, 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            EnergyParams(leakage_mw=-1.0)
+        with pytest.raises(ConfigError):
+            EnergyParams(frequency_hz=0.0)
+
+    def test_average_power(self):
+        report = EnergyReport(cpu_mj=30.0, gemmini_mj=20.0, leakage_mj=50.0)
+        assert report.average_power_mw(2.0) == pytest.approx(50.0)
+        with pytest.raises(ConfigError):
+            report.average_power_mw(0.0)
+
+    def test_soc_energy_reads_counters(self):
+        soc = Soc(CONFIG_A)
+
+        def program(rt):
+            yield from rt.compute(1_000_000)
+
+        soc.load_program(program)
+        soc.step(2_000_000)
+        report = soc_energy(soc)
+        assert report.cpu_mj > 0
+        assert report.total_mj > report.cpu_mj  # leakage adds
+
+    def test_lower_activity_is_lower_energy(self):
+        """Figure 13's energy motivation: fewer busy cycles, less energy."""
+        busy = estimate_energy(10**9, 10**8, 6 * 10**8)
+        idle = estimate_energy(10**9, 10**8, 3 * 10**8)
+        assert idle.total_mj < busy.total_mj
+
+
+class TestRoofline:
+    def test_equation_inversion(self):
+        # v = D / (ts + tp + ta)
+        v = max_safe_velocity(10.0, 0.5, sensor_latency_s=0.25, actuation_latency_s=0.25)
+        assert v == pytest.approx(10.0)
+
+    def test_round_trip_with_min_depth(self):
+        v = max_safe_velocity(12.0, 0.3)
+        depth = min_required_depth(v, 0.3)
+        assert depth == pytest.approx(12.0)
+
+    def test_faster_dnn_flies_faster(self):
+        slow = max_safe_velocity(10.0, 0.225)  # ResNet34-class latency
+        fast = max_safe_velocity(10.0, 0.077)  # ResNet6-class latency
+        assert fast > slow
+
+    def test_zero_latency_unbounded(self):
+        assert max_safe_velocity(10.0, 0.0, 0.0, 0.0) == float("inf")
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            max_safe_velocity(-1.0, 0.1)
+        with pytest.raises(ConfigError):
+            max_safe_velocity(1.0, -0.1)
+        with pytest.raises(ConfigError):
+            min_required_depth(-1.0, 0.1)
+
+    def test_curve_sorted_fastest_first(self):
+        curve = safe_velocity_curve(
+            {"resnet6": 0.077, "resnet14": 0.085, "resnet34": 0.225}, depth_m=15.0
+        )
+        assert [c.name for c in curve] == ["resnet6", "resnet14", "resnet34"]
+        velocities = [c.max_safe_velocity for c in curve]
+        assert velocities == sorted(velocities, reverse=True)
+        assert all(isinstance(c, ControllerSafety) for c in curve)

@@ -1,0 +1,189 @@
+"""Tests for the FireSim host: bridge driver + throughput model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import packets as pk
+from repro.core.bridge import BridgeConfig, RoseBridge
+from repro.core.packets import PacketType
+from repro.core.transport import transport_pair
+from repro.errors import SyncError
+from repro.soc.firesim import (
+    FireSimHost,
+    HostPerfParams,
+    simulation_throughput_mhz,
+    wall_time_per_sync,
+)
+from repro.soc.iodev import REG_RX_COUNT, REG_TX_DATA
+from repro.soc.soc import CONFIG_A, Soc
+
+
+def idle_program(rt):
+    while True:
+        yield from rt.delay(1_000)
+
+
+def make_host(program=idle_program, bridge=None):
+    soc = Soc(CONFIG_A, bridge=bridge)
+    soc.load_program(program)
+    sync_end, firesim_end = transport_pair("inprocess")
+    host = FireSimHost(soc, firesim_end)
+    return host, sync_end
+
+
+class TestHostProtocol:
+    def test_set_steps_programs_bridge(self):
+        host, sync_end = make_host()
+        sync_end.send(pk.sync_set_steps(5_000_000, 2))
+        host.service()
+        assert host.bridge.cycles_per_sync == 5_000_000
+        assert host.bridge.frames_per_sync == 2
+
+    def test_grant_steps_soc_and_reports_done(self):
+        host, sync_end = make_host()
+        sync_end.send(pk.sync_set_steps(1_000_000, 1))
+        sync_end.send(pk.sync_grant(0))
+        host.service()
+        done = sync_end.recv()
+        assert done.ptype == PacketType.SYNC_DONE
+        assert done.values == (0, 1_000_000)
+        assert host.soc.cycle == 1_000_000
+        assert host.steps_completed == 1
+
+    def test_multiple_grants_processed_in_order(self):
+        host, sync_end = make_host()
+        sync_end.send(pk.sync_set_steps(100_000, 1))
+        for i in range(3):
+            sync_end.send(pk.sync_grant(i))
+        host.service()
+        indices = [p.values[0] for p in sync_end.drain() if p.ptype == PacketType.SYNC_DONE]
+        assert indices == [0, 1, 2]
+        assert host.soc.cycle == 300_000
+
+    def test_data_injected_before_step(self):
+        seen = []
+
+        def program(rt):
+            count = yield from rt.mmio_read(REG_RX_COUNT)
+            seen.append(count)
+            while True:
+                yield from rt.delay(1000)
+
+        host, sync_end = make_host(program)
+        sync_end.send(pk.sync_set_steps(1_000_000, 1))
+        sync_end.send(pk.depth_response(3.0))
+        sync_end.send(pk.sync_grant(0))
+        host.service()
+        assert seen == [1]
+
+    def test_soc_output_forwarded(self):
+        def program(rt):
+            yield from rt.mmio_write(REG_TX_DATA, pk.camera_request())
+            while True:
+                yield from rt.delay(1000)
+
+        host, sync_end = make_host(program)
+        sync_end.send(pk.sync_set_steps(1_000_000, 1))
+        sync_end.send(pk.sync_grant(0))
+        host.service()
+        types = [p.ptype for p in sync_end.drain()]
+        assert PacketType.CAMERA_REQ in types
+        assert PacketType.SYNC_DONE in types
+
+    def test_shutdown_flag(self):
+        host, sync_end = make_host()
+        sync_end.send(pk.sync_shutdown())
+        host.service()
+        assert host.shutdown_requested
+
+    def test_reset_clears_pending_grants(self):
+        host, sync_end = make_host()
+        sync_end.send(pk.sync_set_steps(1_000_000, 1))
+        # Reset arrives before the grants are executed (same service batch):
+        # the grant is dropped.
+        sync_end.send(pk.sync_grant(0))
+        sync_end.send(pk.sync_reset())
+        host.service()
+        assert host.steps_completed == 0
+
+    def test_unexpected_packet_raises(self):
+        host, sync_end = make_host()
+        sync_end.send(pk.sync_done(0, 1))  # DONE should never reach the host
+        with pytest.raises(SyncError):
+            host.service()
+
+    def test_overflow_injection_deferred(self):
+        bridge = RoseBridge(BridgeConfig(rx_capacity_bytes=8, tx_capacity_bytes=1024))
+        consumed = []
+
+        def program(rt):
+            while True:
+                packet = yield from rt.recv_packet()
+                consumed.append(packet.values[0])
+
+        host, sync_end = make_host(program, bridge=bridge)
+        sync_end.send(pk.sync_set_steps(1_000_000, 1))
+        # Two 8-byte packets: only one fits the queue at a time.
+        sync_end.send(pk.depth_response(1.0))
+        sync_end.send(pk.depth_response(2.0))
+        sync_end.send(pk.sync_grant(0))
+        sync_end.send(pk.sync_grant(1))
+        host.service()
+        # Both eventually delivered, in order, across steps.
+        assert consumed == [1.0, 2.0]
+
+
+class TestThroughputModel:
+    PARAMS = HostPerfParams(name="test", fpga_sim_rate_mhz=30.0, sync_overhead_s=2e-3)
+
+    def test_invalid_params(self):
+        with pytest.raises(SyncError):
+            HostPerfParams(name="bad", fpga_sim_rate_mhz=0.0)
+
+    def test_wall_time_positive(self):
+        assert wall_time_per_sync(self.PARAMS, 10_000_000) > 0
+
+    def test_wall_time_rejects_bad_granularity(self):
+        with pytest.raises(SyncError):
+            wall_time_per_sync(self.PARAMS, 0)
+
+    def test_throughput_monotone_in_granularity(self):
+        grans = [10**5, 10**6, 10**7, 10**8, 10**9]
+        rates = [simulation_throughput_mhz(self.PARAMS, g) for g in grans]
+        assert rates == sorted(rates)
+
+    def test_throughput_saturates_at_fpga_rate(self):
+        rate = simulation_throughput_mhz(self.PARAMS, 10**11)
+        assert rate == pytest.approx(30.0, rel=0.01)
+        assert rate < 30.0  # never exceeds the FPGA bound
+
+    def test_fine_granularity_overhead_bound(self):
+        # At tiny granularity (sync-only) throughput ~ cycles / overhead.
+        rate = simulation_throughput_mhz(self.PARAMS, 1000, with_env=False)
+        assert rate == pytest.approx(1000 / 2e-3 / 1e6, rel=0.05)
+
+    def test_fine_granularity_with_env_pays_frame_time(self):
+        # With the environment in the loop, even a tiny period renders at
+        # least one frame, so the frame wall time bounds throughput.
+        rate = simulation_throughput_mhz(self.PARAMS, 1000, with_env=True)
+        expected = 1000 / (self.PARAMS.env_frame_wall_s + 2e-3) / 1e6
+        assert rate == pytest.approx(expected, rel=0.05)
+
+    def test_sync_only_at_least_env_rate(self):
+        for g in (10**6, 10**7, 10**8):
+            with_env = simulation_throughput_mhz(self.PARAMS, g, with_env=True)
+            sync_only = simulation_throughput_mhz(self.PARAMS, g, with_env=False)
+            assert sync_only >= with_env
+
+    def test_env_bound_when_rendering_slow(self):
+        slow_env = HostPerfParams(
+            name="slow-env",
+            fpga_sim_rate_mhz=1000.0,
+            sync_overhead_s=0.0,
+            env_frame_wall_s=0.1,
+            env_frame_rate_hz=60.0,
+        )
+        # 1e9 cycles = 1 s target time = 60 frames = 6 s of rendering.
+        rate = simulation_throughput_mhz(slow_env, 10**9)
+        assert rate == pytest.approx(1e9 / 6.0 / 1e6, rel=0.05)

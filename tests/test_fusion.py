@@ -1,0 +1,159 @@
+"""Tests for the sensor-fusion network and its rate-decoupled controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CoSimConfig, run_mission
+from repro.app.fusion import FusionConfig, FusionStats
+from repro.dnn.fusion import (
+    CAMERA_FEATURE_DIM,
+    IMU_CHANNELS,
+    IMU_FEATURE_DIM,
+    IMU_WINDOW,
+    FusionSessions,
+    build_camera_backbone,
+    build_fusion_head,
+    build_imu_backbone,
+)
+from repro.dnn.graph import OpType
+from repro.errors import ConfigError, GraphError
+from repro.soc.cpu import boom_core
+from repro.soc.gemmini import default_gemmini
+
+
+class TestFusionGraphs:
+    def test_camera_backbone_feature_output(self):
+        graph = build_camera_backbone("resnet6")
+        out = graph.node(graph.outputs[0])
+        assert graph.node("camera_features").output_shape == (CAMERA_FEATURE_DIM,)
+        assert out.op == OpType.RELU
+
+    def test_camera_backbone_scales_with_variant(self):
+        small = build_camera_backbone("resnet6")
+        large = build_camera_backbone("resnet14")
+        assert large.total_macs > small.total_macs
+
+    def test_imu_backbone_shapes(self):
+        graph = build_imu_backbone()
+        assert graph.input_shape == (IMU_WINDOW * IMU_CHANNELS,)
+        assert graph.node("imu_features").output_shape == (IMU_FEATURE_DIM,)
+
+    def test_imu_backbone_validates_hidden(self):
+        with pytest.raises(GraphError):
+            build_imu_backbone(hidden=0)
+
+    def test_head_dual_outputs(self):
+        graph = build_fusion_head()
+        assert graph.outputs == ["angular_probs", "lateral_probs"]
+        assert graph.input_shape == (CAMERA_FEATURE_DIM + IMU_FEATURE_DIM,)
+
+    def test_imu_branch_orders_of_magnitude_cheaper(self):
+        camera = build_camera_backbone("resnet6")
+        imu = build_imu_backbone()
+        assert camera.total_macs > 100 * imu.total_macs
+
+
+class TestFusionSessions:
+    @pytest.fixture(scope="class")
+    def sessions(self):
+        return FusionSessions(boom_core(), default_gemmini(), camera_variant="resnet6")
+
+    def test_branch_costs_ordered(self, sessions):
+        costs = sessions.costs
+        assert costs.imu_report.total_cycles < costs.camera_report.total_cycles / 10
+        assert costs.head_report.total_cycles < costs.camera_report.total_cycles / 10
+
+    def test_only_camera_pays_session_fixed(self, sessions):
+        costs = sessions.costs
+        assert costs.camera_report.session_fixed_cycles > 0
+        assert costs.imu_report.session_fixed_cycles == 0
+        assert costs.head_report.session_fixed_cycles == 0
+
+    def test_path_cycles(self, sessions):
+        costs = sessions.costs
+        assert costs.camera_path_cycles == (
+            costs.camera_report.total_cycles + costs.head_report.total_cycles
+        )
+        assert costs.imu_path_cycles < costs.camera_path_cycles
+
+
+class TestFusionConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FusionConfig(imu_rate_hz=0.0)
+        with pytest.raises(ConfigError):
+            FusionConfig(camera_every=0)
+
+    def test_cosim_config_validation(self):
+        with pytest.raises(ConfigError):
+            CoSimConfig(fusion_camera_every=0)
+        with pytest.raises(ConfigError):
+            CoSimConfig(controller="fusion", dynamic_runtime=True)
+
+    def test_stats_rate_fraction(self):
+        stats = FusionStats(imu_branch_runs=100, camera_branch_runs=10)
+        assert stats.camera_rate_fraction == pytest.approx(0.1)
+        assert FusionStats().camera_rate_fraction == 0.0
+
+
+class TestFusionClosedLoop:
+    @pytest.fixture(scope="class")
+    def mission(self):
+        return run_mission(
+            CoSimConfig(
+                world="tunnel",
+                controller="fusion",
+                model="resnet6",
+                target_velocity=3.0,
+                initial_angle_deg=20.0,
+                max_sim_time=40.0,
+            )
+        )
+
+    def test_completes(self, mission):
+        assert mission.completed
+        assert mission.collisions == 0
+
+    def test_branches_ran_at_different_rates(self, mission):
+        stats = mission.fusion_stats
+        assert stats.imu_branch_runs > 5 * stats.camera_branch_runs
+        assert stats.head_runs == stats.imu_branch_runs
+        assert stats.camera_rate_fraction == pytest.approx(0.1, abs=0.03)
+
+    def test_lower_activity_than_camera_only(self, mission):
+        camera_only = run_mission(
+            CoSimConfig(
+                world="tunnel",
+                controller="dnn",
+                model="resnet6",
+                target_velocity=3.0,
+                initial_angle_deg=20.0,
+                max_sim_time=40.0,
+            )
+        )
+        assert mission.activity_factor < camera_only.activity_factor
+
+    def test_camera_rate_knob(self):
+        frequent = run_mission(
+            CoSimConfig(
+                world="tunnel",
+                controller="fusion",
+                model="resnet6",
+                target_velocity=3.0,
+                fusion_camera_every=2,
+                max_sim_time=10.0,
+            )
+        )
+        rare = run_mission(
+            CoSimConfig(
+                world="tunnel",
+                controller="fusion",
+                model="resnet6",
+                target_velocity=3.0,
+                fusion_camera_every=20,
+                max_sim_time=10.0,
+            )
+        )
+        assert frequent.fusion_stats.camera_branch_runs > 3 * rare.fusion_stats.camera_branch_runs
+        assert frequent.activity_factor > rare.activity_factor

@@ -1,0 +1,172 @@
+"""Tests for the onnx-lite operator graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn.graph import FP32_BYTES, Graph, GraphBuilder, Node, OpType
+from repro.errors import GraphError
+
+
+def small_graph() -> Graph:
+    b = GraphBuilder("net", (3, 8, 8))
+    b.conv(4, 3, padding=1)
+    b.batchnorm()
+    b.relu()
+    b.globalavgpool()
+    b.linear(3)
+    b.softmax()
+    b.output()
+    return b.build()
+
+
+class TestGraphBuilder:
+    def test_conv_shape_propagation(self):
+        b = GraphBuilder("g", (3, 32, 32))
+        b.conv(16, 3, stride=2, padding=1)
+        assert b.shape == (16, 16, 16)
+
+    def test_conv_macs(self):
+        b = GraphBuilder("g", (3, 8, 8))
+        name = b.conv(4, 3, padding=1)
+        node = b.graph.node(name)
+        assert node.macs == 4 * 3 * 3 * 3 * 8 * 8
+        assert node.param_count == 4 * 3 * 3 * 3
+
+    def test_conv_too_large_kernel_rejected(self):
+        b = GraphBuilder("g", (3, 4, 4))
+        with pytest.raises(GraphError):
+            b.conv(4, 9)
+
+    def test_maxpool_shape(self):
+        b = GraphBuilder("g", (3, 8, 8))
+        b.maxpool(2, 2)
+        assert b.shape == (3, 4, 4)
+
+    def test_linear_requires_flat_input(self):
+        b = GraphBuilder("g", (3, 8, 8))
+        with pytest.raises(GraphError):
+            b.linear(10)
+
+    def test_linear_macs_and_params(self):
+        b = GraphBuilder("g", (3, 8, 8))
+        b.globalavgpool()
+        name = b.linear(5)
+        node = b.graph.node(name)
+        assert node.macs == 3 * 5
+        assert node.param_count == 3 * 5 + 5
+
+    def test_add_requires_matching_shapes(self):
+        b = GraphBuilder("g", (3, 8, 8))
+        a = b.conv(4, 3, padding=1)
+        c = b.conv(8, 3, padding=1, src="input")
+        with pytest.raises(GraphError):
+            b.add(a, c)
+
+    def test_add_with_skip_connection(self):
+        b = GraphBuilder("g", (4, 8, 8))
+        entry = b.cursor
+        body = b.conv(4, 3, padding=1)
+        b.add(body, entry)
+        assert b.shape == (4, 8, 8)
+
+    def test_build_requires_output(self):
+        b = GraphBuilder("g", (3, 8, 8))
+        b.conv(4, 3)
+        with pytest.raises(GraphError):
+            b.build()
+
+
+class TestGraphStructure:
+    def test_duplicate_name_rejected(self):
+        g = Graph("g", (3, 4, 4))
+        g.add(Node("a", OpType.RELU, ["input"], (3, 4, 4)))
+        with pytest.raises(GraphError):
+            g.add(Node("a", OpType.RELU, ["input"], (3, 4, 4)))
+
+    def test_unknown_input_rejected(self):
+        g = Graph("g", (3, 4, 4))
+        with pytest.raises(GraphError):
+            g.add(Node("a", OpType.RELU, ["ghost"], (3, 4, 4)))
+
+    def test_unknown_node_lookup(self):
+        g = Graph("g", (3, 4, 4))
+        with pytest.raises(GraphError):
+            g.node("nope")
+
+    def test_mark_output_validates_existence(self):
+        g = Graph("g", (3, 4, 4))
+        with pytest.raises(GraphError):
+            g.mark_output("nope")
+
+    def test_totals(self):
+        g = small_graph()
+        assert g.total_macs > 0
+        assert g.total_weight_bytes == g.total_params * FP32_BYTES
+        assert g.total_activation_elems > 0
+
+    def test_count_ops(self):
+        counts = small_graph().count_ops()
+        assert counts["conv"] == 1
+        assert counts["softmax"] == 1
+
+    def test_iteration_order_is_topological(self):
+        g = small_graph()
+        seen = set()
+        for node in g:
+            assert all(src in seen for src in node.inputs)
+            seen.add(node.name)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        g = small_graph()
+        g2 = Graph.from_json(g.to_json())
+        assert g2.name == g.name
+        assert g2.input_shape == g.input_shape
+        assert g2.outputs == g.outputs
+        assert len(g2) == len(g)
+        assert g2.total_macs == g.total_macs
+        assert g2.total_params == g.total_params
+
+    def test_node_round_trip_preserves_attrs(self):
+        g = small_graph()
+        g2 = Graph.from_json(g.to_json())
+        conv = next(n for n in g2 if n.op == OpType.CONV)
+        assert conv.attrs["kernel"] == 3
+        assert conv.attrs["padding"] == 1
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(GraphError):
+            Graph.from_json("not json{")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(GraphError):
+            Graph.from_json('{"format": "onnx/99", "name": "x"}')
+
+    @given(st.integers(1, 4), st.integers(4, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, channels, hw):
+        b = GraphBuilder("p", (channels, hw, hw))
+        b.conv(channels * 2, 3, padding=1)
+        b.relu()
+        b.globalavgpool()
+        b.linear(3)
+        b.output()
+        g = b.build()
+        g2 = Graph.from_json(g.to_json())
+        assert [n.name for n in g2] == [n.name for n in g]
+        assert g2.total_macs == g.total_macs
+
+
+class TestNodeAccounting:
+    def test_output_elems(self):
+        node = Node("n", OpType.RELU, ["input"], (4, 5, 6))
+        assert node.output_elems == 120
+        assert node.output_bytes == 480
+
+    def test_weight_bytes(self):
+        node = Node("n", OpType.CONV, ["input"], (4, 5, 6), param_count=100)
+        assert node.weight_bytes == 400

@@ -1,0 +1,336 @@
+"""Tests for the numpy NN layer library, including numeric gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    CrossEntropyLoss,
+    DualHead,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Relu,
+    ResidualBlock,
+    Sequential,
+    col2im,
+    im2col,
+    softmax,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_gradient(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f()
+        flat[i] = orig - eps
+        f_minus = f()
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, atol=2e-2):
+    """Compare layer.backward against a numeric gradient of sum(output).
+
+    Comparison is on the relative norm of the difference rather than
+    elementwise: central differences are unreliable for the handful of
+    elements whose pre-activations sit within epsilon of a ReLU kink.
+    """
+    x = x.astype(np.float64)
+
+    def loss():
+        return float(layer.forward(x).sum())
+
+    loss()  # populate cache
+    analytic = layer.backward(np.ones_like(layer.forward(x)))
+    numeric = numeric_gradient(loss, x)
+    error = np.linalg.norm(analytic - numeric) / (np.linalg.norm(numeric) + 1.0)
+    assert error < atol, f"gradient mismatch: relative error {error:.4f}"
+
+
+class TestIm2col:
+    def test_shapes(self):
+        x = RNG.random((2, 3, 8, 8)).astype(np.float32)
+        cols, oh, ow = im2col(x, 3, 3, 1, 1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 64, 27)
+
+    def test_stride(self):
+        x = RNG.random((1, 1, 8, 8)).astype(np.float32)
+        cols, oh, ow = im2col(x, 2, 2, 2, 0)
+        assert (oh, ow) == (4, 4)
+
+    def test_values_identity_kernel(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols, oh, ow = im2col(x, 1, 1, 1, 0)
+        np.testing.assert_array_equal(cols.reshape(-1), x.reshape(-1))
+
+    def test_col2im_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> (adjoint property).
+        x = RNG.random((2, 3, 6, 6))
+        cols, oh, ow = im2col(x, 3, 3, 1, 1)
+        y = RNG.random(cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, 3, 3, 1, 1, oh, ow)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=RNG)
+        out = conv.forward(RNG.random((2, 3, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_matches_direct_convolution(self):
+        conv = Conv2d(2, 3, 3, padding=1, rng=RNG)
+        x = RNG.random((1, 2, 5, 5)).astype(np.float32)
+        out = conv.forward(x)
+        # Direct computation at one output location.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        patch = xp[0, :, 2:5, 2:5]
+        expected = (conv.weight.value[1] * patch).sum() + conv.bias.value[1]
+        assert out[0, 1, 2, 2] == pytest.approx(float(expected), rel=1e-5)
+
+    def test_input_gradient(self):
+        conv = Conv2d(2, 3, 3, padding=1, rng=RNG)
+        check_input_gradient(conv, RNG.random((1, 2, 5, 5)))
+
+    def test_weight_gradient(self):
+        conv = Conv2d(1, 2, 3, rng=RNG)
+        x = RNG.random((1, 1, 5, 5))
+
+        def loss():
+            return float(conv.forward(x).sum())
+
+        loss()
+        conv.weight.zero_grad()
+        conv.backward(np.ones((1, 2, 3, 3), dtype=np.float32))
+        numeric = numeric_gradient(loss, conv.weight.value)
+        np.testing.assert_allclose(conv.weight.grad, numeric, atol=2e-2)
+
+    def test_bias_gradient_is_output_count(self):
+        conv = Conv2d(1, 1, 3, rng=RNG)
+        conv.forward(RNG.random((2, 1, 5, 5)).astype(np.float32))
+        conv.bias.zero_grad()
+        conv.backward(np.ones((2, 1, 3, 3), dtype=np.float32))
+        assert conv.bias.grad[0] == pytest.approx(2 * 9)
+
+    def test_no_bias_mode(self):
+        conv = Conv2d(1, 1, 3, bias=False, rng=RNG)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_backward_before_forward_raises(self):
+        conv = Conv2d(1, 1, 3, rng=RNG)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.ones((1, 1, 3, 3)))
+
+
+class TestBatchNorm2d:
+    def test_normalizes_in_training(self):
+        bn = BatchNorm2d(4)
+        x = RNG.normal(3.0, 2.0, (8, 4, 6, 6)).astype(np.float32)
+        out = bn.forward(x)
+        assert abs(out.mean()) < 1e-5
+        assert out.std() == pytest.approx(1.0, abs=0.01)
+
+    def test_running_stats_converge(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        for _ in range(30):
+            bn.forward(RNG.normal(5.0, 1.0, (16, 2, 4, 4)).astype(np.float32))
+        assert bn.running_mean == pytest.approx(np.full(2, 5.0), abs=0.3)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2, momentum=0.3)
+        for _ in range(40):
+            bn.forward(RNG.normal(5.0, 1.0, (16, 2, 4, 4)).astype(np.float32))
+        bn.eval()
+        x = np.full((1, 2, 2, 2), 5.0, dtype=np.float32)
+        out = bn.forward(x)
+        assert abs(out.mean()) < 0.3
+
+    def test_input_gradient_training(self):
+        bn = BatchNorm2d(2)
+        check_input_gradient(bn, RNG.random((4, 2, 3, 3)) + 0.5)
+
+    def test_gamma_beta_gradients(self):
+        bn = BatchNorm2d(2)
+        x = RNG.random((4, 2, 3, 3))
+
+        def loss():
+            return float((bn.forward(x) ** 2).sum())
+
+        out = bn.forward(x)
+        bn.gamma.zero_grad()
+        bn.beta.zero_grad()
+        bn.backward(2 * out)
+        np.testing.assert_allclose(bn.gamma.grad, numeric_gradient(loss, bn.gamma.value), atol=2e-2)
+        np.testing.assert_allclose(bn.beta.grad, numeric_gradient(loss, bn.beta.value), atol=2e-2)
+
+
+class TestActivationsAndPooling:
+    def test_relu_forward(self):
+        relu = Relu()
+        out = relu.forward(np.array([[-1.0, 2.0]], dtype=np.float32))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_relu_gradient_masks(self):
+        relu = Relu()
+        relu.forward(np.array([[-1.0, 2.0]], dtype=np.float32))
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_maxpool_forward(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient_routes_to_max(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert grad[0, 0, 1, 1] == 1.0  # position of value 5
+        assert grad[0, 0, 0, 0] == 0.0
+        assert grad.sum() == 4.0
+
+    def test_maxpool_input_gradient(self):
+        pool = MaxPool2d(2)
+        # Distinct values so argmax is stable under epsilon perturbation.
+        x = RNG.permutation(np.arange(32, dtype=np.float64)).reshape(1, 2, 4, 4)
+        check_input_gradient(pool, x)
+
+    def test_global_avg_pool(self):
+        gap = GlobalAvgPool2d()
+        x = np.ones((2, 3, 4, 4), dtype=np.float32)
+        np.testing.assert_allclose(gap.forward(x), np.ones((2, 3)))
+
+    def test_global_avg_pool_gradient(self):
+        gap = GlobalAvgPool2d()
+        check_input_gradient(gap, RNG.random((2, 3, 4, 4)))
+
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        x = RNG.random((2, 3, 4, 5)).astype(np.float32)
+        out = flat.forward(x)
+        assert out.shape == (2, 60)
+        assert flat.backward(out).shape == x.shape
+
+
+class TestLinear:
+    def test_forward(self):
+        lin = Linear(3, 2, rng=RNG)
+        x = RNG.random((4, 3)).astype(np.float32)
+        out = lin.forward(x)
+        np.testing.assert_allclose(out, x @ lin.weight.value.T + lin.bias.value, rtol=1e-5)
+
+    def test_input_gradient(self):
+        lin = Linear(3, 2, rng=RNG)
+        check_input_gradient(lin, RNG.random((4, 3)))
+
+    def test_weight_gradient(self):
+        lin = Linear(3, 2, rng=RNG)
+        x = RNG.random((4, 3))
+
+        def loss():
+            return float(lin.forward(x).sum())
+
+        loss()
+        lin.weight.zero_grad()
+        lin.backward(np.ones((4, 2)))
+        np.testing.assert_allclose(lin.weight.grad, numeric_gradient(loss, lin.weight.value), atol=2e-2)
+
+
+class TestComposite:
+    def test_sequential_runs_in_order(self):
+        seq = Sequential(Linear(4, 3, rng=RNG), Relu(), Linear(3, 2, rng=RNG))
+        out = seq.forward(RNG.random((2, 4)).astype(np.float32))
+        assert out.shape == (2, 2)
+        assert len(seq.parameters()) == 4
+
+    def test_sequential_gradient(self):
+        seq = Sequential(Linear(4, 3, rng=RNG), Relu(), Linear(3, 2, rng=RNG))
+        check_input_gradient(seq, RNG.random((2, 4)) + 0.1)
+
+    def test_residual_block_shape(self):
+        block = ResidualBlock(4, 8, stride=2, rng=RNG)
+        out = block.forward(RNG.random((2, 4, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_residual_identity_path(self):
+        block = ResidualBlock(4, 4, stride=1, rng=RNG)
+        assert block.downsample is None
+
+    def test_residual_block_gradient(self):
+        block = ResidualBlock(2, 2, rng=RNG)
+        check_input_gradient(block, RNG.random((2, 2, 4, 4)) + 0.2, atol=5e-2)
+
+    def test_dual_head_concat(self):
+        head = DualHead(8, classes=3, rng=RNG)
+        out = head.forward(RNG.random((2, 8)).astype(np.float32))
+        assert out.shape == (2, 6)
+
+    def test_dual_head_gradient_splits(self):
+        head = DualHead(4, classes=3, rng=RNG)
+        check_input_gradient(head, RNG.random((2, 4)))
+
+    def test_train_eval_propagate(self):
+        block = ResidualBlock(2, 2, rng=RNG)
+        block.eval()
+        for layer in block.body.layers:
+            assert not layer.training
+        block.train()
+        for layer in block.body.layers:
+            assert layer.training
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_sums_to_one(self):
+        probs = softmax(RNG.random((5, 3)) * 10)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), rtol=1e-6)
+
+    def test_softmax_stability(self):
+        probs = softmax(np.array([[1000.0, 1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    @given(st.integers(0, 2))
+    @settings(max_examples=10)
+    def test_cross_entropy_perfect_prediction(self, label):
+        loss_fn = CrossEntropyLoss()
+        logits = np.full((1, 3), -100.0)
+        logits[0, label] = 100.0
+        loss, _ = loss_fn(logits, np.array([label]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient(self):
+        loss_fn = CrossEntropyLoss()
+        logits = RNG.random((4, 3))
+        labels = np.array([0, 1, 2, 1])
+
+        def loss():
+            return loss_fn(logits, labels)[0]
+
+        _, analytic = loss_fn(logits, labels)
+        numeric = numeric_gradient(loss, logits)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-3)
+
+    def test_uniform_loss_is_log_classes(self):
+        loss_fn = CrossEntropyLoss()
+        loss, _ = loss_fn(np.zeros((2, 3)), np.array([0, 2]))
+        assert loss == pytest.approx(np.log(3.0), rel=1e-6)

@@ -1,0 +1,144 @@
+"""Tests for the MPC controller (data-dependent classical workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CoSimConfig, run_mission
+from repro.app.mpc import MpcConfig, MpcController, MpcStats, MpcSolution
+from repro.env.worlds import tunnel_world
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def controller():
+    return MpcController(tunnel_world(), target_velocity=3.0)
+
+
+class TestConfigValidation:
+    def test_bad_horizon(self):
+        with pytest.raises(ConfigError):
+            MpcConfig(horizon=0)
+
+    def test_bad_iteration_limits(self):
+        with pytest.raises(ConfigError):
+            MpcConfig(min_iterations=10, max_iterations=5)
+
+    def test_bad_dt(self):
+        with pytest.raises(ConfigError):
+            MpcConfig(step_dt=0.0)
+
+    def test_bad_target_velocity(self):
+        with pytest.raises(ConfigError):
+            MpcController(tunnel_world(), target_velocity=0.0)
+
+    def test_flops_per_iteration(self):
+        cfg = MpcConfig(horizon=10, flops_per_stage=260)
+        assert cfg.flops_per_iteration == 2600
+
+
+class TestSolver:
+    def test_centered_state_converges_fast(self, controller):
+        solution = controller.solve(10.0, 0.0, 0.0)
+        assert solution.iterations <= controller.config.min_iterations + 2
+        assert abs(solution.v_lateral) < 0.5
+        assert abs(solution.yaw_rate) < 0.3
+
+    def test_offset_state_commands_correction(self, controller):
+        # Drone left of center: MPC must command rightward (negative
+        # lateral) motion and/or a clockwise turn.
+        solution = controller.solve(10.0, 1.0, 0.0)
+        assert solution.v_lateral < -0.1 or solution.yaw_rate < -0.05
+
+    def test_heading_error_commands_turn(self, controller):
+        solution = controller.solve(10.0, 0.0, 0.5)  # angled left
+        assert solution.yaw_rate < -0.1  # turn clockwise back
+
+    def test_data_dependent_iterations(self):
+        """The §6 property: disturbed states need more solver iterations."""
+        calm = MpcController(tunnel_world(), target_velocity=3.0)
+        disturbed = MpcController(tunnel_world(), target_velocity=3.0)
+        calm_sol = calm.solve(10.0, 0.0, 0.0)
+        disturbed_sol = disturbed.solve(10.0, 1.2, 0.45)
+        assert disturbed_sol.iterations > calm_sol.iterations
+
+    def test_flops_scale_with_iterations(self, controller):
+        solution = controller.solve(10.0, 1.2, 0.4)
+        assert solution.flops == solution.iterations * controller.config.flops_per_iteration
+
+    def test_controls_respect_limits(self, controller):
+        solution = controller.solve(10.0, 1.5, -0.6)
+        assert abs(solution.v_lateral) <= controller.config.max_lateral_velocity + 1e-9
+        assert abs(solution.yaw_rate) <= controller.config.max_yaw_rate + 1e-9
+
+    def test_warm_start_reduces_iterations(self):
+        controller = MpcController(tunnel_world(), target_velocity=3.0)
+        first = controller.solve(10.0, 1.0, 0.3)
+        # Same state again: warm start should converge no slower.
+        second = controller.solve(10.0, 1.0, 0.3)
+        assert second.iterations <= first.iterations
+
+    def test_batched_rollout_matches_scalar(self, controller):
+        rng = np.random.default_rng(0)
+        state = (10.0, 0.5, 0.1)
+        batch = rng.uniform(-1, 1, (5, controller.config.horizon, 2))
+        batched = controller._rollout_costs(batch, state)
+        for i in range(5):
+            assert controller._rollout_cost(batch[i], state) == pytest.approx(
+                float(batched[i]), rel=1e-9
+            )
+
+
+class TestStats:
+    def test_record(self):
+        stats = MpcStats()
+        stats.record(MpcSolution(0.1, 0.0, iterations=5, cost=1.0, flops=500))
+        stats.record(MpcSolution(0.1, 0.0, iterations=7, cost=1.0, flops=700))
+        assert stats.solves == 2
+        assert stats.mean_iterations == 6.0
+        assert stats.iteration_history == [5, 7]
+
+    def test_empty_mean(self):
+        assert MpcStats().mean_iterations == 0.0
+
+
+class TestClosedLoopMpc:
+    def test_mpc_flies_tunnel(self):
+        config = CoSimConfig(
+            world="tunnel",
+            controller="mpc",
+            target_velocity=3.0,
+            initial_angle_deg=20.0,
+            max_sim_time=40.0,
+        )
+        result = run_mission(config)
+        assert result.completed
+        assert result.collisions == 0
+        assert result.mpc_stats.solves > 100
+        # No DNN ran: the accelerator stayed idle.
+        assert result.activity_factor == 0.0
+        assert result.inference_count == 0
+
+    def test_mpc_iterations_spike_on_disturbance(self):
+        """The initial 20-degree error forces extra solver iterations."""
+        config = CoSimConfig(
+            world="tunnel",
+            controller="mpc",
+            target_velocity=3.0,
+            initial_angle_deg=20.0,
+            max_sim_time=10.0,
+        )
+        result = run_mission(config)
+        history = result.mpc_stats.iteration_history
+        early = max(history[:20])
+        late = max(history[-20:])
+        assert early > late  # converged after the initial correction
+
+    def test_mpc_rejects_dynamic_runtime(self):
+        with pytest.raises(ConfigError):
+            CoSimConfig(controller="mpc", dynamic_runtime=True)
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(ConfigError):
+            CoSimConfig(controller="fuzzy-logic")

@@ -1,0 +1,164 @@
+"""Tests for the RoSE packet protocol, including round-trip properties."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import packets as pk
+from repro.core.packets import (
+    DataPacket,
+    PacketType,
+    decode_header,
+    decode_packet,
+    encode_packet,
+)
+from repro.errors import PacketError
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32).map(float)
+
+
+class TestHeaders:
+    def test_header_layout(self):
+        wire = encode_packet(pk.imu_request())
+        assert len(wire) == pk.HEADER_SIZE
+        magic, ptype, flags, length = struct.unpack(pk.HEADER_FORMAT, wire)
+        assert magic == pk.MAGIC
+        assert ptype == PacketType.IMU_REQ
+        assert length == 0
+
+    def test_bad_magic_rejected(self):
+        wire = bytearray(encode_packet(pk.imu_request()))
+        wire[0] ^= 0xFF
+        with pytest.raises(PacketError):
+            decode_header(bytes(wire))
+
+    def test_unknown_type_rejected(self):
+        wire = struct.pack(pk.HEADER_FORMAT, pk.MAGIC, 0xEE, 0, 0)
+        with pytest.raises(PacketError):
+            decode_header(wire)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(PacketError):
+            decode_header(b"\x00\x01")
+
+    def test_oversized_length_rejected(self):
+        wire = struct.pack(pk.HEADER_FORMAT, pk.MAGIC, int(PacketType.IMU_REQ), 0, pk.MAX_PAYLOAD + 1)
+        with pytest.raises(PacketError):
+            decode_header(wire)
+
+    def test_truncated_payload_rejected(self):
+        wire = encode_packet(pk.depth_response(5.0))
+        with pytest.raises(PacketError):
+            decode_packet(wire[:-2])
+
+
+class TestSyncDataSplit:
+    def test_sync_types_flagged(self):
+        assert PacketType.SYNC_GRANT.is_sync
+        assert PacketType.SYNC_SET_STEPS.is_sync
+        assert not PacketType.SYNC_GRANT.is_data
+
+    def test_data_types_flagged(self):
+        for ptype in (PacketType.CAMERA_REQ, PacketType.TARGET_CMD, PacketType.IMU_RESP):
+            assert ptype.is_data
+            assert not ptype.is_sync
+
+
+class TestTypedRoundTrips:
+    def test_sync_set_steps(self):
+        packet = decode_packet(encode_packet(pk.sync_set_steps(10_000_000, 1)))
+        assert packet.ptype == PacketType.SYNC_SET_STEPS
+        assert packet.values == (10_000_000, 1)
+
+    def test_sync_grant_and_done(self):
+        grant = decode_packet(encode_packet(pk.sync_grant(7)))
+        assert grant.values == (7,)
+        done = decode_packet(encode_packet(pk.sync_done(7, 123456)))
+        assert done.values == (7, 123456)
+
+    def test_empty_payload_types(self):
+        for ctor in (pk.imu_request, pk.camera_request, pk.depth_request, pk.state_request,
+                     pk.sync_reset, pk.sync_shutdown):
+            packet = decode_packet(encode_packet(ctor()))
+            assert packet.values == ()
+            assert packet.raw == b""
+
+    @given(finite, finite, finite, finite, finite)
+    @settings(max_examples=30)
+    def test_imu_response_round_trip(self, ax, ay, az, gz, ts):
+        packet = decode_packet(encode_packet(pk.imu_response(ax, ay, az, gz, ts)))
+        assert packet.values == pytest.approx((ax, ay, az, gz, ts))
+
+    @given(finite, finite, finite, finite)
+    @settings(max_examples=30)
+    def test_target_command_round_trip(self, vf, vl, yr, alt):
+        packet = decode_packet(encode_packet(pk.target_command(vf, vl, yr, alt)))
+        assert packet.values == pytest.approx((vf, vl, yr, alt))
+
+    def test_state_response_round_trip(self):
+        packet = decode_packet(
+            encode_packet(pk.state_response(1, 2, 3, 0.5, 4, 5, 0.1, 9.0))
+        )
+        assert packet.values == pytest.approx((1, 2, 3, 0.5, 4, 5, 0.1, 9.0))
+
+    def test_depth_response_round_trip(self):
+        packet = decode_packet(encode_packet(pk.depth_response(12.5)))
+        assert packet.values == (12.5,)
+
+
+class TestCameraPackets:
+    def test_round_trip_with_pixels(self):
+        pixels = bytes(range(48)) * 4  # 8x24
+        packet = pk.camera_response(8, 24, 1.5, 0.1, -0.4, 1.6, pixels)
+        decoded = decode_packet(encode_packet(packet))
+        assert decoded.ptype == PacketType.CAMERA_RESP
+        assert decoded.values[:2] == (8, 24)
+        assert decoded.values[2] == pytest.approx(1.5)
+        assert decoded.values[4] == pytest.approx(-0.4)
+        assert decoded.raw == pixels
+
+    def test_wrong_pixel_count_rejected(self):
+        with pytest.raises(PacketError):
+            encode_packet(pk.camera_response(8, 24, 0.0, 0.0, 0.0, 1.6, b"123"))
+
+    def test_truncated_camera_metadata_rejected(self):
+        wire = struct.pack(
+            pk.HEADER_FORMAT, pk.MAGIC, int(PacketType.CAMERA_RESP), 0, 4
+        ) + b"\x00" * 4
+        with pytest.raises(PacketError):
+            decode_packet(wire)
+
+    @given(st.integers(1, 16), st.integers(1, 16))
+    @settings(max_examples=20)
+    def test_camera_pixels_any_size(self, h, w):
+        pixels = bytes((i % 251 for i in range(h * w)))
+        decoded = decode_packet(
+            encode_packet(pk.camera_response(h, w, 0.0, 0.0, 0.0, 1.6, pixels))
+        )
+        assert decoded.raw == pixels
+
+    def test_payload_bytes_property(self):
+        pixels = b"\x00" * 100
+        packet = pk.camera_response(10, 10, 0.0, 0.0, 0.0, 1.6, pixels)
+        assert packet.payload_bytes == pk.CAMERA_META_SIZE + 100
+
+
+class TestEncodingErrors:
+    def test_wrong_value_count_rejected(self):
+        with pytest.raises(PacketError):
+            encode_packet(DataPacket(PacketType.DEPTH_RESP, (1.0, 2.0)))
+
+    def test_raw_payload_on_typed_packet_rejected(self):
+        with pytest.raises(PacketError):
+            encode_packet(DataPacket(PacketType.IMU_REQ, (), raw=b"junk"))
+
+    def test_wrong_payload_size_on_decode(self):
+        wire = struct.pack(
+            pk.HEADER_FORMAT, pk.MAGIC, int(PacketType.DEPTH_RESP), 0, 4
+        ) + b"\x00" * 4
+        with pytest.raises(PacketError):
+            decode_packet(wire)

@@ -1,0 +1,231 @@
+"""Cross-cutting property-based and fuzz tests.
+
+Hypothesis-driven invariants on the wire protocol, the bridge hardware
+queues, the synchronization math, and the error hierarchy — the places
+where malformed inputs or unusual sequences must degrade *predictably*.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+import repro.errors as errors_module
+from repro.core import packets as pk
+from repro.core.bridge import BridgeConfig, RoseBridge
+from repro.core.config import SyncConfig
+from repro.core.manifest import config_from_dict, config_to_dict
+from repro.core.config import CoSimConfig
+from repro.core.packets import PacketType, decode_packet, encode_packet
+from repro.errors import BridgeError, PacketError, ReproError
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        error_types = [
+            obj
+            for obj in vars(errors_module).values()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+        assert len(error_types) >= 10
+        for error_type in error_types:
+            assert issubclass(error_type, ReproError)
+
+    def test_catchable_at_base(self):
+        with pytest.raises(ReproError):
+            raise PacketError("boom")
+
+
+class TestPacketFuzz:
+    """decode_packet must never raise anything but PacketError."""
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=300)
+    def test_random_bytes(self, data):
+        try:
+            decode_packet(data)
+        except PacketError:
+            pass  # the only acceptable failure mode
+
+    @given(st.binary(min_size=0, max_size=32))
+    @settings(max_examples=200)
+    def test_valid_magic_random_payload(self, payload):
+        wire = struct.pack(pk.HEADER_FORMAT, pk.MAGIC, int(PacketType.IMU_RESP), 0, len(payload))
+        try:
+            decode_packet(wire + payload)
+        except PacketError:
+            pass
+
+    @given(st.sampled_from(list(PacketType)), st.binary(max_size=16))
+    @settings(max_examples=200)
+    def test_header_type_with_junk(self, ptype, junk):
+        wire = struct.pack(pk.HEADER_FORMAT, pk.MAGIC, int(ptype), 0, len(junk))
+        try:
+            decode_packet(wire + junk)
+        except PacketError:
+            pass
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+    @settings(max_examples=100)
+    def test_encode_decode_identity(self, a, b, c, d):
+        packet = pk.target_command(float(a), float(b), float(c), float(d))
+        assert decode_packet(encode_packet(packet)) == packet
+
+
+class BridgeMachine(RuleBasedStateMachine):
+    """Stateful model of the RoSE bridge hardware queues.
+
+    A reference model (plain lists) runs alongside the bridge; every
+    observable — counts, sizes, FIFO order, capacity — must agree.
+    """
+
+    RX_CAPACITY = 200
+    TX_CAPACITY = 120
+
+    def __init__(self):
+        super().__init__()
+        self.bridge = RoseBridge(
+            BridgeConfig(
+                rx_capacity_bytes=self.RX_CAPACITY, tx_capacity_bytes=self.TX_CAPACITY
+            )
+        )
+        self.model_rx: list = []
+        self.model_tx: list = []
+        self._counter = 0.0
+
+    def _fresh_packet(self):
+        self._counter += 1.0
+        return pk.depth_response(self._counter)  # 8-byte payload
+
+    @rule()
+    def inject(self):
+        packet = self._fresh_packet()
+        size = packet.payload_bytes
+        expected_fit = sum(p.payload_bytes for p in self.model_rx) + size <= self.RX_CAPACITY
+        accepted = self.bridge.host_inject(packet)
+        assert accepted == expected_fit
+        if accepted:
+            self.model_rx.append(packet)
+
+    @precondition(lambda self: self.model_rx)
+    @rule()
+    def pop(self):
+        packet = self.bridge.target_rx_pop()
+        assert packet == self.model_rx.pop(0)  # FIFO order
+
+    @rule()
+    def push_tx(self):
+        packet = self._fresh_packet()
+        size = packet.payload_bytes
+        fits = sum(p.payload_bytes for p in self.model_tx) + size <= self.TX_CAPACITY
+        if fits:
+            self.bridge.target_tx_push(packet)
+            self.model_tx.append(packet)
+        else:
+            with pytest.raises(BridgeError):
+                self.bridge.target_tx_push(packet)
+
+    @rule()
+    def collect(self):
+        packets = self.bridge.host_collect()
+        assert packets == self.model_tx
+        self.model_tx = []
+
+    @invariant()
+    def counts_agree(self):
+        assert self.bridge.target_rx_count() == len(self.model_rx)
+        assert self.bridge.rx_buffered_bytes == sum(
+            p.payload_bytes for p in self.model_rx
+        )
+        assert self.bridge.tx_buffered_bytes == sum(
+            p.payload_bytes for p in self.model_tx
+        )
+
+    @invariant()
+    def head_size_agrees(self):
+        expected = self.model_rx[0].payload_bytes if self.model_rx else 0
+        assert self.bridge.target_rx_head_bytes() == expected
+
+
+TestBridgeStateMachine = BridgeMachine.TestCase
+
+
+class TestSyncConfigProperties:
+    @given(st.integers(10, 4000))
+    @settings(max_examples=60)
+    def test_equation_1_ratio(self, millions):
+        """Equation 1: frames/cycles ratio tracks the frequency ratio."""
+        cycles = millions * 1_000_000
+        sync = SyncConfig(cycles_per_sync=cycles)
+        expected = cycles * sync.frame_rate_hz / sync.soc_frequency_hz
+        assert sync.frames_per_sync == round(expected)
+        assert sync.frames_per_sync >= 1
+
+    @given(st.integers(10, 4000))
+    @settings(max_examples=60)
+    def test_period_consistency(self, millions):
+        sync = SyncConfig(cycles_per_sync=millions * 1_000_000)
+        assert sync.sync_period_seconds * sync.soc_frequency_hz == pytest.approx(
+            sync.cycles_per_sync
+        )
+        assert sync.cycles_per_frame * sync.frames_per_sync == pytest.approx(
+            sync.cycles_per_sync
+        )
+
+
+class TestManifestProperties:
+    @given(
+        st.sampled_from(["tunnel", "s-shape"]),
+        st.sampled_from(["A", "B", "C"]),
+        st.sampled_from(["resnet6", "resnet11", "resnet14", "resnet18", "resnet34"]),
+        st.floats(0.5, 15.0),
+        st.integers(0, 1000),
+        st.sampled_from([10_000_000, 50_000_000, 400_000_000]),
+    )
+    @settings(max_examples=60)
+    def test_round_trip_any_config(self, world, soc, model, velocity, seed, cycles):
+        config = CoSimConfig(
+            world=world,
+            soc=soc,
+            model=model,
+            target_velocity=float(velocity),
+            seed=seed,
+            sync=SyncConfig(cycles_per_sync=cycles),
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+
+class TestGridProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.5, 9.5), st.floats(0.5, 9.5), st.floats(-3.1, 3.1)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_always_probability(self, scans):
+        from repro.slam.grid import GridParams, OccupancyGrid
+
+        grid = OccupancyGrid(
+            GridParams(origin_x=0, origin_y=0, width_m=10, height_m=10)
+        )
+        angles = np.linspace(-1.5, 1.5, 8)
+        for x, y, yaw in scans:
+            ranges = np.full(8, 3.0)
+            grid.integrate_scan(x, y, yaw, angles, ranges, max_range=10.0)
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-2, 12, (50, 2))
+        probs = grid.occupancy_probability(points)
+        assert (probs >= 0).all() and (probs <= 1).all()
+        assert 0.0 <= grid.observed_fraction <= 1.0

@@ -1,0 +1,89 @@
+"""Tests for INT8 Gemmini support and quantized classifier profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CoSimConfig
+from repro.dnn.calibrated import classifier_profile
+from repro.dnn.resnet import build_resnet_graph
+from repro.dnn.runtime import InferenceSession
+from repro.errors import ConfigError, SchedulingError
+from repro.soc.cpu import boom_core
+from repro.soc.gemmini import GemminiModel, default_gemmini, int8_gemmini
+from repro.soc.soc import CONFIG_A, Soc
+import dataclasses
+
+
+class TestGemminiDtype:
+    def test_default_is_paper_fp32(self):
+        g = default_gemmini()
+        assert g.dtype == "fp32"
+        assert g.element_bytes == 4
+        assert (g.mesh_rows, g.mesh_cols) == (4, 4)
+
+    def test_int8_native_mesh(self):
+        g = int8_gemmini()
+        assert g.dtype == "int8"
+        assert g.element_bytes == 1
+        assert (g.mesh_rows, g.mesh_cols) == (16, 16)
+        assert g.peak_macs_per_cycle == 256
+
+    def test_explicit_mesh_overrides_default(self):
+        g = GemminiModel(mesh_rows=8, mesh_cols=8, dtype="int8")
+        assert (g.mesh_rows, g.mesh_cols) == (8, 8)
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SchedulingError):
+            GemminiModel(dtype="fp16")
+
+    def test_int8_weights_stream_fewer_bytes(self):
+        fp32 = default_gemmini().gemm_cost(m=256, k=512, n=512)
+        int8 = int8_gemmini().gemm_cost(m=256, k=512, n=512)
+        assert int8.dma_cycles < fp32.dma_cycles
+        assert int8.compute_cycles < fp32.compute_cycles
+
+    def test_int8_speeds_up_every_variant(self):
+        for name in ("resnet6", "resnet34"):
+            graph = build_resnet_graph(name)
+            fp32 = InferenceSession(graph, boom_core(), default_gemmini())
+            int8 = InferenceSession(graph, boom_core(), int8_gemmini())
+            assert int8.report.total_cycles < fp32.report.total_cycles
+
+    def test_soc_config_dtype_plumbing(self):
+        config = dataclasses.replace(CONFIG_A, gemmini_dtype="int8")
+        soc = Soc(config)
+        assert soc.gemmini.dtype == "int8"
+        assert "int8" in config.description
+
+
+class TestQuantizedProfiles:
+    def test_quantized_loses_accuracy(self):
+        fp32 = classifier_profile("resnet14")
+        int8 = classifier_profile("resnet14", quantized=True)
+        assert int8.validation_accuracy == pytest.approx(
+            fp32.validation_accuracy - 0.02
+        )
+        assert int8.temperature > fp32.temperature
+        assert int8.sigma > fp32.sigma
+        assert int8.name.endswith("-int8")
+
+    def test_quantized_cached_separately(self):
+        assert classifier_profile("resnet6") is not classifier_profile(
+            "resnet6", quantized=True
+        )
+        assert classifier_profile("resnet6", quantized=True) is classifier_profile(
+            "resnet6", quantized=True
+        )
+
+
+class TestCoSimDtypeConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CoSimConfig(gemmini_dtype="bf16")
+
+    def test_cosim_builds_int8_soc(self):
+        from repro.core.cosim import CoSimulation
+
+        cosim = CoSimulation(CoSimConfig(gemmini_dtype="int8", max_sim_time=5.0))
+        assert cosim.soc.gemmini.dtype == "int8"

@@ -1,0 +1,143 @@
+"""Tests for the ResNet variant specs, graphs, and the trainable model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.graph import Graph, OpType
+from repro.dnn.resnet import (
+    DEFAULT_INPUT_SHAPE,
+    RESNET_NAMES,
+    TrailNetModel,
+    build_all_graphs,
+    build_resnet_graph,
+    build_trainable_trailnet,
+    resnet_spec,
+)
+from repro.errors import GraphError
+
+
+class TestSpecs:
+    def test_all_variants_present(self):
+        assert set(RESNET_NAMES) == {
+            "resnet6",
+            "resnet11",
+            "resnet14",
+            "resnet18",
+            "resnet34",
+        }
+
+    def test_names_ordered_by_depth(self):
+        depths = [resnet_spec(n).depth for n in RESNET_NAMES]
+        assert depths == sorted(depths)
+
+    @pytest.mark.parametrize(
+        "name,depth",
+        [("resnet6", 6), ("resnet11", 10), ("resnet14", 14), ("resnet18", 18), ("resnet34", 34)],
+    )
+    def test_depth_counting(self, name, depth):
+        # resnet11 counts 11 with its downsample convs; the formula counts
+        # stem + 2/block + head, which is the conventional naming scheme.
+        assert abs(resnet_spec(name).depth - depth) <= 1
+
+    def test_unknown_variant(self):
+        with pytest.raises(GraphError):
+            resnet_spec("resnet50")
+
+
+class TestGraphs:
+    @pytest.fixture(scope="class")
+    def graphs(self) -> dict[str, Graph]:
+        return build_all_graphs()
+
+    def test_macs_increase_with_depth(self, graphs):
+        macs = [graphs[n].total_macs for n in RESNET_NAMES]
+        assert macs == sorted(macs)
+        assert macs[0] > 0
+
+    def test_params_increase_with_depth(self, graphs):
+        params = [graphs[n].total_params for n in RESNET_NAMES]
+        assert params == sorted(params)
+
+    def test_dual_head_outputs(self, graphs):
+        for graph in graphs.values():
+            assert graph.outputs == ["angular_probs", "lateral_probs"]
+            for out in graph.outputs:
+                node = graph.node(out)
+                assert node.op == OpType.SOFTMAX
+                assert node.output_shape == (3,)
+
+    def test_heads_share_trunk(self, graphs):
+        g = graphs["resnet14"]
+        ang = g.node("angular_logits")
+        lat = g.node("lateral_logits")
+        assert ang.inputs == lat.inputs  # both read the pooled features
+
+    def test_input_shape_default(self, graphs):
+        for graph in graphs.values():
+            assert graph.input_shape == DEFAULT_INPUT_SHAPE
+
+    def test_custom_input_shape_scales_macs(self):
+        small = build_resnet_graph("resnet14", (3, 64, 64))
+        large = build_resnet_graph("resnet14", (3, 128, 128))
+        assert large.total_macs > 3 * small.total_macs
+
+    def test_resnet18_macs_plausible(self, graphs):
+        # ResNet18 at 128x128 should land near 0.6 GMACs (1.8 G at 224x224
+        # scaled by (128/224)^2 ~ 0.33).
+        assert 0.4e9 < graphs["resnet18"].total_macs < 0.8e9
+
+    def test_residual_adds_present(self, graphs):
+        counts = graphs["resnet34"].count_ops()
+        assert counts["add"] == 16  # one per block: 3+4+6+3
+
+    def test_graphs_validate(self, graphs):
+        for graph in graphs.values():
+            graph.validate()  # must not raise
+
+    def test_serialization_round_trip(self, graphs):
+        g = graphs["resnet11"]
+        g2 = Graph.from_json(g.to_json())
+        assert g2.total_macs == g.total_macs
+
+
+class TestTrainableModel:
+    def test_forward_shape(self):
+        model = build_trainable_trailnet(seed=0)
+        x = np.random.default_rng(0).random((4, 1, 32, 48)).astype(np.float32)
+        logits = model.forward(x)
+        assert logits.shape == (4, 6)
+
+    def test_predict_probs_normalized(self):
+        model = build_trainable_trailnet(seed=0)
+        x = np.random.default_rng(0).random((4, 1, 32, 48)).astype(np.float32)
+        ang, lat = model.predict_probs(x)
+        np.testing.assert_allclose(ang.sum(axis=1), np.ones(4), rtol=1e-5)
+        np.testing.assert_allclose(lat.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_backward_runs(self):
+        model = build_trainable_trailnet(seed=0)
+        x = np.random.default_rng(0).random((4, 1, 32, 48)).astype(np.float32)
+        logits = model.forward(x)
+        grad = model.backward(np.ones_like(logits))
+        assert grad.shape == x.shape
+
+    def test_parameters_trainable(self):
+        model = build_trainable_trailnet(seed=0)
+        params = model.parameters()
+        assert len(params) > 10
+        names = [p.name for p in params]
+        assert any("stem" in n for n in names)
+        assert any("head" in n for n in names)
+
+    def test_seed_determinism(self):
+        a = build_trainable_trailnet(seed=3)
+        b = build_trainable_trailnet(seed=3)
+        x = np.random.default_rng(1).random((2, 1, 32, 48)).astype(np.float32)
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_custom_input_shape(self):
+        model = TrailNetModel(input_shape=(1, 16, 16), stage_blocks=(1,), stage_channels=(4,))
+        x = np.zeros((2, 1, 16, 16), dtype=np.float32)
+        assert model.forward(x).shape == (2, 6)

@@ -1,0 +1,258 @@
+"""Tests for the roslite middleware and the trail node pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CoSimConfig
+from repro.core.cosim import CoSimulation
+from repro.errors import ConfigError
+from repro.roslite.graph import (
+    PUBLISH_OVERHEAD_CYCLES,
+    Rate,
+    RosGraph,
+)
+from repro.roslite.msgs import Header, Image, Imu, LaserScan, Twist
+from repro.soc.cpu import boom_core
+from repro.soc.soc import CONFIG_A, Soc
+
+
+class TestMessages:
+    def test_byte_sizes_scale_with_payload(self):
+        small = Image(Header(), 4, 4, bytes(16))
+        large = Image(Header(), 32, 48, bytes(32 * 48))
+        assert large.byte_size() > small.byte_size()
+        assert small.byte_size() > 16
+
+    def test_all_messages_report_sizes(self):
+        header = Header(stamp_cycle=5, frame_id="x")
+        for msg in (
+            Imu(header, (0.0, 0.0, 9.8), 0.1),
+            LaserScan(header, 4.7, bytes(64 * 4)),
+            Twist(header, 1.0, 0.0, 1.5, 0.1),
+        ):
+            assert msg.byte_size() > header.byte_size()
+
+
+class TestGraphTopology:
+    def test_topic_names_validated(self):
+        graph = RosGraph(boom_core())
+        with pytest.raises(ConfigError):
+            graph.advertise("no-slash")
+
+    def test_queue_size_validated(self):
+        graph = RosGraph(boom_core())
+        with pytest.raises(ConfigError):
+            graph.subscribe("/t", queue_size=0)
+
+    def test_topics_registry(self):
+        graph = RosGraph(boom_core())
+        graph.advertise("/b")
+        graph.subscribe("/a")
+        assert graph.topics == ["/a", "/b"]
+
+    def test_rate_validated(self):
+        with pytest.raises(ConfigError):
+            Rate(0.0, boom_core())
+
+
+def run_tasks(*factories, budget=10_000_000):
+    soc = Soc(CONFIG_A)
+    soc.load_program(factories[0], name="t0")
+    for i, factory in enumerate(factories[1:], start=1):
+        soc.add_program(factory, name=f"t{i}")
+    soc.step(budget)
+    return soc
+
+
+class TestPubSub:
+    def test_message_delivery_between_tasks(self):
+        graph = RosGraph(boom_core())
+        received = []
+
+        def talker(rt):
+            publisher = graph.advertise("/chat")
+            for i in range(3):
+                yield from publisher.publish(rt, Twist(Header(stamp_cycle=i), linear_x=i))
+                yield from rt.delay(100_000)
+
+        def listener(rt):
+            subscriber = graph.subscribe("/chat", queue_size=8)
+            while len(received) < 3:
+                msg = yield from subscriber.receive(rt)
+                received.append(msg.linear_x)
+
+        run_tasks(talker, listener)
+        assert received == [0, 1, 2]
+
+    def test_queue_overflow_drops_oldest(self):
+        graph = RosGraph(boom_core())
+        got = []
+
+        def talker(rt):
+            publisher = graph.advertise("/burst")
+            for i in range(5):
+                yield from publisher.publish(rt, Twist(Header(stamp_cycle=i), linear_x=i))
+            # Only now let the listener drain.
+            yield from rt.delay(1_000_000)
+
+        def listener(rt):
+            subscriber = graph.subscribe("/burst", queue_size=2)
+            yield from rt.delay(500_000)  # arrive late
+            while True:
+                msg = yield from subscriber.receive(rt, timeout_cycles=200_000)
+                if msg is None:
+                    return
+                got.append(msg.linear_x)
+
+        run_tasks(talker, listener)
+        assert got == [3, 4]  # oldest three dropped
+
+    def test_drop_stats_counted(self):
+        graph = RosGraph(boom_core())
+
+        def talker(rt):
+            publisher = graph.advertise("/burst")
+            for i in range(4):
+                yield from publisher.publish(rt, Twist(Header(), linear_x=i))
+
+        def idle_listener(rt):
+            graph.subscribe("/burst", queue_size=1)
+            yield from rt.delay(50_000_000)
+
+        run_tasks(talker, idle_listener)
+        stats = graph.topic_stats("/burst")
+        assert stats.published == 4
+        assert stats.dropped == 3
+
+    def test_publish_without_subscribers_is_fine(self):
+        graph = RosGraph(boom_core())
+
+        def talker(rt):
+            publisher = graph.advertise("/void")
+            yield from publisher.publish(rt, Twist(Header()))
+
+        run_tasks(talker)
+        assert graph.topic_stats("/void").published == 1
+        assert graph.topic_stats("/void").delivered == 0
+
+    def test_fanout_to_multiple_subscribers(self):
+        graph = RosGraph(boom_core())
+        counts = {"a": 0, "b": 0}
+
+        def talker(rt):
+            publisher = graph.advertise("/fan")
+            yield from publisher.publish(rt, Twist(Header()))
+
+        def listener(tag):
+            def node(rt):
+                subscriber = graph.subscribe("/fan")
+                msg = yield from subscriber.receive(rt, timeout_cycles=5_000_000)
+                if msg is not None:
+                    counts[tag] += 1
+
+            return node
+
+        run_tasks(listener("a"), listener("b"), talker)
+        assert counts == {"a": 1, "b": 1}
+
+    def test_publish_cost_scales_with_size(self):
+        """Publishing a camera frame costs more cycles than a Twist."""
+        graph = RosGraph(boom_core())
+        graph.subscribe("/t")
+
+        def publish_and_measure(message, out):
+            def node(rt):
+                publisher = graph.advertise("/t")
+                start = yield from rt.current_cycle()
+                yield from publisher.publish(rt, message)
+                end = yield from rt.current_cycle()
+                out.append(end - start)
+
+            return node
+
+        small_cost, big_cost = [], []
+        run_tasks(publish_and_measure(Twist(Header()), small_cost))
+        run_tasks(publish_and_measure(Image(Header(), 32, 48, bytes(32 * 48)), big_cost))
+        assert big_cost[0] > small_cost[0] + 1000
+        assert small_cost[0] >= PUBLISH_OVERHEAD_CYCLES
+
+    def test_latest_drains_queue(self):
+        graph = RosGraph(boom_core())
+        seen = []
+
+        def talker(rt):
+            publisher = graph.advertise("/s")
+            for i in range(4):
+                yield from publisher.publish(rt, Twist(Header(), linear_x=i))
+
+        def sampler(rt):
+            subscriber = graph.subscribe("/s", queue_size=8)
+            yield from rt.delay(1_000_000)
+            msg = yield from subscriber.latest(rt)
+            seen.append(msg.linear_x)
+            assert subscriber.pending == 0
+
+        run_tasks(talker, sampler)
+        assert seen == [3]
+
+
+class TestRate:
+    def test_paces_a_loop(self):
+        ticks = []
+
+        def node(rt):
+            rate = Rate(1000.0, boom_core())  # 1 kHz -> 1M cycles period
+            for _ in range(3):
+                now = yield from rt.current_cycle()
+                ticks.append(now)
+                yield from rate.sleep(rt)
+
+        run_tasks(node)
+        gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(1_000_000, rel=0.01)
+
+
+class TestTrailNodePipeline:
+    @pytest.fixture(scope="class")
+    def mission(self):
+        config = CoSimConfig(
+            world="tunnel",
+            controller="ros",
+            model="resnet14",
+            target_velocity=3.0,
+            initial_angle_deg=20.0,
+            max_sim_time=40.0,
+        )
+        cosim = CoSimulation(config)
+        result = cosim.run()
+        return cosim, result
+
+    def test_pipeline_completes_mission(self, mission):
+        _, result = mission
+        assert result.completed
+        assert result.collisions == 0
+
+    def test_three_node_tasks_loaded(self, mission):
+        cosim, _ = mission
+        names = [task.name for task in cosim.soc.tasks]
+        assert names == ["camera-driver", "perception-control", "actuation"]
+
+    def test_messages_flowed(self, mission):
+        cosim, result = mission
+        graph = cosim.ros_pipeline.graph
+        images = graph.topic_stats("/camera/image")
+        commands = graph.topic_stats("/cmd_vel")
+        assert images.published > 100
+        assert commands.published > 100
+        # The perception node is the bottleneck: some frames drop on its
+        # queue_size=1 subscription (sample-latest behaviour).
+        assert images.dropped >= 0
+        assert commands.published <= images.published
+
+    def test_end_to_end_latency_exceeds_monolithic(self, mission):
+        """Node hops + queues add latency over the monolithic app."""
+        _, result = mission
+        assert result.mean_inference_latency_ms > 110  # monolithic: ~100 ms
+        assert result.mean_inference_latency_ms < 400

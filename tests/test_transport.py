@@ -1,0 +1,125 @@
+"""Tests for the in-process and TCP transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import packets as pk
+from repro.core.packets import PacketType
+from repro.core.transport import InProcessTransport, TcpTransport, transport_pair
+from repro.errors import TransportError
+
+
+@pytest.fixture(params=["inprocess", "tcp"])
+def pair(request):
+    a, b = transport_pair(request.param)
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestBothTransports:
+    def test_send_recv(self, pair):
+        a, b = pair
+        a.send(pk.depth_request())
+        packet = b.recv_blocking(timeout=2.0)
+        assert packet.ptype == PacketType.DEPTH_REQ
+
+    def test_recv_empty_returns_none(self, pair):
+        a, b = pair
+        assert b.recv() is None
+
+    def test_bidirectional(self, pair):
+        a, b = pair
+        a.send(pk.camera_request())
+        b.send(pk.depth_response(3.0))
+        assert b.recv_blocking().ptype == PacketType.CAMERA_REQ
+        assert a.recv_blocking().ptype == PacketType.DEPTH_RESP
+
+    def test_ordering_preserved(self, pair):
+        a, b = pair
+        for i in range(20):
+            a.send(pk.sync_grant(i))
+        received = []
+        while len(received) < 20:
+            packet = b.recv_blocking()
+            received.append(packet.values[0])
+        assert received == list(range(20))
+
+    def test_large_camera_packet(self, pair):
+        a, b = pair
+        pixels = bytes(i % 256 for i in range(64 * 48))
+        a.send(pk.camera_response(64, 48, 0.5, 0.0, 0.0, 1.6, pixels))
+        packet = b.recv_blocking(timeout=5.0)
+        assert packet.raw == pixels
+
+    def test_drain_collects_all(self, pair):
+        a, b = pair
+        for i in range(5):
+            a.send(pk.sync_grant(i))
+        import time
+
+        time.sleep(0.05)  # let TCP bytes land
+        packets = b.drain()
+        assert len(packets) == 5
+
+    def test_counters(self, pair):
+        a, b = pair
+        a.send(pk.depth_request())
+        b.recv_blocking()
+        assert a.packets_sent == 1
+        assert a.bytes_sent > 0
+        assert b.bytes_received > 0
+
+    def test_recv_blocking_timeout(self, pair):
+        _, b = pair
+        with pytest.raises(TransportError):
+            b.recv_blocking(timeout=0.05)
+
+
+class TestInProcessSpecific:
+    def test_closed_send_rejected(self):
+        a, b = transport_pair("inprocess")
+        a.close()
+        with pytest.raises(TransportError):
+            a.send(pk.depth_request())
+
+
+class TestTcpSpecific:
+    def test_partial_frame_buffered(self):
+        """A receiver must not yield a packet until the frame completes."""
+        a, b = transport_pair("tcp")
+        try:
+            wire = pk.encode_packet(pk.depth_response(7.0))
+            # Send the frame in two raw halves.
+            a._sock.setblocking(True)
+            a._sock.sendall(wire[: len(wire) // 2])
+            import time
+
+            time.sleep(0.05)
+            assert b.recv() is None
+            a._sock.sendall(wire[len(wire) // 2 :])
+            packet = b.recv_blocking(timeout=2.0)
+            assert packet.values == (7.0,)
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_packets_one_read(self):
+        """Multiple frames arriving in one TCP segment all decode."""
+        a, b = transport_pair("tcp")
+        try:
+            for i in range(10):
+                a.send(pk.sync_grant(i))
+            got = []
+            while len(got) < 10:
+                got.append(b.recv_blocking(timeout=2.0).values[0])
+            assert got == list(range(10))
+        finally:
+            a.close()
+            b.close()
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(TransportError):
+        transport_pair("carrier-pigeon")

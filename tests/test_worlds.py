@@ -1,0 +1,160 @@
+"""Tests for the corridor worlds (tunnel / s-shape)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.geometry import Pose2
+from repro.env.worlds import World, make_world, s_shape_world, tunnel_world
+from repro.errors import SimulationError
+
+
+class TestTunnelWorld:
+    def test_dimensions_match_paper(self, tunnel):
+        # 50 m long, 3.2 m wide: walls at y = +/-1.6.
+        assert tunnel.half_width == pytest.approx(1.6)
+        assert tunnel.centerline.length == pytest.approx(50.0)
+
+    def test_walls_at_plus_minus_half_width(self, tunnel):
+        np.testing.assert_allclose(tunnel.left_wall.points[:, 1], 1.6)
+        np.testing.assert_allclose(tunnel.right_wall.points[:, 1], -1.6)
+
+    def test_center_is_clear(self, tunnel):
+        assert not tunnel.in_collision(np.array([25.0, 0.0]), radius=0.3)
+
+    def test_wall_contact_collides(self, tunnel):
+        assert tunnel.in_collision(np.array([25.0, 1.5]), radius=0.3)
+
+    def test_outside_collides(self, tunnel):
+        assert tunnel.in_collision(np.array([25.0, 5.0]), radius=0.3)
+
+    def test_clearance_at_center(self, tunnel):
+        assert tunnel.wall_clearance(np.array([25.0, 0.0])) == pytest.approx(1.6, abs=0.01)
+
+    def test_depth_straight_ahead(self, tunnel):
+        # Looking down the corridor from x=10: the far cap is 40 m away.
+        depth = tunnel.depth_along(Pose2(10.0, 0.0, 0.0), max_range=100.0)
+        assert depth == pytest.approx(40.0, abs=0.1)
+
+    def test_depth_toward_wall(self, tunnel):
+        depth = tunnel.depth_along(Pose2(10.0, 0.0, math.pi / 2), max_range=100.0)
+        assert depth == pytest.approx(1.6, abs=0.01)
+
+    def test_goal_near_end(self, tunnel):
+        assert not tunnel.reached_goal(np.array([10.0, 0.0]))
+        assert tunnel.reached_goal(np.array([49.5, 0.0]))
+
+    def test_course_coordinates(self, tunnel):
+        s, d = tunnel.course_coordinates(np.array([12.0, 0.8]))
+        assert s == pytest.approx(12.0)
+        assert d == pytest.approx(0.8)
+
+    def test_heading_error_straight_course(self, tunnel):
+        assert tunnel.heading_error(Pose2(10, 0, 0.3)) == pytest.approx(0.3)
+
+    @given(st.floats(1.0, 49.0), st.floats(-1.2, 1.2))
+    @settings(max_examples=40)
+    def test_interior_points_clear(self, s, d):
+        world = tunnel_world()
+        point = np.array([s, d])
+        assert world.in_collision(point, radius=0.3) == (abs(d) > 1.3 - 1e-9)
+
+
+class TestSShapeWorld:
+    def test_length_covers_80m(self, s_shape):
+        # The S path is longer than its 80 m x-extent.
+        assert s_shape.centerline.length >= 80.0
+
+    def test_wider_than_tunnel(self, s_shape, tunnel):
+        assert s_shape.half_width > tunnel.half_width
+
+    def test_is_actually_s_shaped(self, s_shape):
+        ys = s_shape.centerline.points[:, 1]
+        assert ys.max() > 5.0
+        assert ys.min() < -5.0
+
+    def test_centerline_clear_along_course(self, s_shape):
+        for s in np.linspace(1, s_shape.centerline.length - 1, 25):
+            point = s_shape.centerline.point_at_arclength(float(s))
+            assert not s_shape.in_collision(point, radius=0.3), f"collision at s={s}"
+
+    def test_walls_offset_by_half_width(self, s_shape):
+        for s in np.linspace(5, 75, 15):
+            center = s_shape.centerline.point_at_arclength(float(s))
+            assert s_shape.wall_clearance(center) == pytest.approx(
+                s_shape.half_width, rel=0.1
+            )
+
+    def test_spawn_pose_on_course(self, s_shape):
+        pose = s_shape.spawn_pose()
+        assert not s_shape.in_collision(pose.position, radius=0.3)
+        assert abs(s_shape.heading_error(pose)) < 0.05
+
+
+class TestSpawnPose:
+    def test_initial_angle_applied(self, tunnel):
+        pose = tunnel.spawn_pose(initial_angle=math.radians(20))
+        assert tunnel.heading_error(pose) == pytest.approx(math.radians(20))
+
+    def test_lateral_offset_applied(self, tunnel):
+        pose = tunnel.spawn_pose(lateral_offset=0.5)
+        _, d = tunnel.course_coordinates(pose.position)
+        assert d == pytest.approx(0.5)
+
+    def test_offset_into_wall_rejected(self, tunnel):
+        with pytest.raises(SimulationError):
+            tunnel.spawn_pose(lateral_offset=2.0)
+
+
+class TestWorldValidation:
+    def test_negative_width_rejected(self, tunnel):
+        with pytest.raises(SimulationError):
+            World(
+                name="bad",
+                centerline=tunnel.centerline,
+                half_width=-1.0,
+                goal_arclength=10.0,
+            )
+
+    def test_goal_beyond_centerline_rejected(self, tunnel):
+        with pytest.raises(SimulationError):
+            World(
+                name="bad",
+                centerline=tunnel.centerline,
+                half_width=1.0,
+                goal_arclength=1e9,
+            )
+
+    def test_make_world_by_name(self):
+        assert make_world("tunnel").name == "tunnel"
+        assert make_world("s-shape").name == "s-shape"
+        assert make_world("s_shape").name == "s-shape"
+
+    def test_make_world_unknown(self):
+        with pytest.raises(SimulationError):
+            make_world("warehouse")
+
+    def test_make_world_params_forwarded(self):
+        world = make_world("s-shape", amplitude=3.0)
+        assert world.centerline.points[:, 1].max() < 4.0
+
+    def test_panorama_matches_depth(self, tunnel):
+        pose = Pose2(10.0, 0.3, 0.1)
+        angles = np.array([-0.4, 0.0, 0.4])
+        pano = tunnel.panorama(pose, angles, max_range=100.0)
+        for angle, expected in zip(angles, pano):
+            assert tunnel.depth_along(pose, relative_angle=float(angle), max_range=100.0) == (
+                pytest.approx(float(expected))
+            )
+
+    def test_rays_cannot_escape_caps(self, s_shape):
+        # End caps close the corridor: every ray from inside must hit.
+        pose = s_shape.spawn_pose()
+        angles = np.linspace(-math.pi, math.pi, 73)
+        pano = s_shape.panorama(pose, angles, max_range=1e6)
+        assert pano.max() < 1e6
