@@ -17,6 +17,7 @@ Quickstart::
 
 from repro.core.config import CoSimConfig, SyncConfig
 from repro.core.cosim import CoSimulation, MissionResult, run_mission
+from repro.core.faults import FaultPlan, FaultRule, ScheduledFault, load_fault_plan
 
 __version__ = "1.0.0"
 
@@ -26,5 +27,9 @@ __all__ = [
     "CoSimulation",
     "MissionResult",
     "run_mission",
+    "FaultPlan",
+    "FaultRule",
+    "ScheduledFault",
+    "load_fault_plan",
     "__version__",
 ]

@@ -106,6 +106,11 @@ class AppStats:
     records: list[InferenceRecord] = field(default_factory=list)
     session_switches: int = 0
     inferences_by_model: dict[str, int] = field(default_factory=dict)
+    # -- degradation telemetry (all zero on a healthy link) --------------
+    sensor_timeouts: int = 0  # sensor waits that expired
+    sensor_retries: int = 0  # requests re-issued after a timeout
+    stale_frames_reused: int = 0  # iterations flown on the previous frame
+    held_commands: int = 0  # iterations that re-sent the last command
 
     @property
     def inference_count(self) -> int:
@@ -134,6 +139,8 @@ def trail_navigation_app(
     stats: AppStats | None = None,
     argmax_policy: bool = False,
     demux=None,
+    sensor_timeout_cycles: int | None = None,
+    sensor_retries: int = 0,
 ):
     """Target program: the static single-DNN controller (Sections 5.1-5.2).
 
@@ -142,25 +149,56 @@ def trail_navigation_app(
     a :class:`~repro.app.perception.Perception`.  When sharing the SoC
     with other tasks, pass the shared :class:`~repro.soc.demux.IoDemux`
     so responses for neighbours are preserved.
+
+    ``sensor_timeout_cycles`` arms the degradation path for a faulty
+    link: a camera wait that expires is retried up to ``sensor_retries``
+    times; if every attempt times out the controller *reuses the previous
+    frame* (stale-but-sane perception), or — before any frame has ever
+    arrived — simply re-sends the last command.  Left at ``None`` (the
+    default) the wait is indefinite and behaviour is identical to the
+    fault-free controller.
     """
     gains = gains or ControllerGains()
     stats = stats if stats is not None else AppStats()
     model_name = session.graph.name
+    last_frame = None
+    last_command = None
     while True:
         request_cycle = yield from rt.current_cycle()
-        if demux is not None:
-            frame = yield from demux.request(rt, camera_request(), PacketType.CAMERA_RESP)
+        frame = None
+        for attempt in range(1 + sensor_retries):
+            if demux is not None:
+                frame = yield from demux.request(
+                    rt, camera_request(), PacketType.CAMERA_RESP, sensor_timeout_cycles
+                )
+            else:
+                frame = yield from rt.request_response(
+                    camera_request(), PacketType.CAMERA_RESP, sensor_timeout_cycles
+                )
+            if frame is not None:
+                break
+            stats.sensor_timeouts += 1
+            if attempt < sensor_retries:
+                stats.sensor_retries += 1
+        if frame is None:
+            if last_frame is None:
+                # Flying blind with no history: hold the last command (if
+                # any) and try again next iteration.
+                if last_command is not None:
+                    yield from rt.send_packet(last_command)
+                    stats.held_commands += 1
+                continue
+            frame = last_frame
+            stats.stale_frames_reused += 1
         else:
-            frame = yield from rt.request_response(
-                camera_request(), PacketType.CAMERA_RESP
-            )
+            last_frame = frame
         yield from rt.run_inference(session)
         inference = perception.infer_packet(frame)
         v_forward, v_lateral, yaw_rate = compute_targets(
             inference, target_velocity, gains, argmax_policy=argmax_policy
         )
-        yield from rt.send_packet(
-            target_command(v_forward, v_lateral, yaw_rate, gains.altitude)
-        )
+        command = target_command(v_forward, v_lateral, yaw_rate, gains.altitude)
+        yield from rt.send_packet(command)
+        last_command = command
         response_cycle = yield from rt.current_cycle()
         stats.record(request_cycle, response_cycle, model_name)

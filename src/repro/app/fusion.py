@@ -46,6 +46,10 @@ class FusionStats:
     imu_branch_runs: int = 0
     camera_branch_runs: int = 0
     head_runs: int = 0
+    # -- degradation telemetry (all zero on a healthy link) --------------
+    imu_timeouts: int = 0  # IMU waits that expired (integration skipped)
+    camera_timeouts: int = 0  # camera waits that expired (fix skipped)
+    sensor_retries: int = 0  # requests re-issued after a timeout
 
     @property
     def camera_rate_fraction(self) -> float:
@@ -62,12 +66,21 @@ def fusion_controller_app(
     cpu,
     config: FusionConfig | None = None,
     stats: FusionStats | None = None,
+    sensor_timeout_cycles: int | None = None,
+    sensor_retries: int = 0,
 ):
     """Target program: rate-decoupled fusion control loop.
 
     ``sessions`` is a :class:`repro.dnn.fusion.FusionSessions`;
     ``perception`` supplies the camera fix (behavioural classifier or a
     trained CNN).
+
+    ``sensor_timeout_cycles`` arms graceful degradation on a faulty link:
+    a lost IMU sample skips the gyro integration for that iteration (the
+    dead-reckoned heading simply holds), a lost camera frame skips the
+    fix and keeps dead-reckoning until the next one — the structure the
+    complementary filter already tolerates.  ``None`` (the default)
+    waits indefinitely, identical to the fault-free controller.
     """
     config = config or FusionConfig()
     stats = stats if stats is not None else FusionStats()
@@ -83,33 +96,56 @@ def fusion_controller_app(
         loop_start = yield from rt.current_cycle()
 
         # -- fast inertial path (every iteration) -----------------------
-        imu = yield from rt.request_response(imu_request(), PacketType.IMU_RESP)
-        _ax, _ay, _az, gyro_z, timestamp = imu.values
-        if last_imu_time is not None:
-            # The gyro integrates *changes* in heading between camera
-            # fixes (course curvature is absorbed at each fix).
-            heading_estimate += gyro_z * (timestamp - last_imu_time)
-        last_imu_time = timestamp
-        yield from rt.run_inference(sessions.imu)
-        stats.imu_branch_runs += 1
+        imu = None
+        for attempt in range(1 + sensor_retries):
+            imu = yield from rt.request_response(
+                imu_request(), PacketType.IMU_RESP, sensor_timeout_cycles
+            )
+            if imu is not None:
+                break
+            if attempt < sensor_retries:
+                stats.sensor_retries += 1
+        if imu is None:
+            # Lost sample: hold the dead-reckoned heading this iteration.
+            stats.imu_timeouts += 1
+        else:
+            _ax, _ay, _az, gyro_z, timestamp = imu.values
+            if last_imu_time is not None:
+                # The gyro integrates *changes* in heading between camera
+                # fixes (course curvature is absorbed at each fix).
+                heading_estimate += gyro_z * (timestamp - last_imu_time)
+            last_imu_time = timestamp
+            yield from rt.run_inference(sessions.imu)
+            stats.imu_branch_runs += 1
 
         # -- slow visual path (every Nth iteration) ---------------------
         if iteration % config.camera_every == 0:
-            frame = yield from rt.request_response(
-                camera_request(), PacketType.CAMERA_RESP
-            )
-            yield from rt.run_inference(sessions.camera)
-            stats.camera_branch_runs += 1
-            inference = perception.infer_packet(frame)
-            # Camera fix: re-anchor the dead-reckoned heading and refresh
-            # the lateral correction (Equation 2's lateral term).
-            boundary = 0.131  # rad, the angular class half-width
-            heading_estimate = boundary * float(
-                inference.angular_probs[LEFT] - inference.angular_probs[RIGHT]
-            ) * 2.0
-            lateral_correction = beta_lateral * float(
-                inference.lateral_probs[RIGHT] - inference.lateral_probs[LEFT]
-            )
+            frame = None
+            for attempt in range(1 + sensor_retries):
+                frame = yield from rt.request_response(
+                    camera_request(), PacketType.CAMERA_RESP, sensor_timeout_cycles
+                )
+                if frame is not None:
+                    break
+                if attempt < sensor_retries:
+                    stats.sensor_retries += 1
+            if frame is None:
+                # Lost fix: keep dead-reckoning until the next one.
+                stats.camera_timeouts += 1
+            else:
+                yield from rt.run_inference(sessions.camera)
+                stats.camera_branch_runs += 1
+                inference = perception.infer_packet(frame)
+                # Camera fix: re-anchor the dead-reckoned heading and
+                # refresh the lateral correction (Equation 2's lateral
+                # term).
+                boundary = 0.131  # rad, the angular class half-width
+                heading_estimate = boundary * float(
+                    inference.angular_probs[LEFT] - inference.angular_probs[RIGHT]
+                ) * 2.0
+                lateral_correction = beta_lateral * float(
+                    inference.lateral_probs[RIGHT] - inference.lateral_probs[LEFT]
+                )
 
         # -- fusion head + actuation ------------------------------------
         yield from rt.run_inference(sessions.head)

@@ -19,6 +19,7 @@ from repro.analysis.plot import trajectory_plot
 from repro.analysis.render import format_table
 from repro.core.config import CoSimConfig, SyncConfig
 from repro.core.cosim import run_mission
+from repro.core.faults import load_fault_plan
 from repro.core.manifest import load_manifest
 from repro.core.trace import Tracer
 from repro.env.worlds import make_world
@@ -41,6 +42,12 @@ def _add_fly_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--dynamic", action="store_true", help="dynamic DNN runtime")
     parser.add_argument("--background", default=None, help="slam-mapper | dnn-monitor")
+    parser.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        help="fault-injection plan: a JSON file path or inline JSON "
+        "(see repro.core.faults.FaultPlan)",
+    )
     parser.add_argument("--plot", action="store_true", help="print a trajectory plot")
     parser.add_argument("--csv", metavar="PATH", help="write the synchronizer CSV log")
     parser.add_argument("--trace", metavar="PATH", help="write a Chrome trace JSON")
@@ -60,6 +67,7 @@ def _config_from_args(args: argparse.Namespace) -> CoSimConfig:
         dynamic_runtime=args.dynamic,
         background=args.background,
         sync=SyncConfig(cycles_per_sync=args.cycles_per_sync),
+        faults=load_fault_plan(args.fault_plan) if args.fault_plan else None,
     )
 
 
@@ -68,6 +76,10 @@ def _cmd_fly(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace else None
     result = run_mission(config, tracer=tracer)
     print(result.summary())
+    if config.faults is not None and result.sync_stats is not None:
+        counters = result.sync_stats.fault_summary()
+        rendered = ", ".join(f"{name}={value}" for name, value in counters.items())
+        print(f"fault injection (seed {config.faults.seed}): {rendered}")
     if args.plot:
         world = make_world(config.world, **config.world_params)
         print(trajectory_plot(world, {"o-flight": result.trajectory}))

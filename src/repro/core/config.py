@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.faults import FaultPlan
 from repro.env.simulator import EnvConfig
 from repro.errors import ConfigError
 from repro.soc import calib
@@ -27,17 +28,37 @@ from repro.soc import calib
 
 @dataclass(frozen=True)
 class SyncConfig:
-    """Lockstep synchronization parameters (Section 3.4.1, Equation 1)."""
+    """Lockstep synchronization parameters (Section 3.4.1, Equation 1).
+
+    The timeout fields govern the synchronizer's resilience to a faulty
+    link: ``sync_done_timeout_s`` is the wall-clock watchdog on one sync
+    step, ``regrant_timeout_s`` how long a remote host may stay silent
+    before the grant is re-issued, ``max_regrants`` how many re-issues are
+    attempted before the watchdog ends the mission, and ``recv_timeout_s``
+    the deadline for blocking single-packet receives.
+    """
 
     cycles_per_sync: int = 10_000_000
     soc_frequency_hz: float = calib.SOC_FREQUENCY_HZ
     frame_rate_hz: float = 100.0
+    sync_done_timeout_s: float = 30.0
+    recv_timeout_s: float = 5.0
+    regrant_timeout_s: float = 5.0
+    max_regrants: int = 3
 
     def __post_init__(self) -> None:
         if self.cycles_per_sync <= 0:
             raise ConfigError("cycles_per_sync must be positive")
         if self.soc_frequency_hz <= 0 or self.frame_rate_hz <= 0:
             raise ConfigError("frequencies must be positive")
+        if (
+            self.sync_done_timeout_s <= 0
+            or self.recv_timeout_s <= 0
+            or self.regrant_timeout_s <= 0
+        ):
+            raise ConfigError("synchronizer timeouts must be positive")
+        if self.max_regrants < 0:
+            raise ConfigError("max_regrants must be non-negative")
         if self.frames_per_sync < 1:
             raise ConfigError(
                 "synchronization period shorter than one environment frame: "
@@ -52,8 +73,12 @@ class SyncConfig:
 
     @property
     def frames_per_sync(self) -> int:
-        """Environment frames per synchronization (Equation 1)."""
-        return int(round(self.sync_period_seconds * self.frame_rate_hz))
+        """Environment frames per synchronization (Equation 1).
+
+        Computed as one fused ratio: dividing by the frequency first and
+        re-multiplying loses a ulp exactly at the .5 rounding boundary.
+        """
+        return int(round(self.cycles_per_sync * self.frame_rate_hz / self.soc_frequency_hz))
 
     @property
     def cycles_per_frame(self) -> float:
@@ -89,6 +114,12 @@ class CoSimConfig:
     world_params: dict = field(default_factory=dict)  # forwarded to the world builder
     seed: int = 0
     transport: str = "inprocess"
+    faults: FaultPlan | None = None  # seeded link/sensor fault injection
+    #: App-layer sensor watchdog, in synchronization periods.  Only armed
+    #: when ``faults`` is set, so fault-free runs are bit-identical to the
+    #: happy-path configuration.
+    sensor_timeout_syncs: int = 3
+    sensor_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.target_velocity <= 0:
@@ -117,6 +148,14 @@ class CoSimConfig:
             raise ConfigError(
                 f"gemmini_dtype must be 'fp32' or 'int8', got {self.gemmini_dtype!r}"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigError(
+                f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
+        if self.sensor_timeout_syncs < 1:
+            raise ConfigError("sensor_timeout_syncs must be at least 1")
+        if self.sensor_retries < 0:
+            raise ConfigError("sensor_retries must be non-negative")
 
     def env_config(self) -> EnvConfig:
         return EnvConfig(

@@ -26,8 +26,10 @@ from repro.slam.pipeline import SlamPipeline, slam_grid_for_world
 from repro.soc.demux import IoDemux
 from repro.core.config import CoSimConfig
 from repro.core.csvlog import SyncLogger
-from repro.core.synchronizer import Synchronizer
-from repro.core.transport import transport_pair
+from repro.core.faults import FaultInjector
+from repro.core.synchronizer import Synchronizer, SyncStats
+from repro.core.transport import FaultyTransport, transport_pair
+from repro.errors import TransportError, WatchdogError
 from repro.dnn.calibrated import classifier_profile
 from repro.dnn.resnet import build_resnet_graph
 from repro.dnn.runtime import InferenceSession
@@ -49,6 +51,11 @@ class MissionResult:
     config: CoSimConfig
     completed: bool
     mission_time: float | None
+    #: ``None`` for a clean flight (completed or honest DNF); the reason
+    #: string when the co-simulation itself failed: ``"watchdog"`` (the
+    #: synchronizer gave up re-granting a lost step) or ``"link_timeout"``
+    #: (the transport died).
+    failure_reason: str | None
     sim_time: float
     collisions: int
     progress: float
@@ -65,6 +72,7 @@ class MissionResult:
     slam_stats: SlamNavStats | None = field(repr=False, default=None)
     background_stats: SlamNavStats | None = field(repr=False, default=None)
     monitor_stats: MonitorStats | None = field(repr=False, default=None)
+    sync_stats: SyncStats | None = field(repr=False, default=None)
     logger: SyncLogger | None = field(repr=False, default=None)
 
     @property
@@ -84,11 +92,15 @@ class MissionResult:
         return f"{self.config.soc}/{mode}@{self.config.target_velocity:g}m/s"
 
     def summary(self) -> str:
-        status = (
-            f"completed in {self.mission_time:.2f}s"
-            if self.completed
-            else f"DNF (progress {100 * self.progress:.0f}%)"
-        )
+        if self.completed:
+            status = f"completed in {self.mission_time:.2f}s"
+        elif self.failure_reason:
+            status = (
+                f"FAILED ({self.failure_reason}, "
+                f"progress {100 * self.progress:.0f}%)"
+            )
+        else:
+            status = f"DNF (progress {100 * self.progress:.0f}%)"
         return (
             f"{self.label}: {status}, {self.collisions} collision(s), "
             f"avg velocity {self.average_velocity:.2f} m/s, "
@@ -133,6 +145,13 @@ class CoSimulation:
                 gemmini_dtype=config.gemmini_dtype,
             )
         self.soc = Soc(base_soc)
+
+        # Fault injection (optional).  One injector is shared by both
+        # transport endpoints and the synchronizer so the seeded RNG is
+        # consumed in deterministic packet order.
+        self.fault_injector = (
+            FaultInjector(config.faults) if config.faults is not None else None
+        )
         self.app_stats = AppStats()
         self.mpc_stats = MpcStats()
         self.fusion_stats = FusionStats()
@@ -150,6 +169,9 @@ class CoSimulation:
 
         # The link between them.
         sync_end, firesim_end = transport_pair(config.transport)
+        if self.fault_injector is not None:
+            sync_end = FaultyTransport(sync_end, self.fault_injector)
+            firesim_end = FaultyTransport(firesim_end, self.fault_injector)
         self.host = FireSimHost(self.soc, firesim_end)
         self.logger = SyncLogger()
         self.synchronizer = Synchronizer(
@@ -159,11 +181,24 @@ class CoSimulation:
             host_service=self.host.service,
             logger=self.logger,
             tracer=tracer,
+            faults=self.fault_injector,
         )
 
     # ------------------------------------------------------------------
     def _build_app(self, perception: Perception | None):
         config = self.config
+        # Degradation timeouts arm only under fault injection: with a
+        # healthy link the apps wait indefinitely, so their op streams —
+        # and hence every mission metric — are bit-identical to a build
+        # without the fault subsystem.
+        if config.faults is not None:
+            sensor_timeout_cycles = (
+                config.sensor_timeout_syncs * config.sync.cycles_per_sync
+            )
+            sensor_retries = config.sensor_retries
+        else:
+            sensor_timeout_cycles = None
+            sensor_retries = 0
         if config.controller == "mpc":
             controller = MpcController(
                 world=self.env.world, target_velocity=config.target_velocity
@@ -213,6 +248,8 @@ class CoSimulation:
                 cpu=self.soc.cpu,
                 config=FusionConfig(camera_every=config.fusion_camera_every),
                 stats=self.fusion_stats,
+                sensor_timeout_cycles=sensor_timeout_cycles,
+                sensor_retries=sensor_retries,
             )
         defaults = ControllerGains()
         gains = ControllerGains(
@@ -249,6 +286,8 @@ class CoSimulation:
             stats=self.app_stats,
             argmax_policy=config.argmax_policy,
             demux=self._demux,
+            sensor_timeout_cycles=sensor_timeout_cycles,
+            sensor_retries=sensor_retries,
         )
 
     def _load_background_mapper(self) -> None:
@@ -292,18 +331,42 @@ class CoSimulation:
 
     # ------------------------------------------------------------------
     def run(self) -> MissionResult:
-        """Fly the mission to completion, timeout, or max simulated time."""
+        """Fly the mission to completion, timeout, or max simulated time.
+
+        An unrecoverable link failure ends the mission with a structured
+        :class:`MissionResult` (``failure_reason`` set, everything flown
+        so far collected) rather than an unhandled exception — a crashed
+        link is an *experimental outcome* under fault injection, not a
+        harness bug.
+        """
+        failure_reason: str | None = None
         self.synchronizer.configure()
         self.rpc.takeoff()
-        self.synchronizer.run(
-            max_sim_time=self.config.max_sim_time,
-            stop_condition=self.rpc.mission_complete,
-        )
-        self.synchronizer.shutdown()
-        return self._collect()
+        try:
+            self.synchronizer.run(
+                max_sim_time=self.config.max_sim_time,
+                stop_condition=self.rpc.mission_complete,
+            )
+        except WatchdogError:
+            failure_reason = "watchdog"
+        except TransportError:
+            failure_reason = "link_timeout"
+        try:
+            self.synchronizer.shutdown()
+        except TransportError:
+            # A dead link cannot deliver the shutdown packet; the result
+            # below already records why.
+            failure_reason = failure_reason or "link_timeout"
+        return self._collect(failure_reason)
 
-    def _collect(self) -> MissionResult:
+    def _collect(self, failure_reason: str | None = None) -> MissionResult:
         env = self.env
+        # The synchronizer only sees its own endpoint's decode discards;
+        # corrupted sensor responses die at the FireSim end.  Fold both
+        # ends into the mission-level count.
+        self.synchronizer.stats.corrupt_discards = getattr(
+            self.synchronizer.transport, "corrupt_packets", 0
+        ) + getattr(self.host.transport, "corrupt_packets", 0)
         completed = env.mission_complete
         mission_time = env.mission_time
         if completed and mission_time and mission_time > 0:
@@ -317,6 +380,7 @@ class CoSimulation:
             config=self.config,
             completed=completed,
             mission_time=mission_time,
+            failure_reason=failure_reason,
             sim_time=env.sim_time,
             collisions=env.collision_count,
             progress=env.course_progress,
@@ -335,6 +399,7 @@ class CoSimulation:
             slam_stats=self.slam_stats,
             background_stats=self.background_stats,
             monitor_stats=self.monitor_stats,
+            sync_stats=self.synchronizer.stats,
             logger=self.logger,
         )
 

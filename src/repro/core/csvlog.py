@@ -33,6 +33,10 @@ class SyncLogRow:
     target_v_forward: float
     target_v_lateral: float
     target_yaw_rate: float
+    # Fault / resilience columns (all zero on a healthy link).
+    packets_dropped: int = 0
+    packets_corrupted: int = 0
+    retries: int = 0
 
     FIELDS = (
         "step",
@@ -51,6 +55,9 @@ class SyncLogRow:
         "target_v_forward",
         "target_v_lateral",
         "target_yaw_rate",
+        "packets_dropped",
+        "packets_corrupted",
+        "retries",
     )
 
     def as_tuple(self) -> tuple:
@@ -105,6 +112,11 @@ class SyncLogger:
                         target_v_forward=float(record["target_v_forward"]),
                         target_v_lateral=float(record["target_v_lateral"]),
                         target_yaw_rate=float(record["target_yaw_rate"]),
+                        # Absent in logs written before fault injection
+                        # existed; read those as fault-free.
+                        packets_dropped=int(record.get("packets_dropped", 0) or 0),
+                        packets_corrupted=int(record.get("packets_corrupted", 0) or 0),
+                        retries=int(record.get("retries", 0) or 0),
                     )
                 )
         return logger

@@ -14,6 +14,7 @@ import json
 from dataclasses import asdict
 
 from repro.core.config import CoSimConfig, SyncConfig
+from repro.core.faults import FaultPlan
 from repro.errors import ConfigError
 
 MANIFEST_FORMAT = "rose-repro-manifest/1"
@@ -26,7 +27,14 @@ def config_to_dict(config: CoSimConfig) -> dict:
         "cycles_per_sync": config.sync.cycles_per_sync,
         "soc_frequency_hz": config.sync.soc_frequency_hz,
         "frame_rate_hz": config.sync.frame_rate_hz,
+        "sync_done_timeout_s": config.sync.sync_done_timeout_s,
+        "recv_timeout_s": config.sync.recv_timeout_s,
+        "regrant_timeout_s": config.sync.regrant_timeout_s,
+        "max_regrants": config.sync.max_regrants,
     }
+    # asdict() mangles the fault plan (enum members, nested rule tuples);
+    # the plan serializes itself with packet types by name.
+    data["faults"] = config.faults.to_dict() if config.faults is not None else None
     return data
 
 
@@ -35,8 +43,10 @@ def config_from_dict(data: dict) -> CoSimConfig:
     data = dict(data)
     sync_data = data.pop("sync", None)
     sync = SyncConfig(**sync_data) if sync_data else SyncConfig()
+    faults_data = data.pop("faults", None)
+    faults = FaultPlan.from_dict(faults_data) if faults_data else None
     try:
-        return CoSimConfig(sync=sync, **data)
+        return CoSimConfig(sync=sync, faults=faults, **data)
     except TypeError as exc:
         raise ConfigError(f"invalid configuration fields: {exc}") from exc
 

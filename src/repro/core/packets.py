@@ -14,17 +14,21 @@ Two packet families exist:
 * **Data packets** "encode sensor and actuator data" and "are the only
   packets that are visible to the simulated SoC".
 
-Wire format: a fixed 8-byte header ``(magic u16, type u8, flags u8,
+Wire format: a fixed 8-byte header ``(magic u16, type u8, crc u8,
 length u32)`` followed by ``length`` payload bytes.  Typed payloads are
-struct-packed little-endian.  Camera responses carry the image as a raw
-uint8 payload after a fixed metadata prefix; the metadata includes the
-capture-time course coordinates (the "image metadata" the behavioural
-classifier consumes — see DESIGN.md).
+struct-packed little-endian.  The header's third byte is a CRC over the
+packet type and payload (the low byte of CRC-32): a frame corrupted in
+flight fails :func:`decode_packet` with a :class:`PacketError` and the
+transports discard it instead of delivering garbage.  Camera responses
+carry the image as a raw uint8 payload after a fixed metadata prefix; the
+metadata includes the capture-time course coordinates (the "image
+metadata" the behavioural classifier consumes — see DESIGN.md).
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from enum import IntEnum
 
@@ -152,8 +156,15 @@ def encode_packet(packet: DataPacket) -> bytes:
             raise PacketError(f"{ptype.name} does not carry a raw payload")
     if len(payload) > MAX_PAYLOAD:
         raise PacketError(f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD")
-    header = struct.pack(HEADER_FORMAT, MAGIC, int(ptype), 0, len(payload))
+    crc = payload_crc(int(ptype), payload)
+    header = struct.pack(HEADER_FORMAT, MAGIC, int(ptype), crc, len(payload))
     return header + payload
+
+
+def payload_crc(type_value: int, payload: bytes) -> int:
+    """8-bit integrity check carried in the header (low byte of CRC-32,
+    mixed with the type so a corrupted type byte is also caught)."""
+    return (zlib.crc32(payload) ^ type_value) & 0xFF
 
 
 def decode_header(data: bytes) -> tuple[PacketType, int]:
@@ -173,13 +184,16 @@ def decode_header(data: bytes) -> tuple[PacketType, int]:
 
 
 def decode_packet(data: bytes) -> DataPacket:
-    """Deserialize one packet from wire bytes."""
+    """Deserialize one packet from wire bytes (CRC-checked)."""
     ptype, length = decode_header(data)
     payload = data[HEADER_SIZE : HEADER_SIZE + length]
     if len(payload) != length:
         raise PacketError(
             f"payload truncated: have {len(payload)}, header declares {length}"
         )
+    crc = data[3]
+    if crc != payload_crc(int(ptype), bytes(payload)):
+        raise PacketError(f"{ptype.name} payload CRC mismatch")
     if ptype == PacketType.CAMERA_RESP:
         if length < CAMERA_META_SIZE:
             raise PacketError("CAMERA_RESP payload shorter than its metadata")

@@ -21,11 +21,13 @@ synchronization adds artificial latency to the modeled I/O.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.config import SyncConfig
 from repro.core.csvlog import SyncLogger, SyncLogRow
+from repro.core.faults import FaultInjector
 from repro.core.packets import (
     DataPacket,
     PacketType,
@@ -40,7 +42,7 @@ from repro.core.packets import (
 )
 from repro.core.transport import Transport
 from repro.env.rpc import RpcClient
-from repro.errors import SyncError
+from repro.errors import SyncError, WatchdogError
 
 
 @dataclass
@@ -59,6 +61,29 @@ class SyncStats:
     last_target: tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
     #: (sim_time of request) per camera request — latency studies read this.
     camera_request_times: list[float] = field(default_factory=list)
+    # -- fault / resilience counters ------------------------------------
+    packets_dropped: int = 0  # injected drops (from the fault plan)
+    packets_corrupted: int = 0  # injected corruptions
+    packets_duplicated: int = 0  # injected duplicates
+    packets_delayed: int = 0  # injected delays
+    corrupt_discards: int = 0  # frames discarded on decode (synchronizer end;
+    # the mission runner folds in the FireSim end when it collects results)
+    sync_regrants: int = 0  # SYNC_GRANTs re-issued by the watchdog
+    stale_sync_done: int = 0  # SYNC_DONEs for already-finished steps
+    sensor_faults: int = 0  # stuck-IMU / camera-blackout responses served
+
+    def fault_summary(self) -> dict[str, int]:
+        """The resilience counters as one dict (reporting/determinism checks)."""
+        return {
+            "packets_dropped": self.packets_dropped,
+            "packets_corrupted": self.packets_corrupted,
+            "packets_duplicated": self.packets_duplicated,
+            "packets_delayed": self.packets_delayed,
+            "corrupt_discards": self.corrupt_discards,
+            "sync_regrants": self.sync_regrants,
+            "stale_sync_done": self.stale_sync_done,
+            "sensor_faults": self.sensor_faults,
+        }
 
 
 class Synchronizer:
@@ -78,6 +103,7 @@ class Synchronizer:
         host_service: Callable[[], None] | None = None,
         logger: SyncLogger | None = None,
         tracer=None,
+        faults: FaultInjector | None = None,
     ):
         self.rpc = rpc
         self.transport = transport
@@ -85,10 +111,12 @@ class Synchronizer:
         self.host_service = host_service
         self.logger = logger
         self.tracer = tracer
+        self.faults = faults
         self.stats = SyncStats()
         self.sim_time = 0.0
         self._pending_rtl: list[DataPacket] = []
         self._configured = False
+        self._last_imu: dict[str, float] | None = None
 
     # ------------------------------------------------------------------
     def configure(self) -> None:
@@ -118,6 +146,17 @@ class Synchronizer:
             self.stats.camera_requests += 1
             self.stats.camera_request_times.append(self.sim_time)
             image = self.rpc.get_camera_image()
+            if self.faults is not None and self.faults.camera_blackout_active():
+                # Blacked-out sensor: no pixels, no usable pose metadata —
+                # the controller sees a frame that says "centered".
+                self.faults.counters.camera_blackout += 1
+                self.stats.sensor_faults += 1
+                image = dict(
+                    image,
+                    pixels=bytes(len(image["pixels"])),
+                    heading_error=0.0,
+                    lateral_offset=0.0,
+                )
             self._transmit(
                 camera_response(
                     height=image["height"],
@@ -132,6 +171,13 @@ class Synchronizer:
         elif ptype == PacketType.IMU_REQ:
             self.stats.imu_requests += 1
             imu = self.rpc.get_imu()
+            if self.faults is not None and self.faults.stuck_imu_active():
+                # Stuck sensor: keep serving the last healthy reading.
+                self.faults.counters.stuck_imu += 1
+                self.stats.sensor_faults += 1
+                if self._last_imu is not None:
+                    imu = self._last_imu
+            self._last_imu = imu
             self._transmit(
                 imu_response(
                     imu["accel_x"], imu["accel_y"], imu["accel_z"], imu["gyro_z"], imu["timestamp"]
@@ -176,6 +222,8 @@ class Synchronizer:
         """One iteration of Algorithm 1's main loop."""
         if not self._configured:
             raise SyncError("configure() must run before stepping")
+        if self.faults is not None:
+            self.faults.begin_step(self.stats.steps)
 
         # % Translate IO packets into AirSim APIs %
         rtl_data, self._pending_rtl = self._pending_rtl, []
@@ -188,7 +236,12 @@ class Synchronizer:
         self.rpc.continue_for_frames(self.sync.frames_per_sync)
 
         # % Poll simulators until both finish %
-        self._wait_for_sync_done(step_index)
+        try:
+            self._wait_for_sync_done(step_index)
+        finally:
+            # Mirror injector counters even when the watchdog aborts the
+            # step — the failure report must show what the link did.
+            self._update_fault_stats()
 
         if self.tracer is not None:
             self.tracer.span(
@@ -200,25 +253,62 @@ class Synchronizer:
             )
         self.sim_time += self.sync.sync_period_seconds
         self.stats.steps += 1
+        self._update_fault_stats()
         if self.logger is not None:
             self._log_row()
 
-    def _wait_for_sync_done(self, step_index: int) -> None:
-        import time
+    def _update_fault_stats(self) -> None:
+        if self.faults is not None:
+            counters = self.faults.counters
+            self.stats.packets_dropped = counters.dropped
+            self.stats.packets_corrupted = counters.corrupted
+            self.stats.packets_duplicated = counters.duplicated
+            self.stats.packets_delayed = counters.delayed
+        self.stats.corrupt_discards = getattr(self.transport, "corrupt_packets", 0)
 
-        deadline = time.monotonic() + 30.0
+    def _regrant(self, step_index: int, regrants: int) -> int:
+        """Watchdog retry: re-issue the grant for a step that went silent."""
+        if regrants >= self.sync.max_regrants:
+            raise WatchdogError(
+                f"step {step_index} incomplete after {regrants} regrant(s); "
+                "link presumed dead"
+            )
+        self.stats.sync_regrants += 1
+        self.transport.send(sync_grant(step_index))
+        return regrants + 1
+
+    def _wait_for_sync_done(self, step_index: int) -> None:
+        """Poll for this step's SYNC_DONE, surviving a lossy link.
+
+        A lost SYNC_GRANT or SYNC_DONE is recovered by re-issuing the
+        grant (the host deduplicates and re-acknowledges executed steps);
+        after ``max_regrants`` unanswered re-issues — or, for a remote
+        host, ``sync_done_timeout_s`` of wall-clock silence — the watchdog
+        raises :class:`WatchdogError`, which the mission runner converts
+        into a structured failure.
+        """
+        deadline = time.monotonic() + self.sync.sync_done_timeout_s
+        regrant_deadline = time.monotonic() + self.sync.regrant_timeout_s
+        regrants = 0
         while True:
             if self.host_service:
                 self.host_service()
             done = False
+            progressed = False
             for packet in self.transport.drain():
+                progressed = True
                 if packet.ptype == PacketType.SYNC_DONE:
                     got_index = int(packet.values[0])
-                    if got_index != step_index:
+                    if got_index == step_index:
+                        done = True
+                    elif got_index < step_index:
+                        # A duplicate/delayed acknowledgement of a step we
+                        # already finished (regrant aftermath) — ignore.
+                        self.stats.stale_sync_done += 1
+                    else:
                         raise SyncError(
                             f"out-of-order SYNC_DONE: expected {step_index}, got {got_index}"
                         )
-                    done = True
                 elif packet.ptype.is_data:
                     # Emitted by the SoC during this period; handled at the
                     # start of the next loop iteration (Algorithm 1).
@@ -228,9 +318,22 @@ class Synchronizer:
             if done:
                 return
             if self.host_service:
-                continue  # in-process host: no need to sleep
-            if time.monotonic() > deadline:
-                raise SyncError(f"FireSim did not complete step {step_index} within 30s")
+                if progressed:
+                    continue
+                # An in-process host finishes all possible work per service
+                # call, so an empty drain means the grant or its SYNC_DONE
+                # was lost on the wire.
+                regrants = self._regrant(step_index, regrants)
+                continue
+            now = time.monotonic()
+            if now > deadline:
+                raise WatchdogError(
+                    f"FireSim did not complete step {step_index} within "
+                    f"{self.sync.sync_done_timeout_s:g}s"
+                )
+            if now > regrant_deadline:
+                regrants = self._regrant(step_index, regrants)
+                regrant_deadline = now + self.sync.regrant_timeout_s
             time.sleep(0.0002)
 
     def _log_row(self) -> None:
@@ -255,6 +358,9 @@ class Synchronizer:
                 target_v_forward=target[0],
                 target_v_lateral=target[1],
                 target_yaw_rate=target[2],
+                packets_dropped=self.stats.packets_dropped,
+                packets_corrupted=self.stats.packets_corrupted,
+                retries=self.stats.sync_regrants,
             )
         )
 

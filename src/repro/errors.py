@@ -33,6 +33,13 @@ class SyncError(ReproError):
     """The synchronizer observed an inconsistent simulation state."""
 
 
+class WatchdogError(SyncError):
+    """The synchronizer's watchdog gave up on the RTL side: a sync step
+    did not complete within the configured timeout/regrant budget.  The
+    mission runner converts this into a structured
+    :class:`~repro.core.cosim.MissionResult` failure instead of crashing."""
+
+
 class SimulationError(ReproError):
     """The environment simulator was driven incorrectly (e.g. stepping a
     vehicle that has not taken off, out-of-world query)."""

@@ -49,23 +49,40 @@ class IoDemux:
     #: while it waits, and only a mailbox re-check can observe that.
     POLL_CHUNK_CYCLES = 50_000
 
-    def recv(self, rt: TargetRuntime, ptype: PacketType):
+    def recv(
+        self,
+        rt: TargetRuntime,
+        ptype: PacketType,
+        timeout_cycles: int | None = None,
+    ):
         """Generator helper: receive the next packet of ``ptype``.
 
         Pops the hardware queue (charging the normal MMIO/copy costs) and
         sorts every packet into its mailbox until the requested type is
         available.  Packets for other tasks are preserved in their
-        mailboxes rather than dropped.
+        mailboxes rather than dropped.  With ``timeout_cycles`` the wait is
+        bounded and returns ``None`` on expiry (the caller's degradation
+        path); the default wait is indefinite.
         """
+        waited = 0
         while True:
             if self.pending(ptype):
                 return self.take(ptype)
+            if timeout_cycles is not None and waited >= timeout_cycles:
+                return None
             packet = yield from rt.recv_packet(timeout_cycles=self.POLL_CHUNK_CYCLES)
+            waited += self.POLL_CHUNK_CYCLES
             if packet is not None:
                 self.deliver(packet)
 
-    def request(self, rt: TargetRuntime, request_packet: DataPacket, response_type: PacketType):
+    def request(
+        self,
+        rt: TargetRuntime,
+        request_packet: DataPacket,
+        response_type: PacketType,
+        timeout_cycles: int | None = None,
+    ):
         """Send a request and receive its (demultiplexed) typed response."""
         yield from rt.send_packet(request_packet)
-        response = yield from self.recv(rt, response_type)
+        response = yield from self.recv(rt, response_type, timeout_cycles)
         return response

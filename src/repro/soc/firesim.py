@@ -42,8 +42,12 @@ class FireSimHost:
         self.transport = transport
         self.steps_completed = 0
         self.shutdown_requested = False
+        self.duplicate_grants = 0
         self._pending_grants: list[int] = []
         self._deferred_inject: list[DataPacket] = []
+        #: (step index, cycles executed) of the last completed step — a
+        #: regranted step is re-acknowledged from here, never re-executed.
+        self._last_done: tuple[int, int] | None = None
 
     def service(self) -> None:
         """Run all currently possible host-side work."""
@@ -79,11 +83,19 @@ class FireSimHost:
     def _execute_grants(self) -> None:
         while self._pending_grants:
             step_index = self._pending_grants.pop(0)
+            if self._last_done is not None and step_index <= self._last_done[0]:
+                # The synchronizer's watchdog re-issued a grant because a
+                # packet was lost: acknowledge again, never step twice.
+                self.duplicate_grants += 1
+                if step_index == self._last_done[0]:
+                    self.transport.send(sync_done(*self._last_done))
+                continue
             budget = self.bridge.grant_step()
             executed = self.soc.step(budget)
             for packet in self.bridge.host_collect():
                 self.transport.send(packet)
             self.transport.send(sync_done(step_index, executed))
+            self._last_done = (step_index, executed)
             self.steps_completed += 1
             # Injection may have been blocked on queue space freed by the
             # step; retry now.
