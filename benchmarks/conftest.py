@@ -29,3 +29,38 @@ def run_once():
 def mission_time_or_timeout(aggregate: dict) -> float:
     """Mean mission time, with DNFs counted at their timeout time."""
     return aggregate["mean_mission_time"]
+
+
+def collect_results(data) -> list:
+    """Recursively pull every MissionResult out of a figure's data tree."""
+    from repro.core.cosim import MissionResult
+
+    if isinstance(data, MissionResult):
+        return [data]
+    found: list = []
+    if isinstance(data, dict):
+        for value in data.values():
+            found.extend(collect_results(value))
+    elif isinstance(data, (list, tuple)):
+        for value in data:
+            found.extend(collect_results(value))
+    return found
+
+
+@pytest.fixture
+def record_stages():
+    """Attach the summed per-stage wall-clock split to the benchmark JSON."""
+
+    def _record(benchmark, data) -> None:
+        from repro.core.timing import merge_timings
+
+        results = collect_results(data)
+        benchmark.extra_info["stage_seconds"] = {
+            stage: round(seconds, 4)
+            for stage, seconds in merge_timings(
+                result.stage_timings for result in results
+            ).items()
+        }
+        benchmark.extra_info["missions"] = len(results)
+
+    return _record

@@ -13,8 +13,9 @@ from repro.analysis.figures import fig10_data
 from repro.analysis.render import format_table
 
 
-def test_fig10(benchmark, run_once):
+def test_fig10(benchmark, run_once, record_stages):
     data = run_once(benchmark, lambda: fig10_data(seeds=(0,)))
+    record_stages(benchmark, data)
 
     rows = []
     for soc in ("A", "B", "C"):

@@ -24,8 +24,9 @@ PAPER_MISSION_TIMES = {
 }
 
 
-def test_fig11(benchmark, run_once):
+def test_fig11(benchmark, run_once, record_stages):
     data = run_once(benchmark, lambda: fig11_data(seeds=SEEDS))
+    record_stages(benchmark, data)
 
     rows = []
     for model, agg in data.items():

@@ -13,8 +13,9 @@ from repro.analysis.render import format_table
 SEEDS = (0, 1, 2)
 
 
-def test_fig12(benchmark, run_once):
+def test_fig12(benchmark, run_once, record_stages):
     data = run_once(benchmark, lambda: fig12_data(seeds=SEEDS))
+    record_stages(benchmark, data)
 
     rows = []
     for velocity, agg in data.items():

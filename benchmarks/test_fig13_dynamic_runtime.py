@@ -16,8 +16,9 @@ from repro.analysis.render import format_table
 SEEDS = (0, 1, 2)
 
 
-def test_fig13(benchmark, run_once):
+def test_fig13(benchmark, run_once, record_stages):
     data = run_once(benchmark, lambda: fig13_data(seeds=SEEDS))
+    record_stages(benchmark, data)
 
     rows = []
     for label, agg in data.items():

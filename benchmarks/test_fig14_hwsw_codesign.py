@@ -18,8 +18,9 @@ from repro.dnn.resnet import RESNET_NAMES
 SEEDS = (0, 1, 2)
 
 
-def test_fig14(benchmark, run_once):
+def test_fig14(benchmark, run_once, record_stages):
     data = run_once(benchmark, lambda: fig14_data(seeds=SEEDS))
+    record_stages(benchmark, data)
 
     rows = []
     for soc, label in (("A", "BOOM+Gemmini"), ("B", "Rocket+Gemmini")):

@@ -15,8 +15,9 @@ from repro.analysis.render import format_table
 GRANULARITIES = (10_000_000, 20_000_000, 50_000_000, 100_000_000, 200_000_000, 400_000_000)
 
 
-def test_fig16(benchmark, run_once):
+def test_fig16(benchmark, run_once, record_stages):
     data = run_once(benchmark, lambda: fig16_data(granularities=GRANULARITIES))
+    record_stages(benchmark, data)
 
     rows = []
     for cycles, result in data.items():

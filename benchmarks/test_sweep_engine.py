@@ -1,0 +1,114 @@
+"""Sweep-engine benchmarks: cache speedup, parallel bit-identity.
+
+The engine's two performance claims, asserted:
+
+* a warm cache re-run of a sweep is at least 10x faster than the cold
+  run (it deserializes results instead of simulating);
+* parallel execution is bit-identical to serial — and, given enough
+  cores, a 4-worker figure-12-style sweep is at least 2.5x faster than
+  the serial run (skipped on small CI machines).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import CoSimConfig
+from repro.sweep import ResultCache, SweepRunner, mission_signature
+
+
+def _small_configs(count: int = 4) -> list[CoSimConfig]:
+    base = CoSimConfig(world="tunnel", target_velocity=3.0, max_sim_time=4.0)
+    return [replace(base, seed=seed) for seed in range(count)]
+
+
+def _fig12_style_configs() -> list[CoSimConfig]:
+    base = CoSimConfig(world="s-shape", soc="A", model="resnet14", max_sim_time=60.0)
+    return [
+        replace(base, target_velocity=velocity, seed=seed)
+        for velocity in (6.0, 9.0, 12.0)
+        for seed in (0, 1)
+    ]
+
+
+def test_sweep_warm_cache_speedup(benchmark, tmp_path):
+    configs = _small_configs()
+
+    t0 = time.perf_counter()
+    cold = SweepRunner(workers=1, cache=ResultCache(tmp_path)).run(configs)
+    cold_seconds = time.perf_counter() - t0
+    cold_signatures = [mission_signature(r) for r in cold.results()]
+
+    warm = benchmark.pedantic(
+        lambda: SweepRunner(workers=1, cache=ResultCache(tmp_path)).run(configs),
+        rounds=1,
+        iterations=1,
+    )
+    warm_seconds = warm.wall_seconds
+
+    # Bit-identical results out of the cache.
+    assert [mission_signature(r) for r in warm.results()] == cold_signatures
+    assert all(outcome.from_cache for outcome in warm.outcomes)
+    # The headline claim, plus an absolute budget for CI.
+    assert warm_seconds < cold_seconds / 10.0
+    assert warm_seconds < 1.0
+
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["speedup"] = round(cold_seconds / max(warm_seconds, 1e-9), 1)
+    benchmark.extra_info["stage_seconds"] = {
+        stage: round(seconds, 4) for stage, seconds in cold.stage_seconds().items()
+    }
+    benchmark.extra_info["cache"] = {
+        "hits": warm.cache_hits,
+        "misses": warm.cache_misses,
+        "stores": warm.cache_stores,
+    }
+
+
+def test_sweep_parallel_bit_identity(benchmark):
+    configs = _small_configs()
+    serial = SweepRunner(workers=1).run(configs)
+    parallel = benchmark.pedantic(
+        lambda: SweepRunner(workers=2).run(configs), rounds=1, iterations=1
+    )
+    assert [mission_signature(r) for r in parallel.results()] == [
+        mission_signature(r) for r in serial.results()
+    ]
+    benchmark.extra_info["serial_seconds"] = round(serial.wall_seconds, 4)
+    benchmark.extra_info["parallel_seconds"] = round(parallel.wall_seconds, 4)
+    benchmark.extra_info["stage_seconds"] = {
+        stage: round(seconds, 4) for stage, seconds in serial.stage_seconds().items()
+    }
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="parallel speedup needs >= 4 cores"
+)
+def test_sweep_parallel_speedup(benchmark):
+    configs = _fig12_style_configs()
+
+    t0 = time.perf_counter()
+    serial = SweepRunner(workers=1).run(configs)
+    serial_seconds = time.perf_counter() - t0
+
+    parallel = benchmark.pedantic(
+        lambda: SweepRunner(workers=4).run(configs), rounds=1, iterations=1
+    )
+    parallel_seconds = parallel.wall_seconds
+
+    assert [mission_signature(r) for r in parallel.results()] == [
+        mission_signature(r) for r in serial.results()
+    ]
+    assert serial_seconds / parallel_seconds >= 2.5
+
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 4)
+    benchmark.extra_info["speedup"] = round(serial_seconds / parallel_seconds, 2)
+    benchmark.extra_info["stage_seconds"] = {
+        stage: round(seconds, 4) for stage, seconds in serial.stage_seconds().items()
+    }

@@ -13,8 +13,9 @@ from dataclasses import dataclass, replace
 from statistics import mean
 
 from repro.core.config import CoSimConfig, SyncConfig
-from repro.core.cosim import MissionResult, run_mission
+from repro.core.cosim import MissionResult
 from repro.core.deploy import CLOUD_AWS, ON_PREMISE, Deployment
+from repro.sweep.runner import sweep_missions
 from repro.dnn.calibrated import CalibratedTrailClassifier, classifier_profile
 from repro.dnn.resnet import RESNET_NAMES, build_all_graphs
 from repro.dnn.runtime import latency_table
@@ -83,8 +84,28 @@ def _aggregate(results: list[MissionResult]) -> dict:
     }
 
 
+def _sweep_cells(cells: list[tuple], seeds: tuple[int, ...]) -> dict:
+    """Run a figure's full (cell x seed) grid through one sweep.
+
+    ``cells`` is ``[(key, base_config), ...]``; every cell is expanded to
+    one config per seed and the flat task list goes through
+    :func:`~repro.sweep.runner.sweep_missions` — so the whole figure
+    parallelizes across ``REPRO_SWEEP_WORKERS`` and hits the result cache
+    per-mission.  Returns ``{key: seed-aggregate}`` in cell order.
+    """
+    configs = [
+        replace(config, seed=seed) for _, config in cells for seed in seeds
+    ]
+    results = sweep_missions(configs)
+    per_cell = len(seeds)
+    return {
+        key: _aggregate(results[i * per_cell : (i + 1) * per_cell])
+        for i, (key, _) in enumerate(cells)
+    }
+
+
 def _runs(config: CoSimConfig, seeds: tuple[int, ...]) -> dict:
-    return _aggregate([run_mission(replace(config, seed=s)) for s in seeds])
+    return _sweep_cells([(0, config)], seeds)[0]
 
 
 def fig10_data(seeds: tuple[int, ...] = (0,)) -> dict[str, dict[float, dict]]:
@@ -92,20 +113,25 @@ def fig10_data(seeds: tuple[int, ...] = (0,)) -> dict[str, dict[float, dict]]:
 
     Tunnel, ResNet14 at 3 m/s, starts at -20/0/+20 degrees.
     """
-    data: dict[str, dict[float, dict]] = {}
-    for soc in ("A", "B", "C"):
-        data[soc] = {}
-        for angle in (-20.0, 0.0, 20.0):
-            config = CoSimConfig(
+    socs = ("A", "B", "C")
+    angles = (-20.0, 0.0, 20.0)
+    cells = [
+        (
+            (soc, angle),
+            CoSimConfig(
                 world="tunnel",
                 soc=soc,
                 model="resnet14",
                 target_velocity=3.0,
                 initial_angle_deg=angle,
                 max_sim_time=40.0,
-            )
-            data[soc][angle] = _runs(config, seeds)
-    return data
+            ),
+        )
+        for soc in socs
+        for angle in angles
+    ]
+    flat = _sweep_cells(cells, seeds)
+    return {soc: {angle: flat[(soc, angle)] for angle in angles} for soc in socs}
 
 
 def fig11_data(
@@ -114,7 +140,7 @@ def fig11_data(
 ) -> dict[str, dict]:
     """Figure 11: DNN-architecture sweep in s-shape at 9 m/s (BOOM+G)."""
     base = CoSimConfig(world="s-shape", soc="A", target_velocity=9.0, max_sim_time=60.0)
-    return {m: _runs(replace(base, model=m), seeds) for m in models}
+    return _sweep_cells([(m, replace(base, model=m)) for m in models], seeds)
 
 
 def fig12_data(
@@ -123,17 +149,22 @@ def fig12_data(
 ) -> dict[float, dict]:
     """Figure 12: velocity-target sweep, ResNet14 on BOOM+Gemmini."""
     base = CoSimConfig(world="s-shape", soc="A", model="resnet14", max_sim_time=60.0)
-    return {v: _runs(replace(base, target_velocity=v), seeds) for v in velocities}
+    return _sweep_cells(
+        [(v, replace(base, target_velocity=v)) for v in velocities], seeds
+    )
 
 
 def fig13_data(seeds: tuple[int, ...] = (0, 1, 2)) -> dict[str, dict]:
     """Figure 13: static ResNet14 / static ResNet6 / dynamic runtime."""
     base = CoSimConfig(world="s-shape", soc="A", target_velocity=9.0, max_sim_time=60.0)
-    return {
-        "static-resnet14": _runs(replace(base, model="resnet14"), seeds),
-        "static-resnet6": _runs(replace(base, model="resnet6"), seeds),
-        "dynamic": _runs(replace(base, dynamic_runtime=True), seeds),
-    }
+    return _sweep_cells(
+        [
+            ("static-resnet14", replace(base, model="resnet14")),
+            ("static-resnet6", replace(base, model="resnet6")),
+            ("dynamic", replace(base, dynamic_runtime=True)),
+        ],
+        seeds,
+    )
 
 
 def fig14_data(
@@ -141,11 +172,23 @@ def fig14_data(
     models: tuple[str, ...] = RESNET_NAMES,
 ) -> dict[str, dict[str, dict]]:
     """Figure 14: hardware x DNN co-design sweep (BOOM+G vs Rocket+G)."""
-    data: dict[str, dict[str, dict]] = {}
-    for soc in ("A", "B"):
-        base = CoSimConfig(world="s-shape", soc=soc, target_velocity=9.0, max_sim_time=60.0)
-        data[soc] = {m: _runs(replace(base, model=m), seeds) for m in models}
-    return data
+    socs = ("A", "B")
+    cells = [
+        (
+            (soc, m),
+            CoSimConfig(
+                world="s-shape",
+                soc=soc,
+                model=m,
+                target_velocity=9.0,
+                max_sim_time=60.0,
+            ),
+        )
+        for soc in socs
+        for m in models
+    ]
+    flat = _sweep_cells(cells, seeds)
+    return {soc: {m: flat[(soc, m)] for m in models} for soc in socs}
 
 
 # ---------------------------------------------------------------------------
@@ -207,8 +250,9 @@ def fig16_data(
         max_sim_time=40.0,
         seed=seed,
     )
-    results = {}
-    for cycles in granularities:
-        config = replace(base, sync=SyncConfig(cycles_per_sync=cycles))
-        results[cycles] = run_mission(config)
-    return results
+    configs = [
+        replace(base, sync=SyncConfig(cycles_per_sync=cycles))
+        for cycles in granularities
+    ]
+    results = sweep_missions(configs)
+    return dict(zip(granularities, results))

@@ -5,13 +5,16 @@ flags, ``run-all.sh``) with three subcommands:
 
 * ``fly``    — run one closed-loop mission from flags, print the summary
   (optionally the trajectory plot and a CSV/trace dump);
-* ``run``    — run every experiment in a JSON manifest;
+* ``run``    — run every experiment in a JSON manifest, serially;
+* ``sweep``  — run a manifest through the sweep engine: worker processes
+  plus the on-disk result cache, with a per-stage wall-clock breakdown;
 * ``table3`` — print the modeled DNN latency/accuracy table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.figures import table3_rows
@@ -23,6 +26,7 @@ from repro.core.faults import load_fault_plan
 from repro.core.manifest import load_manifest
 from repro.core.trace import Tracer
 from repro.env.worlds import make_world
+from repro.sweep import ResultCache, SweepRunner, default_cache_dir
 
 
 def _add_fly_arguments(parser: argparse.ArgumentParser) -> None:
@@ -104,6 +108,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    with open(args.manifest) as handle:
+        configs = load_manifest(handle.read())
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    runner = SweepRunner(workers=args.workers, cache=cache)
+    report = runner.run(list(configs.items()))
+    failures = 0
+    for outcome in report.outcomes:
+        origin = "cache" if outcome.from_cache else f"{outcome.wall_seconds:.2f}s"
+        print(f"[{outcome.name}] ({origin}) {outcome.result.summary()}")
+        failures += 0 if outcome.result.completed else 1
+    stages = report.stage_seconds()
+    if any(stages.values()):
+        rendered = ", ".join(f"{name}={seconds:.2f}s" for name, seconds in stages.items())
+        print(f"stage breakdown (executed missions): {rendered}")
+    print(
+        f"{len(report.outcomes)} mission(s) in {report.wall_seconds:.2f}s "
+        f"({report.workers or 'no'} worker(s); cache: {report.cache_hits} hit(s), "
+        f"{report.cache_misses} miss(es), {report.cache_stores} store(s))"
+    )
+    if args.json:
+        payload = {
+            "wall_seconds": report.wall_seconds,
+            "workers": report.workers,
+            "cache": {
+                "hits": report.cache_hits,
+                "misses": report.cache_misses,
+                "stores": report.cache_stores,
+            },
+            "stage_seconds": stages,
+            "missions": [
+                {
+                    "name": outcome.name,
+                    "completed": outcome.result.completed,
+                    "mission_time": outcome.result.mission_time,
+                    "collisions": outcome.result.collisions,
+                    "wall_seconds": outcome.wall_seconds,
+                    "from_cache": outcome.from_cache,
+                    "stage_timings": outcome.result.stage_timings,
+                }
+                for outcome in report.outcomes
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote sweep report to {args.json}")
+    return 1 if failures else 0
+
+
 def _cmd_table3(_args: argparse.Namespace) -> int:
     rows = table3_rows()
     print(format_table(
@@ -136,6 +191,26 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run a JSON experiment manifest")
     run.add_argument("manifest", help="path to a manifest (see repro.core.manifest)")
     run.set_defaults(handler=_cmd_run)
+
+    sweep = commands.add_parser(
+        "sweep", help="run a manifest via the parallel/cached sweep engine"
+    )
+    sweep.add_argument("manifest", help="path to a manifest (see repro.core.manifest)")
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result cache directory (default: $REPRO_SWEEP_CACHE_DIR "
+        "or ~/.cache/rose-repro/sweeps)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    sweep.add_argument("--json", metavar="PATH", help="write a JSON sweep report")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     table3 = commands.add_parser("table3", help="print the DNN latency table")
     table3.set_defaults(handler=_cmd_table3)

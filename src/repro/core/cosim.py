@@ -28,6 +28,7 @@ from repro.core.config import CoSimConfig
 from repro.core.csvlog import SyncLogger
 from repro.core.faults import FaultInjector
 from repro.core.synchronizer import Synchronizer, SyncStats
+from repro.core.timing import StageTimer, TimedPerception
 from repro.core.transport import FaultyTransport, transport_pair
 from repro.errors import TransportError, WatchdogError
 from repro.dnn.calibrated import classifier_profile
@@ -35,7 +36,7 @@ from repro.dnn.resnet import build_resnet_graph
 from repro.dnn.runtime import InferenceSession
 from repro.env.rpc import RpcClient, RpcServer
 from repro.env.simulator import EnvSimulator, TrajectorySample
-from repro.env.worlds import make_world
+from repro.env.worlds import cached_world
 from repro.soc.firesim import FireSimHost
 from repro.soc.soc import Soc, soc_config
 
@@ -74,6 +75,10 @@ class MissionResult:
     monitor_stats: MonitorStats | None = field(repr=False, default=None)
     sync_stats: SyncStats | None = field(repr=False, default=None)
     logger: SyncLogger | None = field(repr=False, default=None)
+    #: Host wall-clock seconds per co-simulation stage (env_step, soc_step,
+    #: sync_overhead, inference).  Observational only — excluded from
+    #: result signatures and cache keys, since wall time varies run-to-run.
+    stage_timings: dict[str, float] | None = field(repr=False, default=None)
 
     @property
     def label(self) -> str:
@@ -121,10 +126,16 @@ class CoSimulation:
     ):
         self.config = config
         self.tracer = tracer
+        #: Wall-clock stage accounting for this run (observational only).
+        self.stage_timer = StageTimer()
+        #: One shared InferenceSession per model within this simulation —
+        #: the dynamic runtime and background tenants reuse graphs/plans
+        #: instead of rebuilding them per call site.
+        self._sessions: dict[str, InferenceSession] = {}
 
         # Environment side (Figure 3, left).
         world = (
-            make_world(config.world, **config.world_params)
+            cached_world(config.world, **config.world_params)
             if config.world_params
             else None
         )
@@ -182,6 +193,7 @@ class CoSimulation:
             logger=self.logger,
             tracer=tracer,
             faults=self.fault_injector,
+            stage_timer=self.stage_timer,
         )
 
     # ------------------------------------------------------------------
@@ -211,7 +223,7 @@ class CoSimulation:
 
             pipeline = load_trail_pipeline(
                 self.soc,
-                perception or self._behavioral(config.model),
+                self._timed(perception or self._behavioral(config.model)),
                 self._session(config.model),
                 target_velocity=config.target_velocity,
             )
@@ -239,7 +251,7 @@ class CoSimulation:
             sessions = FusionSessions(
                 self.soc.cpu, self.soc.gemmini, camera_variant=config.model
             )
-            chosen = perception or self._behavioral(config.model)
+            chosen = self._timed(perception or self._behavioral(config.model))
             return lambda rt: fusion_controller_app(
                 rt,
                 sessions,
@@ -263,8 +275,8 @@ class CoSimulation:
         if config.dynamic_runtime:
             session_hi = self._session(DYNAMIC_HI_MODEL)
             session_lo = self._session(DYNAMIC_LO_MODEL)
-            perception_hi = perception or self._behavioral(DYNAMIC_HI_MODEL)
-            perception_lo = self._behavioral(DYNAMIC_LO_MODEL)
+            perception_hi = self._timed(perception or self._behavioral(DYNAMIC_HI_MODEL))
+            perception_lo = self._timed(self._behavioral(DYNAMIC_LO_MODEL))
             return lambda rt: dynamic_trail_app(
                 rt,
                 session_hi,
@@ -276,7 +288,7 @@ class CoSimulation:
                 stats=self.app_stats,
             )
         session = self._session(config.model)
-        chosen = perception or self._behavioral(config.model)
+        chosen = self._timed(perception or self._behavioral(config.model))
         return lambda rt: trail_navigation_app(
             rt,
             session,
@@ -321,7 +333,22 @@ class CoSimulation:
         )
 
     def _session(self, model: str) -> InferenceSession:
-        return InferenceSession(build_resnet_graph(model), self.soc.cpu, self.soc.gemmini)
+        """One shared session per model (the graph itself is memoized
+        process-wide by :func:`build_resnet_graph`)."""
+        session = self._sessions.get(model)
+        if session is None:
+            session = InferenceSession(
+                build_resnet_graph(model),
+                self.soc.cpu,
+                self.soc.gemmini,
+                stage_timer=self.stage_timer,
+            )
+            self._sessions[model] = session
+        return session
+
+    def _timed(self, perception) -> TimedPerception:
+        """Wrap a perception so its wall time lands in the ``inference`` stage."""
+        return TimedPerception(perception, self.stage_timer)
 
     def _behavioral(self, model: str) -> BehavioralPerception:
         return BehavioralPerception(
@@ -401,6 +428,7 @@ class CoSimulation:
             monitor_stats=self.monitor_stats,
             sync_stats=self.synchronizer.stats,
             logger=self.logger,
+            stage_timings=self.stage_timer.asdict(),
         )
 
 

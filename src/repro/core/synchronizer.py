@@ -104,6 +104,7 @@ class Synchronizer:
         logger: SyncLogger | None = None,
         tracer=None,
         faults: FaultInjector | None = None,
+        stage_timer=None,
     ):
         self.rpc = rpc
         self.transport = transport
@@ -112,6 +113,7 @@ class Synchronizer:
         self.logger = logger
         self.tracer = tracer
         self.faults = faults
+        self.stage_timer = stage_timer
         self.stats = SyncStats()
         self.sim_time = 0.0
         self._pending_rtl: list[DataPacket] = []
@@ -224,16 +226,32 @@ class Synchronizer:
             raise SyncError("configure() must run before stepping")
         if self.faults is not None:
             self.faults.begin_step(self.stats.steps)
+        # Stage accounting (observational only — never alters behaviour):
+        # env work is timed inline here, SoC work inside the polling loop,
+        # and the remainder of the step is charged to sync overhead.
+        timer = self.stage_timer
+        env_seconds = 0.0
+        if timer is not None:
+            step_t0 = time.perf_counter()
+            soc_before = timer.get("soc_step")
 
         # % Translate IO packets into AirSim APIs %
         rtl_data, self._pending_rtl = self._pending_rtl, []
+        if timer is not None:
+            t0 = time.perf_counter()
         for packet in rtl_data:
             self._dispatch_rtl_packet(packet)
+        if timer is not None:
+            env_seconds += time.perf_counter() - t0
 
         # % Allocate tokens to start AirSim and FireSim %
         step_index = self.stats.steps
         self.transport.send(sync_grant(step_index))
+        if timer is not None:
+            t0 = time.perf_counter()
         self.rpc.continue_for_frames(self.sync.frames_per_sync)
+        if timer is not None:
+            env_seconds += time.perf_counter() - t0
 
         # % Poll simulators until both finish %
         try:
@@ -255,7 +273,16 @@ class Synchronizer:
         self.stats.steps += 1
         self._update_fault_stats()
         if self.logger is not None:
+            if timer is not None:
+                t0 = time.perf_counter()
             self._log_row()
+            if timer is not None:
+                env_seconds += time.perf_counter() - t0
+        if timer is not None:
+            total = time.perf_counter() - step_t0
+            soc_seconds = timer.get("soc_step") - soc_before
+            timer.add("env_step", env_seconds)
+            timer.add("sync_overhead", max(total - env_seconds - soc_seconds, 0.0))
 
     def _update_fault_stats(self) -> None:
         if self.faults is not None:
@@ -290,9 +317,15 @@ class Synchronizer:
         deadline = time.monotonic() + self.sync.sync_done_timeout_s
         regrant_deadline = time.monotonic() + self.sync.regrant_timeout_s
         regrants = 0
+        timer = self.stage_timer
         while True:
             if self.host_service:
-                self.host_service()
+                if timer is not None:
+                    t0 = time.perf_counter()
+                    self.host_service()
+                    timer.add("soc_step", time.perf_counter() - t0)
+                else:
+                    self.host_service()
             done = False
             progressed = False
             for packet in self.transport.drain():

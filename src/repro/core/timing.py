@@ -1,0 +1,97 @@
+"""Wall-clock stage accounting for one co-simulation run.
+
+The sweep engine reports where a mission's *host* time goes, split along
+the co-simulation's structural seams (Figure 3 / Algorithm 1):
+
+* ``env_step``  — environment work: sensor RPCs served for the SoC
+  (camera render, IMU reads, ...), frame stepping, and trajectory/CSV
+  state reads;
+* ``soc_step``  — FireSim-host work: bridge servicing plus stepping the
+  SoC cycle models by the granted budget (the target program runs here);
+* ``sync_overhead`` — everything else inside the lockstep loop: packet
+  (de)serialization, grant/done bookkeeping, watchdog polling;
+* ``inference`` — perception + DNN-session work, measured at the
+  :class:`~repro.app.perception.Perception` / ``InferenceSession`` choke
+  points.  Inference executes *inside* the SoC step (the target program
+  calls it), so this stage is an informational subset of ``soc_step``,
+  not an additive fourth bucket.
+
+Timing is observational only: a :class:`StageTimer` never feeds back into
+simulated behaviour, so instrumented runs stay bit-identical to
+uninstrumented ones.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds (and call counts) per stage."""
+
+    #: Canonical stage names, in reporting order.
+    STAGES = ("env_step", "soc_step", "sync_overhead", "inference")
+
+    __slots__ = ("seconds", "counts")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {stage: 0.0 for stage in self.STAGES}
+        self.counts: dict[str, int] = {stage: 0 for stage in self.STAGES}
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall time into ``stage``."""
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    def get(self, stage: str) -> float:
+        return self.seconds.get(stage, 0.0)
+
+    def asdict(self) -> dict[str, float]:
+        """Stage -> seconds, in canonical order (extra stages last)."""
+        ordered = {stage: self.seconds.get(stage, 0.0) for stage in self.STAGES}
+        for stage, value in self.seconds.items():
+            if stage not in ordered:
+                ordered[stage] = value
+        return ordered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self.asdict().items())
+        return f"StageTimer({parts})"
+
+
+def merge_timings(timings) -> dict[str, float]:
+    """Sum an iterable of per-mission stage dicts (``None`` entries skipped).
+
+    The benchmarks use this to fold a whole sweep's missions into one
+    breakdown for the pytest-benchmark JSON.
+    """
+    merged: dict[str, float] = {stage: 0.0 for stage in StageTimer.STAGES}
+    for timing in timings:
+        if not timing:
+            continue
+        for stage, seconds in timing.items():
+            merged[stage] = merged.get(stage, 0.0) + seconds
+    return merged
+
+
+class TimedPerception:
+    """Wrap a :class:`~repro.app.perception.Perception`, timing each call.
+
+    Behaviourally transparent: delegates ``infer_packet`` unchanged and
+    charges the wall time to the timer's ``inference`` stage.
+    """
+
+    def __init__(self, inner, timer: StageTimer):
+        self.inner = inner
+        self.timer = timer
+
+    def infer_packet(self, packet):
+        t0 = perf_counter()
+        try:
+            return self.inner.infer_packet(packet)
+        finally:
+            self.timer.add("inference", perf_counter() - t0)
+
+    def __getattr__(self, name):
+        # Expose the wrapped perception's attributes (e.g. ``profile``).
+        return getattr(self.inner, name)

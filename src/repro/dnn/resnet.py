@@ -20,6 +20,7 @@ layers): stem conv + 2 x (blocks per stage) convs + 1 head layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -99,11 +100,22 @@ def _basic_block_graph(b: GraphBuilder, channels: int, stride: int) -> None:
 
 
 def build_resnet_graph(name: str, input_shape: Shape = DEFAULT_INPUT_SHAPE) -> Graph:
-    """Build the dual-head operator graph for a named variant.
+    """Build the dual-head operator graph for a named variant (memoized).
 
     Outputs are the two softmaxed heads: ``angular_probs`` and
     ``lateral_probs`` (3 classes each: left / center / right).
+
+    Graphs are static and treated as immutable after construction (the
+    runtime only reads them), so repeated calls with the same
+    ``(name, input_shape)`` return one shared instance — a
+    :class:`CoSimulation` or sweep worker pays the build cost once per
+    model rather than once per session.
     """
+    return _build_resnet_graph_cached(name, tuple(input_shape))
+
+
+@lru_cache(maxsize=None)
+def _build_resnet_graph_cached(name: str, input_shape: Shape) -> Graph:
     spec = resnet_spec(name)
     b = GraphBuilder(name, input_shape)
     # Stem: 7x7/2 conv + 2x2 maxpool, as in standard ResNets.

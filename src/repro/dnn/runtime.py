@@ -16,6 +16,7 @@ accelerator activity factor of Figure 13.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.dnn.graph import Graph, MATMUL_OPS, Node, OpType
@@ -76,11 +77,15 @@ class InferenceSession:
         cpu: CpuModel,
         gemmini: GemminiModel | None = None,
         include_session_fixed: bool = True,
+        stage_timer=None,
     ):
         graph.validate()
         self.graph = graph
         self.cpu = cpu
         self.gemmini = gemmini
+        #: Optional :class:`~repro.core.timing.StageTimer`; ``run`` charges
+        #: its wall time to the ``inference`` stage when set.
+        self.stage_timer = stage_timer
         # The fixed session cost models image unpack + normalization;
         # branches that do not consume a camera frame (e.g. a fusion
         # network's IMU trunk or shared head) skip it.
@@ -126,6 +131,15 @@ class InferenceSession:
 
     def run(self) -> InferenceReport:
         """Execute one inference; updates accelerator busy counters."""
+        if self.stage_timer is not None:
+            t0 = time.perf_counter()
+            try:
+                return self._run()
+            finally:
+                self.stage_timer.add("inference", time.perf_counter() - t0)
+        return self._run()
+
+    def _run(self) -> InferenceReport:
         if self.gemmini is not None:
             self.gemmini.busy_cycles += self._plan.gemmini_cycles
             self.gemmini.ops_executed += sum(

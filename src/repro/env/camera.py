@@ -121,16 +121,20 @@ class FpvCamera:
     # ------------------------------------------------------------------
     @staticmethod
     def _centerline_offsets(world: World, points: np.ndarray) -> np.ndarray:
-        """Vectorized lateral offset of each point from the centerline."""
-        pts = world.centerline.points
-        dirs = np.diff(pts, axis=0)
-        lens = np.sqrt((dirs**2).sum(axis=1))
-        units = dirs / lens[:, None]
+        """Vectorized lateral offset of each point from the centerline.
+
+        Uses the world's precomputed per-segment arrays
+        (:class:`~repro.env.worlds.CenterlineArrays`) — this runs for every
+        rendered frame, and re-deriving segment geometry here used to be
+        ~a third of a mission's wall time.
+        """
+        arrays = world.centerline_arrays
+        starts, lens, units = arrays.starts, arrays.lens, arrays.units
         # (P, S) projections onto every centerline segment.
-        rel = points[:, None, :] - pts[None, :-1, :]
+        rel = points[:, None, :] - starts[None, :, :]
         t = (rel * units[None, :, :]).sum(axis=2)
         t = np.clip(t, 0.0, lens[None, :])
-        closest = pts[None, :-1, :] + t[..., None] * units[None, :, :]
+        closest = starts[None, :, :] + t[..., None] * units[None, :, :]
         diff = points[:, None, :] - closest
         d2 = (diff**2).sum(axis=2)
         idx = np.argmin(d2, axis=1)

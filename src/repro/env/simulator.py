@@ -23,7 +23,7 @@ from repro.env.camera import CameraParams, FpvCamera
 from repro.env.flightctl import SimpleFlightController, SimpleFlightGains, VelocityTarget
 from repro.env.physics import DroneState, QuadrotorDynamics, QuadrotorParams
 from repro.env.sensors import DepthSensor, Imu, Lidar
-from repro.env.worlds import World, make_world
+from repro.env.worlds import World, cached_world
 from repro.errors import SimulationError
 
 
@@ -79,7 +79,7 @@ class EnvSimulator:
 
     def __init__(self, config: EnvConfig | None = None, world: World | None = None):
         self.config = config or EnvConfig()
-        self.world = world if world is not None else make_world(self.config.world)
+        self.world = world if world is not None else cached_world(self.config.world)
         self.camera = FpvCamera(self.config.camera, seed=self.config.seed + 2)
         self.imu = Imu(seed=self.config.seed)
         self.depth_sensor = DepthSensor(seed=self.config.seed + 1)

@@ -24,6 +24,36 @@ from repro.env.geometry import Polyline, Pose2, SegmentSoup
 from repro.errors import SimulationError
 
 
+@dataclass(frozen=True)
+class CenterlineArrays:
+    """Precomputed per-segment centerline geometry (read-only).
+
+    One copy per world, computed once at construction: segment start
+    points, raw direction vectors, lengths and unit directions.  The
+    camera's floor shader, :meth:`World.batch_course_frames` and any other
+    per-frame geometry consumer index these instead of re-deriving them
+    from the polyline every call.
+    """
+
+    starts: np.ndarray  # (S, 2) segment start points
+    dirs: np.ndarray  # (S, 2) raw direction vectors (end - start)
+    lens: np.ndarray  # (S,) segment lengths
+    units: np.ndarray  # (S, 2) unit direction vectors
+
+    @staticmethod
+    def from_polyline(centerline: Polyline) -> "CenterlineArrays":
+        pts = centerline.points
+        dirs = np.diff(pts, axis=0)
+        lens = np.sqrt((dirs**2).sum(axis=1))
+        units = dirs / lens[:, None]
+        arrays = CenterlineArrays(
+            starts=pts[:-1].copy(), dirs=dirs, lens=lens, units=units
+        )
+        for array in (arrays.starts, arrays.dirs, arrays.lens, arrays.units):
+            array.setflags(write=False)
+        return arrays
+
+
 @dataclass
 class World:
     """A corridor world: centerline, walls, and course metadata.
@@ -47,6 +77,7 @@ class World:
     walls: SegmentSoup = field(init=False)
     left_wall: Polyline = field(init=False)
     right_wall: Polyline = field(init=False)
+    centerline_arrays: CenterlineArrays = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.half_width <= 0:
@@ -61,6 +92,7 @@ class World:
         segments = self.left_wall.to_segments() + self.right_wall.to_segments()
         segments.extend(self._end_caps())
         self.walls = SegmentSoup(segments)
+        self.centerline_arrays = CenterlineArrays.from_polyline(self.centerline)
 
     def _end_caps(self):
         """Close the corridor at both ends so rays cannot escape."""
@@ -159,13 +191,11 @@ class World:
         :meth:`course_coordinates` in a Python loop.
         """
         points = np.asarray(points, dtype=float)
-        pts = self.centerline.points
-        dirs = np.diff(pts, axis=0)
-        lens = np.sqrt((dirs**2).sum(axis=1))
-        units = dirs / lens[:, None]
-        rel = points[:, None, :] - pts[None, :-1, :]  # (N, S, 2)
+        arrays = self.centerline_arrays
+        starts, lens, units = arrays.starts, arrays.lens, arrays.units
+        rel = points[:, None, :] - starts[None, :, :]  # (N, S, 2)
         t = np.clip((rel * units[None, :, :]).sum(axis=2), 0.0, lens[None, :])
-        closest = pts[None, :-1, :] + t[..., None] * units[None, :, :]
+        closest = starts[None, :, :] + t[..., None] * units[None, :, :]
         diff = points[:, None, :] - closest
         idx = np.argmin((diff**2).sum(axis=2), axis=1)
         rows = np.arange(points.shape[0])
@@ -236,3 +266,27 @@ def make_world(name: str, **params) -> World:
             f"unknown world {name!r}; available: {sorted(set(_BUILDERS))}"
         ) from None
     return builder(**params)
+
+
+_WORLD_CACHE: dict[tuple, World] = {}
+
+
+def cached_world(name: str, **params) -> World:
+    """Memoized :func:`make_world`: one shared instance per parameter set.
+
+    Worlds are never mutated after construction (walls, centerline arrays
+    and course metadata are all fixed in ``__post_init__``), so every
+    simulator in a process can share one instance.  Building an s-shape
+    world costs milliseconds of wall geometry; a sweep re-running hundreds
+    of missions on the same map pays it once.  Unhashable parameter values
+    fall back to an uncached build.
+    """
+    try:
+        key = (name, tuple(sorted(params.items())))
+        hash(key)
+    except TypeError:
+        return make_world(name, **params)
+    world = _WORLD_CACHE.get(key)
+    if world is None:
+        world = _WORLD_CACHE.setdefault(key, make_world(name, **params))
+    return world

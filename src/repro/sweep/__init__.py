@@ -1,0 +1,38 @@
+"""Parallel mission-sweep engine with deterministic result caching.
+
+The paper's evaluation is sweep-shaped: every figure re-runs the same
+co-simulation across a grid of configs (velocities, models, SoCs, sync
+intervals, fault rates).  This package turns the per-figure serial loops
+into one engine:
+
+* :class:`SweepRunner` fans configs over worker processes with
+  deterministic per-task seeding — parallel results are bit-identical to
+  serial ones;
+* :class:`ResultCache` stores results content-addressed by config hash
+  under a code fingerprint, so warm re-runs skip simulation entirely;
+* :func:`mission_signature` is the bit-identity check both rely on.
+"""
+
+from repro.sweep.cache import ResultCache, default_cache_dir
+from repro.sweep.fingerprint import code_fingerprint, config_key
+from repro.sweep.runner import (
+    SweepOutcome,
+    SweepReport,
+    SweepRunner,
+    SweepTask,
+    sweep_missions,
+)
+from repro.sweep.signature import mission_signature
+
+__all__ = [
+    "ResultCache",
+    "SweepOutcome",
+    "SweepReport",
+    "SweepRunner",
+    "SweepTask",
+    "code_fingerprint",
+    "config_key",
+    "default_cache_dir",
+    "mission_signature",
+    "sweep_missions",
+]

@@ -1,0 +1,57 @@
+"""Content hashes for sweep cache keys.
+
+Two hashes address a cached result:
+
+* :func:`config_key` — the *what*: a stable digest of the canonical
+  manifest dict of a :class:`~repro.core.config.CoSimConfig`.  Configs
+  that serialize identically simulate identically (the whole stack is
+  seeded), so the digest is a complete identity for the result.
+* :func:`code_fingerprint` — the *how*: a digest over the ``repro``
+  package's source files.  Any code change — even one that would not
+  alter results — moves the fingerprint and invalidates the cache, which
+  is the safe direction for a bit-identity contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.config import CoSimConfig
+from repro.core.manifest import config_to_dict
+
+_FINGERPRINT_CACHE: dict[str, str] = {}
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``*.py`` file in the installed ``repro`` package.
+
+    Files are walked in sorted relative-path order and hashed as
+    ``path NUL contents NUL`` so renames and content edits both move the
+    fingerprint.  Computed once per process (the tree does not change
+    under a running sweep).
+    """
+    cached = _FINGERPRINT_CACHE.get("fingerprint")
+    if cached is not None:
+        return cached
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    fingerprint = digest.hexdigest()
+    _FINGERPRINT_CACHE["fingerprint"] = fingerprint
+    return fingerprint
+
+
+def config_key(config: CoSimConfig) -> str:
+    """Stable content hash of a config's canonical manifest form."""
+    payload = json.dumps(
+        config_to_dict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

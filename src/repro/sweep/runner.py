@@ -1,0 +1,203 @@
+"""The sweep engine: fan missions over processes, reuse cached results.
+
+Execution discipline (the determinism contract):
+
+* Every task is executed by the same module-level :func:`_execute_task`
+  whether it runs serially in-process or inside a pool worker, and each
+  execution first reseeds the *global* RNGs (``random``, legacy
+  ``numpy.random``) from the task's config hash.  The simulation stack
+  itself only uses explicitly-seeded generators, so this closes the one
+  remaining door — ambient global-RNG use — and makes worker placement
+  irrelevant: serial, 2-worker and 8-worker sweeps are bit-identical.
+* Workers are forked (POSIX), so they inherit the parent's warmed
+  module-level memos (graphs, worlds, classifier profiles) for free.
+* Cache lookups happen in the parent before any fan-out; only misses are
+  simulated, and their results are stored back as they arrive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.config import CoSimConfig
+from repro.core.cosim import MissionResult, run_mission
+from repro.core.timing import merge_timings
+from repro.sweep.cache import CACHE_DIR_ENV, ResultCache
+from repro.sweep.fingerprint import config_key
+
+#: Environment variable setting the default worker count (1 = serial).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One named mission in a sweep."""
+
+    name: str
+    config: CoSimConfig
+
+
+@dataclass
+class SweepOutcome:
+    """One task's result plus how it was obtained."""
+
+    name: str
+    config: CoSimConfig
+    result: MissionResult
+    wall_seconds: float
+    from_cache: bool
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep run produced, in task order."""
+
+    outcomes: list[SweepOutcome]
+    wall_seconds: float
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    fingerprint: str | None = field(repr=False, default=None)
+
+    def results(self) -> list[MissionResult]:
+        return [outcome.result for outcome in self.outcomes]
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Summed per-stage wall clock across executed (non-cached) missions."""
+        return merge_timings(
+            outcome.result.stage_timings
+            for outcome in self.outcomes
+            if not outcome.from_cache
+        )
+
+
+def _seed_worker(key: str) -> None:
+    """Reseed the global RNGs deterministically from a config hash."""
+    seed = int(key[:16], 16) % (2**32)
+    random.seed(seed)
+    np.random.seed(seed)
+
+
+def _execute_task(item: tuple[str, CoSimConfig]) -> tuple[str, MissionResult, float]:
+    """Run one mission (used identically by serial and pooled execution)."""
+    name, config = item
+    _seed_worker(config_key(config))
+    t0 = perf_counter()
+    result = run_mission(config)
+    return name, result, perf_counter() - t0
+
+
+def _pool_context():
+    """Fork where available so workers inherit warmed memo caches."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+class SweepRunner:
+    """Runs a list of sweep tasks, optionally parallel and/or cached."""
+
+    def __init__(self, workers: int | None = None, cache: ResultCache | None = None):
+        self.workers = max(1, int(workers or 1))
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(tasks) -> list[SweepTask]:
+        normalized = []
+        for index, task in enumerate(tasks):
+            if isinstance(task, SweepTask):
+                normalized.append(task)
+            elif isinstance(task, CoSimConfig):
+                normalized.append(SweepTask(name=f"task{index}", config=task))
+            else:
+                name, config = task
+                normalized.append(SweepTask(name=str(name), config=config))
+        return normalized
+
+    # ------------------------------------------------------------------
+    def run(self, tasks) -> SweepReport:
+        """Execute ``tasks`` (SweepTasks, configs, or ``(name, config)``).
+
+        Outcomes preserve task order regardless of worker scheduling.
+        """
+        sweep_t0 = perf_counter()
+        normalized = self._normalize(tasks)
+        outcomes: list[SweepOutcome | None] = [None] * len(normalized)
+
+        # Cache pass: resolve hits in the parent, collect misses to run.
+        misses: list[tuple[int, SweepTask]] = []
+        for index, task in enumerate(normalized):
+            cached = self.cache.get(task.config) if self.cache is not None else None
+            if cached is not None:
+                outcomes[index] = SweepOutcome(
+                    name=task.name,
+                    config=task.config,
+                    result=cached,
+                    wall_seconds=0.0,
+                    from_cache=True,
+                )
+            else:
+                misses.append((index, task))
+
+        # Execution pass over the misses only.
+        items = [(task.name, task.config) for _, task in misses]
+        workers = min(self.workers, max(1, len(items)))
+        if items:
+            if workers <= 1:
+                executed = [_execute_task(item) for item in items]
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_pool_context()
+                ) as pool:
+                    executed = list(pool.map(_execute_task, items))
+            for (index, task), (name, result, seconds) in zip(misses, executed):
+                outcomes[index] = SweepOutcome(
+                    name=name,
+                    config=task.config,
+                    result=result,
+                    wall_seconds=seconds,
+                    from_cache=False,
+                )
+                if self.cache is not None:
+                    self.cache.put(task.config, result)
+
+        report = SweepReport(
+            outcomes=[outcome for outcome in outcomes if outcome is not None],
+            wall_seconds=perf_counter() - sweep_t0,
+            workers=workers if items else 0,
+        )
+        if self.cache is not None:
+            report.cache_hits = self.cache.hits
+            report.cache_misses = self.cache.misses
+            report.cache_stores = self.cache.stores
+            report.fingerprint = self.cache.fingerprint
+        return report
+
+
+def sweep_missions(
+    configs,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[MissionResult]:
+    """Run configs through the sweep engine; results in input order.
+
+    Drop-in replacement for ``[run_mission(c) for c in configs]``.  With
+    no arguments the knobs come from the environment: ``REPRO_SWEEP_WORKERS``
+    (default 1 = serial) and ``REPRO_SWEEP_CACHE_DIR`` (caching stays off
+    unless the directory is set — library callers opt in explicitly).
+    """
+    if workers is None:
+        workers = int(os.environ.get(WORKERS_ENV, "1") or "1")
+    if cache is None and os.environ.get(CACHE_DIR_ENV):
+        cache = ResultCache(os.environ[CACHE_DIR_ENV])
+    return SweepRunner(workers=workers, cache=cache).run(configs).results()

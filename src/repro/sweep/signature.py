@@ -1,0 +1,80 @@
+"""Bit-identity signatures for mission results.
+
+:func:`mission_signature` digests everything a result *means* — scalar
+metrics, the full trajectory, the synchronizer's per-step op stream, and
+the sync counters — while excluding host-side observations (wall-clock
+``stage_timings``) that legitimately differ between runs.  Two results
+with equal signatures are interchangeable for every figure and table.
+
+This is the contract the sweep engine is tested against: serial,
+parallel, and cache-hit executions of the same config must produce equal
+signatures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.cosim import MissionResult
+
+
+def _num(value) -> str:
+    """Canonical text for a number: ``repr`` round-trips floats exactly."""
+    if value is None:
+        return "None"
+    return repr(float(value))
+
+
+def _canonical(result: MissionResult) -> dict:
+    payload: dict = {
+        "completed": bool(result.completed),
+        "mission_time": _num(result.mission_time),
+        "failure_reason": result.failure_reason,
+        "sim_time": _num(result.sim_time),
+        "collisions": int(result.collisions),
+        "progress": _num(result.progress),
+        "average_velocity": _num(result.average_velocity),
+        "activity_factor": _num(result.activity_factor),
+        "soc_cycles": int(result.soc_cycles),
+        "gemmini_busy_cycles": int(result.gemmini_busy_cycles),
+        "inference_count": int(result.inference_count),
+        "mean_inference_latency_ms": _num(result.mean_inference_latency_ms),
+        "trajectory": [
+            [_num(v) for v in (p.time, p.x, p.y, p.z, p.yaw, p.speed, p.s, p.d)]
+            for p in result.trajectory
+        ],
+    }
+    if result.logger is not None:
+        payload["op_stream"] = [
+            [
+                _num(v) if isinstance(v, float) else v
+                for v in row.as_tuple()
+            ]
+            for row in result.logger.rows
+        ]
+    stats = result.sync_stats
+    if stats is not None:
+        payload["sync_stats"] = {
+            "steps": stats.steps,
+            "packets_from_rtl": stats.packets_from_rtl,
+            "packets_to_rtl": stats.packets_to_rtl,
+            "camera_requests": stats.camera_requests,
+            "imu_requests": stats.imu_requests,
+            "depth_requests": stats.depth_requests,
+            "lidar_requests": stats.lidar_requests,
+            "state_requests": stats.state_requests,
+            "target_commands": stats.target_commands,
+            "last_target": [_num(v) for v in stats.last_target],
+            "camera_request_times": [_num(t) for t in stats.camera_request_times],
+            "faults": stats.fault_summary(),
+        }
+    return payload
+
+
+def mission_signature(result: MissionResult) -> str:
+    """Content hash of a result's simulated behaviour (never wall time)."""
+    payload = json.dumps(
+        _canonical(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -195,3 +195,29 @@ class TestCoSimulationAssembly:
         # program by running one step and checking no error, plus the
         # config plumbing.
         assert config.beta_lateral == 9.9
+
+
+class TestSessionReuse:
+    def test_one_session_per_model_within_simulation(self):
+        config = CoSimConfig(
+            world="tunnel",
+            model="resnet6",
+            background="dnn-monitor",
+            target_velocity=3.0,
+            max_sim_time=2.0,
+        )
+        sim = CoSimulation(config)
+        # The trail app and the background monitor both use resnet6 and
+        # must share one InferenceSession (one graph, one cycle plan).
+        assert set(sim._sessions) == {"resnet6"}
+        assert sim._session("resnet6") is sim._session("resnet6")
+
+    def test_stage_timer_wired_through(self):
+        result = run_mission(
+            CoSimConfig(world="tunnel", target_velocity=3.0, max_sim_time=2.0)
+        )
+        timings = result.stage_timings
+        assert set(timings) >= {"env_step", "soc_step", "sync_overhead", "inference"}
+        assert all(seconds >= 0.0 for seconds in timings.values())
+        # Inference happens inside the SoC step, so it can never exceed it.
+        assert timings["inference"] <= timings["soc_step"]

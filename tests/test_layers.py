@@ -90,6 +90,59 @@ class TestIm2col:
         assert lhs == pytest.approx(rhs, rel=1e-9)
 
 
+def _col2im_reference(cols, x_shape, kh, kw, stride, pad, oh, ow):
+    """The original kernel-offset-loop col2im, kept as the ground truth."""
+    n, c, h, w = x_shape
+    x_pad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        for j in range(kw):
+            x_pad[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[
+                :, :, i, j
+            ]
+    if pad > 0:
+        return x_pad[:, :, pad : pad + h, pad : pad + w]
+    return x_pad
+
+
+class TestCol2imEquivalence:
+    """The vectorized col2im must match the reference loop bit-for-bit."""
+
+    CASES = [
+        # (n, c, h, w, kh, kw, stride, pad) — overlapping-window cases
+        (2, 3, 8, 8, 3, 3, 1, 1),
+        (1, 2, 7, 9, 3, 3, 2, 1),
+        (2, 1, 12, 12, 5, 5, 2, 2),
+        (1, 1, 6, 6, 3, 3, 2, 0),
+        # disjoint-window cases (stride >= kernel: the scatter fast path)
+        (2, 3, 8, 8, 2, 2, 2, 0),
+        (1, 2, 9, 9, 2, 2, 2, 0),  # last window stops short of the edge
+        (2, 4, 8, 8, 1, 1, 2, 0),  # 1x1/2 projection conv
+        (1, 1, 7, 7, 2, 2, 3, 1),  # stride > kernel leaves gaps
+        (1, 2, 10, 10, 3, 3, 3, 0),
+    ]
+
+    @pytest.mark.parametrize("n,c,h,w,kh,kw,stride,pad", CASES)
+    def test_matches_reference_exactly(self, n, c, h, w, kh, kw, stride, pad):
+        oh = (h + 2 * pad - kh) // stride + 1
+        ow = (w + 2 * pad - kw) // stride + 1
+        cols = RNG.random((n * oh * ow, c * kh * kw)).astype(np.float32)
+        got = col2im(cols, (n, c, h, w), kh, kw, stride, pad, oh, ow)
+        want = _col2im_reference(cols, (n, c, h, w), kh, kw, stride, pad, oh, ow)
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("n,c,h,w,kh,kw,stride,pad", CASES)
+    def test_im2col_round_trip_counts(self, n, c, h, w, kh, kw, stride, pad):
+        # col2im(ones) counts how many windows cover each input pixel.
+        x = np.ones((n, c, h, w), dtype=np.float32)
+        cols, oh, ow = im2col(x, kh, kw, stride, pad)
+        counts = col2im(cols, x.shape, kh, kw, stride, pad, oh, ow)
+        if pad == 0:  # with padding, window entries in the pad are cropped
+            assert counts.sum() == cols.sum()
+        if stride >= kh and stride >= kw:
+            assert counts.max() <= 1.0  # genuinely disjoint windows
+
+
 class TestConv2d:
     def test_output_shape(self):
         conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=RNG)

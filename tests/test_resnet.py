@@ -141,3 +141,18 @@ class TestTrainableModel:
         model = TrailNetModel(input_shape=(1, 16, 16), stage_blocks=(1,), stage_channels=(4,))
         x = np.zeros((2, 1, 16, 16), dtype=np.float32)
         assert model.forward(x).shape == (2, 6)
+
+
+class TestGraphMemoization:
+    def test_same_instance_for_same_key(self):
+        assert build_resnet_graph("resnet6") is build_resnet_graph("resnet6")
+
+    def test_distinct_shapes_distinct_graphs(self):
+        small = build_resnet_graph("resnet6", (3, 64, 64))
+        assert small is not build_resnet_graph("resnet6")
+
+    def test_list_shape_hits_tuple_cache(self):
+        # Shape normalization: list and tuple inputs share one entry.
+        assert build_resnet_graph("resnet6", [3, 64, 64]) is build_resnet_graph(
+            "resnet6", (3, 64, 64)
+        )

@@ -158,3 +158,63 @@ class TestWorldValidation:
         angles = np.linspace(-math.pi, math.pi, 73)
         pano = s_shape.panorama(pose, angles, max_range=1e6)
         assert pano.max() < 1e6
+
+
+class TestCenterlineArrays:
+    """The precomputed per-segment geometry every frame consumer reads."""
+
+    def test_matches_fresh_computation(self, tunnel):
+        arrays = tunnel.centerline_arrays
+        pts = tunnel.centerline.points
+        dirs = np.diff(pts, axis=0)
+        lens = np.sqrt((dirs**2).sum(axis=1))
+        np.testing.assert_array_equal(arrays.starts, pts[:-1])
+        np.testing.assert_array_equal(arrays.dirs, dirs)
+        np.testing.assert_array_equal(arrays.lens, lens)
+        np.testing.assert_array_equal(arrays.units, dirs / lens[:, None])
+
+    def test_arrays_are_read_only(self, s_shape):
+        arrays = s_shape.centerline_arrays
+        with pytest.raises(ValueError):
+            arrays.units[0, 0] = 99.0
+
+    def test_batch_course_frames_uses_cache(self, s_shape):
+        # Same answers as the per-point scalar projection.
+        points = np.array([[5.0, 1.0], [20.0, -2.0], [40.0, 3.0]])
+        offsets, yaws = s_shape.batch_course_frames(points)
+        for point, offset in zip(points, offsets):
+            _, d = s_shape.course_coordinates(point)
+            assert offset == pytest.approx(d, abs=1e-9)
+
+
+class TestCachedWorld:
+    def test_same_instance_for_same_params(self):
+        from repro.env.worlds import cached_world
+
+        assert cached_world("tunnel") is cached_world("tunnel")
+        assert cached_world("s-shape", amplitude=8.0) is cached_world(
+            "s-shape", amplitude=8.0
+        )
+
+    def test_distinct_params_distinct_instances(self):
+        from repro.env.worlds import cached_world
+
+        assert cached_world("tunnel") is not cached_world("tunnel", length=40.0)
+
+    def test_matches_uncached_build(self):
+        from repro.env.worlds import cached_world
+
+        cached = cached_world("s-shape")
+        fresh = make_world("s-shape")
+        np.testing.assert_array_equal(
+            cached.centerline.points, fresh.centerline.points
+        )
+        assert cached.goal_arclength == fresh.goal_arclength
+
+    def test_unhashable_params_fall_back(self):
+        from repro.env.worlds import cached_world
+
+        # Builders reject unknown kwargs; unhashable values must not
+        # break the memo key construction before that.
+        with pytest.raises(TypeError):
+            cached_world("tunnel", bogus=[1, 2])
