@@ -8,6 +8,8 @@ flags, ``run-all.sh``) with three subcommands:
 * ``run``    — run every experiment in a JSON manifest, serially;
 * ``sweep``  — run a manifest through the sweep engine: worker processes
   plus the on-disk result cache, with a per-stage wall-clock breakdown;
+* ``verify`` — conformance checks: replay the golden-trace corpus
+  (``--check`` / ``--record``) and run the differential oracles;
 * ``table3`` — print the modeled DNN latency/accuracy table.
 """
 
@@ -159,6 +161,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    # Imported here so `repro fly` startup never pays for the verify stack.
+    from repro.verify import (
+        DEFAULT_GOLDEN_DIR,
+        DiffRunner,
+        check_corpus,
+        golden_missions,
+        record_corpus,
+        registered_oracles,
+    )
+
+    if args.list:
+        print("golden missions:")
+        for name, config in sorted(golden_missions().items()):
+            print(f"  {name}: {config.world}/{config.controller} "
+                  f"soc={config.soc} {config.sync.describe()}")
+        print("differential oracles:")
+        for name, orc in sorted(registered_oracles().items()):
+            print(f"  {name}: {orc.description}")
+        return 0
+
+    golden_dir = args.golden_dir or DEFAULT_GOLDEN_DIR
+    status = 0
+    ran_anything = False
+
+    if args.record:
+        ran_anything = True
+        report = record_corpus(golden_dir, only=args.mission)
+        print(report.describe())
+        # Re-recording always leaves a conforming corpus; drift entries
+        # are informational (they show what the re-record changed).
+
+    if args.check or not (args.record or args.oracles):
+        ran_anything = True
+        report = check_corpus(golden_dir, only=args.mission)
+        print(report.describe())
+        if not report.ok:
+            status = 1
+
+    if args.oracles or not (args.record or args.check or args.mission):
+        ran_anything = True
+        runner = DiffRunner(names=args.oracle or None)
+        oracle_report = runner.run()
+        print(oracle_report.describe())
+        if not oracle_report.ok:
+            status = 1
+
+    if not ran_anything:  # pragma: no cover - defensive; flags above cover all
+        print("nothing to do")
+    return status
+
+
 def _cmd_table3(_args: argparse.Namespace) -> int:
     rows = table3_rows()
     print(format_table(
@@ -211,6 +265,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--json", metavar="PATH", help="write a JSON sweep report")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    verify = commands.add_parser(
+        "verify",
+        help="conformance: golden-trace corpus + differential oracles",
+        description="With no flags, runs --check and --oracles (the CI "
+        "configuration). After an intentional behaviour change, re-record "
+        "the corpus with --record and commit the diff under tests/golden/.",
+    )
+    verify.add_argument(
+        "--check", action="store_true", help="replay the golden corpus"
+    )
+    verify.add_argument(
+        "--record", action="store_true", help="(re-)record the golden corpus"
+    )
+    verify.add_argument(
+        "--oracles", action="store_true", help="run the differential oracles"
+    )
+    verify.add_argument(
+        "--list", action="store_true", help="list missions and oracles, then exit"
+    )
+    verify.add_argument(
+        "--mission", metavar="NAME", help="restrict --check/--record to one mission"
+    )
+    verify.add_argument(
+        "--oracle",
+        metavar="NAME",
+        action="append",
+        help="restrict --oracles to named oracle(s); repeatable",
+    )
+    verify.add_argument(
+        "--golden-dir",
+        metavar="PATH",
+        default=None,
+        help="corpus directory (default: tests/golden/ in the repo)",
+    )
+    verify.set_defaults(handler=_cmd_verify)
 
     table3 = commands.add_parser("table3", help="print the DNN latency table")
     table3.set_defaults(handler=_cmd_table3)

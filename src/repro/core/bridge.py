@@ -26,7 +26,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.core.packets import DataPacket
-from repro.errors import BridgeError
+from repro.errors import BridgeError, InvariantViolation
 
 
 @dataclass
@@ -65,6 +65,9 @@ class RoseBridge:
         self.cycles_per_sync = 0
         self.frames_per_sync = 0
         self.counters = BridgeCounters()
+        #: Optional conformance hook (repro.core.invariants): when set,
+        #: queue conservation is re-verified at every granted step.
+        self.invariants = None
 
     # ------------------------------------------------------------------
     # Control unit
@@ -83,6 +86,8 @@ class RoseBridge:
         if self.cycles_per_sync <= 0:
             raise BridgeError("grant_step before set_steps")
         self.counters.steps_granted += 1
+        if self.invariants is not None:
+            self.check_conservation()
         return self.cycles_per_sync
 
     # ------------------------------------------------------------------
@@ -154,3 +159,42 @@ class RoseBridge:
     @property
     def tx_buffered_bytes(self) -> int:
         return self._tx_bytes
+
+    @property
+    def pending_tx_count(self) -> int:
+        return len(self._tx)
+
+    # ------------------------------------------------------------------
+    def check_conservation(self) -> None:
+        """Verify the queues' byte books against the actual queued packets.
+
+        The incremental ``_rx_bytes``/``_tx_bytes`` accounting and the
+        enqueue/dequeue counters must always agree with a from-scratch
+        recount; a mismatch means a queue was mutated outside the bridge
+        protocol.  Raises :class:`~repro.errors.InvariantViolation`.
+        """
+        rx_actual = sum(packet.payload_bytes for packet in self._rx)
+        if rx_actual != self._rx_bytes:
+            raise InvariantViolation(
+                f"[token-conservation] RX byte books drifted: accounted "
+                f"{self._rx_bytes}, queued packets hold {rx_actual}"
+            )
+        tx_actual = sum(packet.payload_bytes for packet in self._tx)
+        if tx_actual != self._tx_bytes:
+            raise InvariantViolation(
+                f"[token-conservation] TX byte books drifted: accounted "
+                f"{self._tx_bytes}, queued packets hold {tx_actual}"
+            )
+        counters = self.counters
+        if counters.rx_enqueued - counters.rx_dequeued != len(self._rx):
+            raise InvariantViolation(
+                f"[token-conservation] RX counters drifted: enqueued "
+                f"{counters.rx_enqueued} - dequeued {counters.rx_dequeued} "
+                f"!= {len(self._rx)} buffered"
+            )
+        if counters.tx_enqueued - counters.tx_dequeued != len(self._tx):
+            raise InvariantViolation(
+                f"[token-conservation] TX counters drifted: enqueued "
+                f"{counters.tx_enqueued} - dequeued {counters.tx_dequeued} "
+                f"!= {len(self._tx)} buffered"
+            )

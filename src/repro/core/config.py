@@ -120,6 +120,14 @@ class CoSimConfig:
     #: happy-path configuration.
     sensor_timeout_syncs: int = 3
     sensor_retries: int = 3
+    #: Runtime invariant checking (repro.core.invariants): ``True``/``False``
+    #: force it, ``None`` resolves via ``REPRO_CHECK_INVARIANTS`` and is on
+    #: automatically under pytest.  Checking is observational — a passing
+    #: mission is bit-identical either way — but the flag is still part of
+    #: the canonical config JSON (and therefore every sweep-cache key),
+    #: because a run that *would* raise InvariantViolation has a different
+    #: outcome than one that silently continued.
+    check_invariants: bool | None = None
 
     def __post_init__(self) -> None:
         if self.target_velocity <= 0:
@@ -156,6 +164,11 @@ class CoSimConfig:
             raise ConfigError("sensor_timeout_syncs must be at least 1")
         if self.sensor_retries < 0:
             raise ConfigError("sensor_retries must be non-negative")
+        if self.check_invariants not in (None, True, False):
+            raise ConfigError(
+                "check_invariants must be True, False, or None (auto), "
+                f"got {self.check_invariants!r}"
+            )
 
     def env_config(self) -> EnvConfig:
         return EnvConfig(

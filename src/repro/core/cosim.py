@@ -27,6 +27,7 @@ from repro.soc.demux import IoDemux
 from repro.core.config import CoSimConfig
 from repro.core.csvlog import SyncLogger
 from repro.core.faults import FaultInjector
+from repro.core.invariants import InvariantChecker, invariants_enabled
 from repro.core.synchronizer import Synchronizer, SyncStats
 from repro.core.timing import StageTimer, TimedPerception
 from repro.core.transport import FaultyTransport, transport_pair
@@ -185,6 +186,24 @@ class CoSimulation:
             firesim_end = FaultyTransport(firesim_end, self.fault_injector)
         self.host = FireSimHost(self.soc, firesim_end)
         self.logger = SyncLogger()
+
+        # Runtime invariant checking (repro.core.invariants) — observational
+        # assertions across the synchronizer, bridge, transports, and fault
+        # injector.  On by default under pytest, opt-in elsewhere.
+        self.invariants: InvariantChecker | None = None
+        if invariants_enabled(config):
+            self.invariants = InvariantChecker(config.sync)
+            self.invariants.watch(
+                bridge=self.soc.bridge,
+                host=self.host,
+                soc=self.soc,
+                transports=(sync_end, firesim_end),
+                injector=self.fault_injector,
+            )
+            self.soc.bridge.invariants = self.invariants
+            if self.fault_injector is not None:
+                self.fault_injector.invariants = self.invariants
+
         self.synchronizer = Synchronizer(
             rpc=self.rpc,
             transport=sync_end,
@@ -194,6 +213,7 @@ class CoSimulation:
             tracer=tracer,
             faults=self.fault_injector,
             stage_timer=self.stage_timer,
+            invariants=self.invariants,
         )
 
     # ------------------------------------------------------------------

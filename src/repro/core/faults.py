@@ -247,9 +247,14 @@ class FaultInjector:
         self.step = 0
         self._rng = random.Random(plan.seed)
         self._rules = {rule.ptype: rule for rule in plan.rules}
+        #: Optional conformance hook (repro.core.invariants): verifies the
+        #: step counter only ever moves forward.
+        self.invariants = None
 
     def begin_step(self, step_index: int) -> None:
         """Advance the injector's notion of the current sync step."""
+        if self.invariants is not None:
+            self.invariants.on_injector_step(self.step, step_index)
         self.step = step_index
 
     # -- scheduled faults ----------------------------------------------

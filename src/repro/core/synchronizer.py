@@ -105,6 +105,7 @@ class Synchronizer:
         tracer=None,
         faults: FaultInjector | None = None,
         stage_timer=None,
+        invariants=None,
     ):
         self.rpc = rpc
         self.transport = transport
@@ -114,6 +115,9 @@ class Synchronizer:
         self.tracer = tracer
         self.faults = faults
         self.stage_timer = stage_timer
+        #: Optional conformance hook (repro.core.invariants): grant/ack
+        #: pairing, monotonic sim time, and cross-layer token checks.
+        self.invariants = invariants
         self.stats = SyncStats()
         self.sim_time = 0.0
         self._pending_rtl: list[DataPacket] = []
@@ -246,6 +250,8 @@ class Synchronizer:
 
         # % Allocate tokens to start AirSim and FireSim %
         step_index = self.stats.steps
+        if self.invariants is not None:
+            self.invariants.on_grant(step_index)
         self.transport.send(sync_grant(step_index))
         if timer is not None:
             t0 = time.perf_counter()
@@ -272,6 +278,8 @@ class Synchronizer:
         self.sim_time += self.sync.sync_period_seconds
         self.stats.steps += 1
         self._update_fault_stats()
+        if self.invariants is not None:
+            self.invariants.after_step(step_index, self.sim_time)
         if self.logger is not None:
             if timer is not None:
                 t0 = time.perf_counter()
@@ -301,6 +309,8 @@ class Synchronizer:
                 "link presumed dead"
             )
         self.stats.sync_regrants += 1
+        if self.invariants is not None:
+            self.invariants.on_grant(step_index)
         self.transport.send(sync_grant(step_index))
         return regrants + 1
 
@@ -334,10 +344,14 @@ class Synchronizer:
                     got_index = int(packet.values[0])
                     if got_index == step_index:
                         done = True
+                        if self.invariants is not None:
+                            self.invariants.on_done(got_index)
                     elif got_index < step_index:
                         # A duplicate/delayed acknowledgement of a step we
                         # already finished (regrant aftermath) — ignore.
                         self.stats.stale_sync_done += 1
+                        if self.invariants is not None:
+                            self.invariants.on_done(got_index, stale=True)
                     else:
                         raise SyncError(
                             f"out-of-order SYNC_DONE: expected {step_index}, got {got_index}"

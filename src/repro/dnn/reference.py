@@ -1,0 +1,187 @@
+"""Pure-reference (naive loop) implementations of the optimized kernels.
+
+The layers in :mod:`repro.dnn.layers` are implemented with im2col /
+sliding-window tricks and a scatter-based col2im that were tuned for
+speed (PR 2).  This module re-states each of those kernels as the most
+obvious loop nest possible — slow, but independently and transparently
+correct.  The conformance subsystem's differential oracles
+(:mod:`repro.verify.oracles`) execute both implementations on the same
+inputs and report the first element where they diverge.
+
+Everything here accumulates in float64 *only where the optimized kernel
+does too*; where the optimized path is pure float32 matmul, the
+reference uses ``np.dot`` over the identical operand dtypes so exact
+(bitwise) agreement is achievable and the oracles can assert equality
+rather than closeness where the summation order matches, and tight
+``allclose`` bounds elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def naive_im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Loop-nest equivalent of :func:`repro.dnn.layers.im2col`."""
+    n, c, h, w = x.shape
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.zeros((n * oh * ow, c * kh * kw), dtype=x.dtype)
+    row = 0
+    for image in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[
+                    image,
+                    :,
+                    i * stride : i * stride + kh,
+                    j * stride : j * stride + kw,
+                ]
+                cols[row] = patch.reshape(-1)
+                row += 1
+    return cols, oh, ow
+
+
+def naive_col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Loop-nest equivalent of :func:`repro.dnn.layers.col2im`."""
+    n, c, h, w = x_shape
+    x_pad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    row = 0
+    for image in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = cols[row].reshape(c, kh, kw)
+                x_pad[
+                    image,
+                    :,
+                    i * stride : i * stride + kh,
+                    j * stride : j * stride + kw,
+                ] += patch
+                row += 1
+    if pad > 0:
+        return x_pad[:, :, pad : pad + h, pad : pad + w]
+    return x_pad
+
+
+def naive_conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Direct convolution: explicit loops over every output element.
+
+    Each output pixel is the dot product of one flattened input patch
+    with one flattened filter — the same two operands, in the same
+    order, that the optimized ``cols @ w2d.T`` matmul reduces, so the
+    results agree to float32 matmul accumulation differences only.
+    """
+    n, c, h, w = x.shape
+    oc, _, kh, kw = weight.shape
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out = np.zeros((n, oc, oh, ow), dtype=np.float32)
+    flat_filters = weight.reshape(oc, -1)
+    for image in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[
+                    image,
+                    :,
+                    i * stride : i * stride + kh,
+                    j * stride : j * stride + kw,
+                ].reshape(-1)
+                for f in range(oc):
+                    out[image, f, i, j] = np.dot(patch, flat_filters[f])
+    if bias is not None:
+        out += bias[None, :, None, None]
+    return out
+
+
+def naive_maxpool_forward(x: np.ndarray, k: int, stride: int) -> np.ndarray:
+    """Direct max pooling: explicit loops over every output element."""
+    n, c, h, w = x.shape
+    oh = (h - k) // stride + 1
+    ow = (w - k) // stride + 1
+    out = np.zeros((n, c, oh, ow), dtype=x.dtype)
+    for image in range(n):
+        for channel in range(c):
+            for i in range(oh):
+                for j in range(ow):
+                    window = x[
+                        image,
+                        channel,
+                        i * stride : i * stride + k,
+                        j * stride : j * stride + k,
+                    ]
+                    out[image, channel, i, j] = window.max()
+    return out
+
+
+def naive_maxpool_backward(
+    x: np.ndarray, grad: np.ndarray, k: int, stride: int
+) -> np.ndarray:
+    """Route each output gradient to its window's first maximum.
+
+    Ties break to the first (row-major) maximum, matching ``argmax`` in
+    the optimized path's flattened-window layout.
+    """
+    n, c, h, w = x.shape
+    oh = (h - k) // stride + 1
+    ow = (w - k) // stride + 1
+    dx = np.zeros_like(x)
+    for image in range(n):
+        for channel in range(c):
+            for i in range(oh):
+                for j in range(ow):
+                    window = x[
+                        image,
+                        channel,
+                        i * stride : i * stride + k,
+                        j * stride : j * stride + k,
+                    ]
+                    flat_index = int(window.argmax())
+                    di, dj = divmod(flat_index, k)
+                    dx[image, channel, i * stride + di, j * stride + dj] += grad[
+                        image, channel, i, j
+                    ]
+    return dx
+
+
+def naive_global_avgpool_forward(x: np.ndarray) -> np.ndarray:
+    """Spatial mean via explicit accumulation."""
+    n, c, h, w = x.shape
+    out = np.zeros((n, c), dtype=x.dtype)
+    for image in range(n):
+        for channel in range(c):
+            out[image, channel] = x[image, channel].mean()
+    return out
+
+
+def naive_linear_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """Row-by-row dot products (same operand order as ``x @ W.T``)."""
+    n = x.shape[0]
+    out_features = weight.shape[0]
+    out = np.zeros((n, out_features), dtype=np.float32)
+    for row in range(n):
+        for f in range(out_features):
+            out[row, f] = np.dot(x[row], weight[f])
+    return out + bias

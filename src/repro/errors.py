@@ -40,6 +40,14 @@ class WatchdogError(SyncError):
     :class:`~repro.core.cosim.MissionResult` failure instead of crashing."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime conformance invariant failed (token conservation, sim-time
+    monotonicity, grant/ack pairing, CRC-discard accounting).  Raised by the
+    :mod:`repro.core.invariants` checker when enabled — a violation means the
+    co-simulation machinery itself broke its contract, not that the mission
+    failed."""
+
+
 class SimulationError(ReproError):
     """The environment simulator was driven incorrectly (e.g. stepping a
     vehicle that has not taken off, out-of-world query)."""

@@ -22,10 +22,11 @@ from repro.sweep.runner import (
     SweepTask,
     sweep_missions,
 )
-from repro.sweep.signature import mission_signature
+from repro.sweep.signature import canonical_payload, mission_signature
 
 __all__ = [
     "ResultCache",
+    "canonical_payload",
     "SweepOutcome",
     "SweepReport",
     "SweepRunner",

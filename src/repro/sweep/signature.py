@@ -26,7 +26,12 @@ def _num(value) -> str:
     return repr(float(value))
 
 
-def _canonical(result: MissionResult) -> dict:
+#: Column names for the nested list rows of :func:`canonical_payload` —
+#: the conformance diff reports translate list indices through these.
+TRAJECTORY_FIELDS = ("time", "x", "y", "z", "yaw", "speed", "s", "d")
+
+
+def canonical_payload(result: MissionResult) -> dict:
     payload: dict = {
         "completed": bool(result.completed),
         "mission_time": _num(result.mission_time),
@@ -75,6 +80,6 @@ def _canonical(result: MissionResult) -> dict:
 def mission_signature(result: MissionResult) -> str:
     """Content hash of a result's simulated behaviour (never wall time)."""
     payload = json.dumps(
-        _canonical(result), sort_keys=True, separators=(",", ":")
+        canonical_payload(result), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(payload.encode()).hexdigest()

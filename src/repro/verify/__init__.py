@@ -1,0 +1,65 @@
+"""Conformance subsystem: golden traces, differential oracles, invariants.
+
+Three pillars keep the co-simulation's behaviour pinned down as the
+codebase is optimized:
+
+* :mod:`repro.verify.golden` — a corpus of canonical missions whose
+  full behaviour (signature, metrics, trajectory, synchronizer op
+  stream) is recorded under ``tests/golden/`` and replayed by
+  ``python -m repro verify --check``;
+* :mod:`repro.verify.oracles` — differential oracles pairing each
+  optimized kernel/subsystem with a pure-reference implementation and
+  reporting first divergences (layer, step, field);
+* :mod:`repro.core.invariants` — runtime assertions woven into the
+  synchronizer, bridge, and fault injector (re-exported here).
+"""
+
+from repro.core.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    invariants_enabled,
+)
+from repro.verify.diffutil import Divergence, first_divergence, mission_divergence
+from repro.verify.golden import (
+    DEFAULT_GOLDEN_DIR,
+    CorpusReport,
+    GoldenRecord,
+    MissionCheck,
+    check_corpus,
+    golden_missions,
+    record_corpus,
+    record_mission,
+)
+from repro.verify.oracles import (
+    DiffRunner,
+    Oracle,
+    OracleOutcome,
+    OracleReport,
+    array_divergence,
+    oracle,
+    registered_oracles,
+)
+
+__all__ = [
+    "DEFAULT_GOLDEN_DIR",
+    "CorpusReport",
+    "DiffRunner",
+    "Divergence",
+    "GoldenRecord",
+    "InvariantChecker",
+    "InvariantReport",
+    "MissionCheck",
+    "Oracle",
+    "OracleOutcome",
+    "OracleReport",
+    "array_divergence",
+    "check_corpus",
+    "first_divergence",
+    "golden_missions",
+    "invariants_enabled",
+    "mission_divergence",
+    "oracle",
+    "record_corpus",
+    "record_mission",
+    "registered_oracles",
+]

@@ -1,0 +1,132 @@
+"""First-divergence reporting for conformance comparisons.
+
+A bare hash mismatch says *that* two runs differ; the conformance
+subsystem must say *where*.  :func:`first_divergence` walks two nested
+JSON-like structures (the canonical mission payloads of
+:func:`repro.sweep.signature.canonical_payload`, or any oracle's
+expected/actual pair) in deterministic key order and returns the first
+leaf that differs as a :class:`Divergence` — site, step, field, and the
+two values.
+
+For mission payloads, :func:`mission_divergence` additionally translates
+raw list indices into the domain vocabulary: ``op_stream[12][6]``
+becomes *step 12, field speed* and ``trajectory[40][1]`` becomes
+*sample 40, field x*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.csvlog import SyncLogRow
+from repro.sweep.signature import TRAJECTORY_FIELDS
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where an optimized and a reference run disagree."""
+
+    site: str  # mission name, oracle name, or layer name
+    field: str  # domain field name or structural path
+    expected: object
+    actual: object
+    step: int | None = None  # sync step / sample / case index, if applicable
+    layer: str | None = None  # DNN layer name, for the kernel oracles
+
+    def describe(self) -> str:
+        where = self.site
+        if self.layer is not None:
+            where += f" @ layer {self.layer}"
+        if self.step is not None:
+            where += f" @ step {self.step}"
+        return (
+            f"{where}: field {self.field!r} expected {self.expected!r}, "
+            f"got {self.actual!r}"
+        )
+
+
+def _walk(expected, actual, path: str):
+    """Yield the first differing (path, expected, actual) leaf, if any."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                return f"{path}.{key}" if path else str(key), "<absent>", actual[key]
+            if key not in actual:
+                return f"{path}.{key}" if path else str(key), expected[key], "<absent>"
+            hit = _walk(
+                expected[key], actual[key], f"{path}.{key}" if path else str(key)
+            )
+            if hit is not None:
+                return hit
+        return None
+    if isinstance(expected, (list, tuple)) and isinstance(actual, (list, tuple)):
+        for index in range(min(len(expected), len(actual))):
+            hit = _walk(expected[index], actual[index], f"{path}[{index}]")
+            if hit is not None:
+                return hit
+        if len(expected) != len(actual):
+            return (
+                f"{path}.length",
+                len(expected),
+                len(actual),
+            )
+        return None
+    if expected != actual:
+        return path, expected, actual
+    return None
+
+
+def first_divergence(
+    expected, actual, site: str = "payload"
+) -> Divergence | None:
+    """Structural diff: the first differing leaf, or ``None`` if equal."""
+    hit = _walk(expected, actual, "")
+    if hit is None:
+        return None
+    path, want, got = hit
+    return Divergence(site=site, field=path, expected=want, actual=got)
+
+
+def _parse_index(path: str, prefix: str) -> tuple[int, str] | None:
+    """Split ``prefix[i]...rest`` into (i, rest); None if not that shape."""
+    if not path.startswith(prefix + "["):
+        return None
+    closing = path.index("]", len(prefix) + 1)
+    index = int(path[len(prefix) + 1 : closing])
+    return index, path[closing + 1 :]
+
+
+def mission_divergence(
+    expected_payload: dict, actual_payload: dict, site: str
+) -> Divergence | None:
+    """First divergence between two canonical mission payloads.
+
+    Indices into the ``op_stream`` and ``trajectory`` row lists are
+    translated to step/sample numbers and column names so the report
+    reads in the domain's vocabulary.
+    """
+    raw = first_divergence(expected_payload, actual_payload, site)
+    if raw is None:
+        return None
+    for prefix, columns, noun in (
+        ("op_stream", SyncLogRow.FIELDS, "step"),
+        ("trajectory", TRAJECTORY_FIELDS, "sample"),
+    ):
+        parsed = _parse_index(raw.field, prefix)
+        if parsed is None:
+            continue
+        row, rest = parsed
+        field = f"{prefix}.{rest}" if rest else prefix
+        inner = _parse_index(rest, "") if rest.startswith("[") else None
+        if inner is not None:
+            column, _ = inner
+            if column < len(columns):
+                field = f"{prefix}.{columns[column]}"
+        return Divergence(
+            site=site,
+            field=f"{field} ({noun} {row})",
+            expected=raw.expected,
+            actual=raw.actual,
+            step=row,
+        )
+    return raw

@@ -1,0 +1,499 @@
+"""Differential oracles: optimized implementations vs. pure references.
+
+Every performance-oriented rewrite in this repository (im2col
+convolutions, scatter-based col2im, the parallel sweep engine, the TCP
+transport, the result cache) has a slower, obviously-correct
+counterpart.  A *differential oracle* runs both on identical inputs and
+reports the **first divergence** — which layer, which step, which field,
+which two values — instead of a bare pass/fail.
+
+Oracles register themselves with :func:`oracle` and are executed by
+:class:`DiffRunner`; ``python -m repro verify --oracles`` runs the whole
+registry, and the tier-1 suite pins each one individually.
+
+Tolerance policy: kernels whose optimized and reference paths perform
+the *same* arithmetic (im2col/col2im gather-scatter, max pooling,
+transports, caching, sweeps) are compared **bit-exactly**; kernels where
+the optimized path reassociates a float32 reduction (BLAS matmul vs. a
+loop of dot products) are compared to a tight element-wise tolerance,
+and the first element exceeding it is reported.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import CoSimConfig
+from repro.core.cosim import run_mission
+from repro.core.faults import FaultPlan
+from repro.dnn import layers as opt
+from repro.dnn import reference as ref
+from repro.sweep.cache import ResultCache
+from repro.sweep.runner import SweepRunner
+from repro.sweep.signature import canonical_payload, mission_signature
+from repro.verify.diffutil import Divergence, mission_divergence
+
+#: Relative/absolute tolerance for kernels whose optimized path
+#: reassociates a float32 sum (matmul vs. loop-of-dots).
+RTOL = 1e-5
+ATOL = 1e-6
+
+_REGISTRY: dict[str, "Oracle"] = {}
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One registered differential check."""
+
+    name: str
+    description: str
+    func: object
+
+    def run(self) -> list[Divergence]:
+        return self.func()
+
+
+def oracle(name: str, description: str):
+    """Register a differential oracle.  The function returns divergences."""
+
+    def register(func):
+        _REGISTRY[name] = Oracle(name=name, description=description, func=func)
+        return func
+
+    return register
+
+
+def registered_oracles() -> dict[str, Oracle]:
+    return dict(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Numeric comparison helper
+# ---------------------------------------------------------------------------
+def array_divergence(
+    site: str,
+    expected: np.ndarray,
+    actual: np.ndarray,
+    layer: str | None = None,
+    step: int | None = None,
+    exact: bool = False,
+) -> Divergence | None:
+    """First element where two arrays disagree, or ``None``.
+
+    ``exact=True`` demands bitwise equality (gather/scatter kernels);
+    otherwise the comparison allows float32-reassociation noise and
+    reports the first element outside tolerance.
+    """
+    expected = np.asarray(expected)
+    actual = np.asarray(actual)
+    if expected.shape != actual.shape:
+        return Divergence(
+            site=site,
+            layer=layer,
+            step=step,
+            field="shape",
+            expected=expected.shape,
+            actual=actual.shape,
+        )
+    if exact:
+        mismatch = expected != actual
+    else:
+        mismatch = ~np.isclose(expected, actual, rtol=RTOL, atol=ATOL)
+    if not mismatch.any():
+        return None
+    index = tuple(int(i) for i in np.argwhere(mismatch)[0])
+    return Divergence(
+        site=site,
+        layer=layer,
+        step=step,
+        field=f"element{list(index)}",
+        expected=float(expected[index]),
+        actual=float(actual[index]),
+    )
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# Kernel oracles (repro.dnn.layers vs repro.dnn.reference)
+# ---------------------------------------------------------------------------
+@oracle(
+    "im2col-col2im",
+    "sliding-window im2col and scatter col2im vs. explicit loop nests "
+    "(exact, over a stride x kernel x pad grid)",
+)
+def _oracle_im2col_col2im() -> list[Divergence]:
+    out: list[Divergence] = []
+    rng = _rng(0)
+    for stride in (1, 2, 3):
+        for k in (1, 2, 3):
+            for pad in (0, 1):
+                x = rng.standard_normal((2, 3, 8, 9)).astype(np.float32)
+                want_cols, oh, ow = ref.naive_im2col(x, k, k, stride, pad)
+                got_cols, got_oh, got_ow = opt.im2col(x, k, k, stride, pad)
+                case = f"k={k} stride={stride} pad={pad}"
+                if (oh, ow) != (got_oh, got_ow):
+                    out.append(
+                        Divergence(
+                            site="im2col-col2im",
+                            layer=f"im2col[{case}]",
+                            field="output-shape",
+                            expected=(oh, ow),
+                            actual=(got_oh, got_ow),
+                        )
+                    )
+                    continue
+                hit = array_divergence(
+                    "im2col-col2im",
+                    want_cols,
+                    got_cols,
+                    layer=f"im2col[{case}]",
+                    exact=True,
+                )
+                if hit is not None:
+                    out.append(hit)
+                    continue
+                grad_cols = rng.standard_normal(want_cols.shape).astype(np.float32)
+                want_x = ref.naive_col2im(
+                    grad_cols, x.shape, k, k, stride, pad, oh, ow
+                )
+                got_x = opt.col2im(grad_cols, x.shape, k, k, stride, pad, oh, ow)
+                # Disjoint windows fold as a pure scatter (exact); the
+                # overlap path accumulates per kernel offset while the
+                # naive loop accumulates per patch — the float32 sums
+                # reassociate, so overlaps compare to tolerance.
+                hit = array_divergence(
+                    "im2col-col2im",
+                    want_x,
+                    got_x,
+                    layer=f"col2im[{case}]",
+                    exact=stride >= k,
+                )
+                if hit is not None:
+                    out.append(hit)
+    return out
+
+
+def _forward_cases() -> list[tuple[str, object, object, np.ndarray]]:
+    """(layer-name, optimized-layer, reference-closure, input) cases."""
+    rng = _rng(1)
+    cases: list[tuple[str, object, object, np.ndarray]] = []
+
+    conv = opt.Conv2d(3, 8, 3, stride=1, padding=1, rng=_rng(2), name="conv3x3")
+    x = rng.standard_normal((2, 3, 10, 10)).astype(np.float32)
+    cases.append(
+        (
+            "conv3x3",
+            conv,
+            lambda x, c=conv: ref.naive_conv2d_forward(
+                x, c.weight.value, c.bias.value, c.stride, c.padding
+            ),
+            x,
+        )
+    )
+
+    strided = opt.Conv2d(4, 6, 3, stride=2, padding=1, rng=_rng(3), name="conv-s2")
+    xs = rng.standard_normal((1, 4, 9, 9)).astype(np.float32)
+    cases.append(
+        (
+            "conv-s2",
+            strided,
+            lambda x, c=strided: ref.naive_conv2d_forward(
+                x, c.weight.value, c.bias.value, c.stride, c.padding
+            ),
+            xs,
+        )
+    )
+
+    pool = opt.MaxPool2d(2)
+    xp = rng.standard_normal((2, 4, 8, 8)).astype(np.float32)
+    cases.append(("maxpool2", pool, lambda x: ref.naive_maxpool_forward(x, 2, 2), xp))
+
+    gap = opt.GlobalAvgPool2d()
+    xg = rng.standard_normal((2, 5, 6, 6)).astype(np.float32)
+    cases.append(("gap", gap, ref.naive_global_avgpool_forward, xg))
+
+    fc = opt.Linear(12, 7, rng=_rng(4), name="fc")
+    xf = rng.standard_normal((3, 12)).astype(np.float32)
+    cases.append(
+        (
+            "fc",
+            fc,
+            lambda x, l=fc: ref.naive_linear_forward(x, l.weight.value, l.bias.value),
+            xf,
+        )
+    )
+    return cases
+
+
+@oracle(
+    "dnn-forward",
+    "optimized layer forwards (conv/maxpool/avgpool/linear) vs. naive "
+    "loop nests, layer by layer",
+)
+def _oracle_dnn_forward() -> list[Divergence]:
+    out: list[Divergence] = []
+    for name, layer, reference, x in _forward_cases():
+        got = layer.forward(x)
+        want = reference(x)
+        exact = name in ("maxpool2", "gap")
+        hit = array_divergence(
+            "dnn-forward", want, got, layer=name, exact=exact
+        )
+        if hit is not None:
+            out.append(hit)
+    return out
+
+
+@oracle(
+    "dnn-backward",
+    "conv dx/dweight/dbias (via reference col2im) and maxpool gradient "
+    "routing vs. naive implementations",
+)
+def _oracle_dnn_backward() -> list[Divergence]:
+    out: list[Divergence] = []
+    rng = _rng(5)
+
+    # Conv backward: dcols is a matmul and the 3x3/stride-2 windows
+    # overlap, so dx compares to tolerance; the disjoint max-pool fold
+    # below is the exact-path check.
+    conv = opt.Conv2d(3, 5, 3, stride=2, padding=1, rng=_rng(6), name="conv-bwd")
+    x = rng.standard_normal((2, 3, 9, 9)).astype(np.float32)
+    y = conv.forward(x)
+    grad = rng.standard_normal(y.shape).astype(np.float32)
+    for p in conv.parameters():
+        p.zero_grad()
+    dx = conv.backward(grad)
+
+    n = grad.shape[0]
+    _, _, oh, ow = conv._cache if conv._cache else (None, None, 0, 0)
+    g2d = grad.transpose(0, 2, 3, 1).reshape(-1, conv.out_channels)
+    w2d = conv.weight.value.reshape(conv.out_channels, -1)
+    dcols = g2d @ w2d
+    want_dx = ref.naive_col2im(
+        dcols, x.shape, conv.kernel_size, conv.kernel_size,
+        conv.stride, conv.padding, oh, ow,
+    )
+    hit = array_divergence("dnn-backward", want_dx, dx, layer="conv-bwd.dx")
+    if hit is not None:
+        out.append(hit)
+
+    # dweight/dbias against per-element reference accumulation.
+    want_cols, _, _ = ref.naive_im2col(
+        x, conv.kernel_size, conv.kernel_size, conv.stride, conv.padding
+    )
+    want_dw = (g2d.T @ want_cols).reshape(conv.weight.value.shape)
+    hit = array_divergence(
+        "dnn-backward", want_dw, conv.weight.grad, layer="conv-bwd.dweight"
+    )
+    if hit is not None:
+        out.append(hit)
+    want_db = g2d.sum(axis=0)
+    hit = array_divergence(
+        "dnn-backward", want_db, conv.bias.grad, layer="conv-bwd.dbias"
+    )
+    if hit is not None:
+        out.append(hit)
+
+    # Max pooling gradient routing (pure gather/scatter: exact).
+    pool = opt.MaxPool2d(2)
+    xp = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+    yp = pool.forward(xp)
+    gp = rng.standard_normal(yp.shape).astype(np.float32)
+    got_dxp = pool.backward(gp)
+    want_dxp = ref.naive_maxpool_backward(xp, gp, 2, 2)
+    hit = array_divergence(
+        "dnn-backward", want_dxp, got_dxp, layer="maxpool2.dx", exact=True
+    )
+    if hit is not None:
+        out.append(hit)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# System oracles (sweep / transport / faults / cache)
+# ---------------------------------------------------------------------------
+def _tiny_config(**overrides) -> CoSimConfig:
+    base = dict(
+        world="tunnel",
+        soc="A",
+        model="resnet6",
+        max_sim_time=1.0,
+        check_invariants=True,
+    )
+    base.update(overrides)
+    return CoSimConfig(**base)
+
+
+def _mission_pair_divergence(
+    site: str, reference_cfg: CoSimConfig, optimized_cfg: CoSimConfig
+) -> list[Divergence]:
+    """Run both configs and first-diverge their canonical payloads."""
+    want = run_mission(reference_cfg)
+    got = run_mission(optimized_cfg)
+    if mission_signature(want) == mission_signature(got):
+        return []
+    hit = mission_divergence(canonical_payload(want), canonical_payload(got), site)
+    if hit is None:  # signature differs but payloads match: impossible unless
+        hit = Divergence(  # canonicalization itself broke — still report.
+            site=site,
+            field="signature",
+            expected=mission_signature(want),
+            actual=mission_signature(got),
+        )
+    return [hit]
+
+
+@oracle(
+    "sweep-parallel",
+    "two-worker sweep vs. in-process serial reference runs "
+    "(bit-identical signatures)",
+)
+def _oracle_sweep_parallel() -> list[Divergence]:
+    configs = [_tiny_config(seed=s) for s in (0, 1, 2)]
+    want = [run_mission(cfg) for cfg in configs]  # serial reference
+    report = SweepRunner(workers=2).run(
+        [(f"seed{cfg.seed}", cfg) for cfg in configs]
+    )
+    out: list[Divergence] = []
+    for cfg, reference, outcome in zip(configs, want, report.outcomes):
+        if mission_signature(reference) == mission_signature(outcome.result):
+            continue
+        hit = mission_divergence(
+            canonical_payload(reference),
+            canonical_payload(outcome.result),
+            f"sweep-parallel[seed={cfg.seed}]",
+        )
+        if hit is not None:
+            out.append(hit)
+    return out
+
+
+@oracle(
+    "transport-tcp",
+    "TCP transport mission vs. the in-process reference transport "
+    "(bit-identical behaviour)",
+)
+def _oracle_transport_tcp() -> list[Divergence]:
+    return _mission_pair_divergence(
+        "transport-tcp",
+        _tiny_config(transport="inprocess"),
+        _tiny_config(transport="tcp"),
+    )
+
+
+@oracle(
+    "fault-noop",
+    "empty FaultPlan vs. no fault injector at all (the no-op reference): "
+    "wiring the injector must not change behaviour",
+)
+def _oracle_fault_noop() -> list[Divergence]:
+    return _mission_pair_divergence(
+        "fault-noop",
+        _tiny_config(faults=None),
+        _tiny_config(faults=FaultPlan()),
+    )
+
+
+@oracle(
+    "cache-roundtrip",
+    "ResultCache store/load round-trip vs. the in-memory result "
+    "(bit-identical signature and payload)",
+)
+def _oracle_cache_roundtrip() -> list[Divergence]:
+    cfg = _tiny_config(seed=3)
+    want = run_mission(cfg)
+    with tempfile.TemporaryDirectory(prefix="repro-oracle-cache-") as root:
+        cache = ResultCache(Path(root))
+        cache.put(cfg, want)
+        got = cache.get(cfg)
+    if got is None:
+        return [
+            Divergence(
+                site="cache-roundtrip",
+                field="get",
+                expected="stored result",
+                actual="<cache miss>",
+            )
+        ]
+    if mission_signature(want) == mission_signature(got):
+        return []
+    hit = mission_divergence(
+        canonical_payload(want), canonical_payload(got), "cache-roundtrip"
+    )
+    return [hit] if hit is not None else []
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+@dataclass
+class OracleOutcome:
+    name: str
+    description: str
+    divergences: list[Divergence] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.error
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"[ok]    {self.name}"
+        lines = [f"[FAIL]  {self.name}"]
+        if self.error:
+            lines.append(f"        error: {self.error}")
+        lines.extend(f"        {d.describe()}" for d in self.divergences)
+        return "\n".join(lines)
+
+
+@dataclass
+class OracleReport:
+    outcomes: list[OracleOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def describe(self) -> str:
+        lines = [outcome.describe() for outcome in self.outcomes]
+        passed = sum(1 for outcome in self.outcomes if outcome.ok)
+        lines.append(f"{passed}/{len(self.outcomes)} differential oracle(s) agree")
+        return "\n".join(lines)
+
+
+class DiffRunner:
+    """Executes registered oracles and collects their divergences.
+
+    An oracle that *raises* is reported as a failure with the exception
+    text rather than aborting the rest of the registry — a broken kernel
+    should fail its own oracle, not hide the others.
+    """
+
+    def __init__(self, names: list[str] | None = None):
+        registry = registered_oracles()
+        if names:
+            unknown = sorted(set(names) - set(registry))
+            if unknown:
+                raise KeyError(f"unknown oracle(s): {', '.join(unknown)}")
+            self.oracles = [registry[name] for name in names]
+        else:
+            self.oracles = [registry[name] for name in sorted(registry)]
+
+    def run(self) -> OracleReport:
+        report = OracleReport()
+        for orc in self.oracles:
+            outcome = OracleOutcome(name=orc.name, description=orc.description)
+            try:
+                outcome.divergences = list(orc.run())
+            except Exception as exc:  # noqa: BLE001 - isolate oracle crashes
+                outcome.error = f"{type(exc).__name__}: {exc}"
+            report.outcomes.append(outcome)
+        return report

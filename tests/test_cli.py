@@ -95,3 +95,40 @@ class TestTable3Command:
         out = capsys.readouterr().out
         for model in ("resnet6", "resnet11", "resnet14", "resnet18", "resnet34"):
             assert model in out
+
+
+class TestVerifyCommand:
+    def test_list_shows_missions_and_oracles(self, capsys):
+        assert main(["verify", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "golden missions:" in out
+        assert "tunnel-dnn-r14-socA" in out
+        assert "differential oracles:" in out
+        assert "im2col-col2im" in out
+
+    def test_record_then_check_round_trip(self, capsys, tmp_path):
+        golden = tmp_path / "golden"
+        assert main([
+            "verify", "--record", "--golden-dir", str(golden),
+            "--mission", "tunnel-dnn-r6-socB",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "verify", "--check", "--golden-dir", str(golden),
+            "--mission", "tunnel-dnn-r6-socB",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out
+        assert "1/1 golden mission(s) conform" in out
+
+    def test_check_missing_corpus_exits_one(self, capsys, tmp_path):
+        assert main([
+            "verify", "--check", "--golden-dir", str(tmp_path / "nowhere"),
+            "--mission", "tunnel-dnn-r6-socB",
+        ]) == 1
+        assert "[MISSING]" in capsys.readouterr().out
+
+    def test_oracle_filter_runs_single_oracle(self, capsys):
+        assert main(["verify", "--oracles", "--oracle", "im2col-col2im"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 differential oracle(s) agree" in out

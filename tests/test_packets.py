@@ -162,3 +162,109 @@ class TestEncodingErrors:
         ) + b"\x00" * 4
         with pytest.raises(PacketError):
             decode_packet(wire)
+
+
+# ---------------------------------------------------------------------------
+# Property-based wire conformance (truncation, bit flips, CRC detection)
+# ---------------------------------------------------------------------------
+nonzero = finite.filter(lambda v: v != 0.0)
+
+#: Any typed packet the protocol can put on the wire.  Float fields are
+#: nonzero so every payload bit is significant (0.0 and -0.0 compare
+#: equal, which would blur the corruption properties below).
+any_packet = st.one_of(
+    st.builds(pk.imu_response, nonzero, nonzero, nonzero, nonzero, nonzero),
+    st.builds(pk.state_response, *([nonzero] * 8)),
+    st.builds(pk.target_command, nonzero, nonzero, nonzero, nonzero),
+    st.builds(pk.depth_response, nonzero),
+    st.builds(pk.sync_grant, st.integers(0, 2**31 - 1)),
+    st.builds(pk.sync_done, st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1)),
+    st.builds(pk.sync_set_steps, st.integers(1, 2**31 - 1), st.integers(1, 1000)),
+    st.builds(
+        lambda h, w, ts, he, lo, hw: pk.camera_response(
+            h, w, ts, he, lo, hw, bytes((i % 251 for i in range(h * w)))
+        ),
+        st.integers(1, 8),
+        st.integers(1, 8),
+        nonzero,
+        nonzero,
+        nonzero,
+        nonzero,
+    ),
+)
+
+
+class TestWireProperties:
+    """Conformance properties of the framing layer itself."""
+
+    @given(any_packet)
+    @settings(max_examples=60)
+    def test_encode_decode_round_trip(self, packet):
+        decoded = decode_packet(encode_packet(packet))
+        assert decoded.ptype == packet.ptype
+        assert len(decoded.values) == len(packet.values)
+        for want, got in zip(packet.values, decoded.values):
+            assert got == pytest.approx(float(want))
+        assert decoded.raw == packet.raw
+
+    @given(any_packet, st.data())
+    @settings(max_examples=60)
+    def test_truncated_frame_always_rejected(self, packet, data):
+        """Every proper prefix of a frame fails to decode — never
+        misparses as a shorter valid packet."""
+        wire = encode_packet(packet)
+        cut = data.draw(st.integers(0, len(wire) - 1), label="cut")
+        with pytest.raises(PacketError):
+            decode_packet(wire[:cut])
+
+    @given(any_packet, st.data())
+    @settings(max_examples=100)
+    def test_bit_flip_detected_or_faithful(self, packet, data):
+        """A single flipped bit anywhere in the frame is either rejected
+        (magic/type/CRC/length checks) or decodes to a packet that
+        differs from the original — corruption never yields a silently
+        identical decode."""
+        wire = bytearray(encode_packet(packet))
+        bit = data.draw(st.integers(0, len(wire) * 8 - 1), label="bit")
+        wire[bit // 8] ^= 1 << (bit % 8)
+        try:
+            decoded = decode_packet(bytes(wire))
+        except PacketError:
+            return
+        assert (
+            decoded.ptype != packet.ptype
+            or decoded.values != packet.values
+            or decoded.raw != packet.raw
+        )
+
+    @given(any_packet, st.integers(0, 7))
+    @settings(max_examples=40)
+    def test_crc_byte_flip_always_rejected(self, packet, bit):
+        """The stored CRC no longer matches the (unchanged) payload."""
+        wire = bytearray(encode_packet(packet))
+        wire[3] ^= 1 << bit  # byte 3 is the header CRC field
+        with pytest.raises(PacketError):
+            decode_packet(bytes(wire))
+
+    @given(any_packet, st.data())
+    @settings(max_examples=60)
+    def test_payload_flip_changes_decode_or_rejects(self, packet, data):
+        """Flips strictly inside the payload: CRC-8 catches most; any
+        collision must still decode to *different* content."""
+        wire = bytearray(encode_packet(packet))
+        if len(wire) == pk.HEADER_SIZE:
+            return  # no payload to corrupt
+        byte = data.draw(
+            st.integers(pk.HEADER_SIZE, len(wire) - 1), label="byte"
+        )
+        wire[byte] ^= 1 << data.draw(st.integers(0, 7), label="bit")
+        try:
+            decoded = decode_packet(bytes(wire))
+        except PacketError:
+            return
+        assert decoded.values != packet.values or decoded.raw != packet.raw
+
+    @given(any_packet)
+    @settings(max_examples=30)
+    def test_crc_is_deterministic_per_frame(self, packet):
+        assert encode_packet(packet) == encode_packet(packet)

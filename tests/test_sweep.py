@@ -154,3 +154,66 @@ class TestSweepMissions:
         results = sweep_missions(tiny_configs[:2])
         assert len(list(tmp_path.rglob("*.pkl"))) == 2
         assert len(results) == 2
+
+
+class TestCacheKeyCoversFullConfig:
+    """Regression: the cache key must include the fault plan and the
+    invariant-check flag — a stale hit across either would silently
+    return the wrong mission."""
+
+    def test_fault_plan_changes_key(self):
+        from repro.core.faults import FaultPlan
+
+        base = _tiny_config(0)
+        faulty = replace(base, faults=FaultPlan.sensor_response_drop(0.2, seed=3))
+        assert config_key(base) != config_key(faulty)
+        # Different plans differ from each other too, not just from None.
+        other = replace(base, faults=FaultPlan.sensor_response_drop(0.2, seed=4))
+        assert config_key(faulty) != config_key(other)
+
+    def test_invariant_flag_changes_key(self):
+        base = _tiny_config(0)
+        assert config_key(base) != config_key(replace(base, check_invariants=True))
+        assert config_key(replace(base, check_invariants=True)) != config_key(
+            replace(base, check_invariants=False)
+        )
+
+    def test_no_stale_hit_across_fault_plans(self, tmp_path):
+        from repro.core.faults import FaultPlan
+
+        cache = ResultCache(tmp_path)
+        clean = _tiny_config(0)
+        cache.put(clean, run_mission(clean))
+        faulty = replace(clean, faults=FaultPlan.sensor_response_drop(0.5, seed=1))
+        assert cache.get(faulty) is None  # must NOT serve the clean result
+
+    def test_no_stale_hit_across_invariant_flag(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        on = _tiny_config(0)
+        cache.put(on, run_mission(on))
+        assert cache.get(replace(on, check_invariants=True)) is None
+
+
+class TestSweepResume:
+    """Resuming a sweep over a damaged cache recomputes only the damage."""
+
+    def test_one_corrupt_one_valid(self, tmp_path):
+        configs = [_tiny_config(0), _tiny_config(1)]
+        first = SweepRunner(workers=1, cache=ResultCache(tmp_path)).run(configs)
+        baseline = [mission_signature(r) for r in first.results()]
+
+        # Damage exactly one entry on disk.
+        cache = ResultCache(tmp_path)
+        corrupt_path = cache._path(cache.key_for(configs[0]))
+        assert corrupt_path.is_file()
+        corrupt_path.write_bytes(b"\x00 damaged pickle \x00")
+
+        resumed = SweepRunner(workers=1, cache=cache).run(configs)
+        assert [o.from_cache for o in resumed.outcomes] == [False, True]
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        # The re-executed mission is bit-identical to the original run.
+        assert [mission_signature(r) for r in resumed.results()] == baseline
+        # And the repaired entry now serves warm.
+        warm = SweepRunner(workers=1, cache=ResultCache(tmp_path)).run(configs)
+        assert all(o.from_cache for o in warm.outcomes)
+        assert [mission_signature(r) for r in warm.results()] == baseline

@@ -1,0 +1,159 @@
+"""Tests for the golden-trace corpus (repro.verify.golden)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import CoSimConfig
+from repro.verify import (
+    DEFAULT_GOLDEN_DIR,
+    GoldenRecord,
+    check_corpus,
+    golden_missions,
+    record_corpus,
+    record_mission,
+)
+
+
+def _tiny_missions() -> dict[str, CoSimConfig]:
+    return {
+        "unit-a": CoSimConfig(world="tunnel", model="resnet6", max_sim_time=1.0),
+        "unit-b": CoSimConfig(
+            world="tunnel", model="resnet6", max_sim_time=1.0, seed=1
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """A recorded two-mission corpus shared across this module's tests."""
+    root = tmp_path_factory.mktemp("golden")
+    report = record_corpus(root, missions=_tiny_missions())
+    assert report.ok
+    return root
+
+
+class TestRecordCheckRoundTrip:
+    def test_check_after_record_passes(self, corpus_dir):
+        report = check_corpus(corpus_dir, missions=_tiny_missions())
+        assert report.ok
+        assert [c.name for c in report.checks] == ["unit-a", "unit-b"]
+
+    def test_record_is_valid_json_with_format_stamp(self, corpus_dir):
+        data = json.loads((corpus_dir / "unit-a.json").read_text())
+        assert data["format"] == "rose-golden/1"
+        assert data["signature"]
+        assert data["metrics"]["sim_time"]
+        assert data["payload"]["op_stream"]
+
+    def test_rerecord_identical_behaviour_reports_ok(self, corpus_dir):
+        report = record_corpus(corpus_dir, missions=_tiny_missions())
+        assert report.ok
+        assert all(check.status == "ok" for check in report.checks)
+
+    def test_only_filter_restricts_missions(self, corpus_dir):
+        report = check_corpus(corpus_dir, missions=_tiny_missions(), only="unit-a")
+        assert [check.name for check in report.checks] == ["unit-a"]
+
+
+class TestDriftDetection:
+    def test_payload_drift_names_step_and_field(self, corpus_dir, tmp_path):
+        # Copy the corpus and perturb one op-stream cell of one record.
+        work = tmp_path / "drifted"
+        work.mkdir()
+        for path in corpus_dir.glob("*.json"):
+            (work / path.name).write_text(path.read_text())
+        record_path = work / "unit-a.json"
+        data = json.loads(record_path.read_text())
+        # Simulate recorded-then-drifted behaviour: the stored payload and
+        # signature reflect a run whose step 3 differed from today's.
+        data["payload"]["op_stream"][3][0] = "999999"
+        data["signature"] = "0" * 64
+        record_path.write_text(json.dumps(data))
+
+        report = check_corpus(work, missions=_tiny_missions())
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.status == "drift"
+        assert failure.divergence is not None
+        assert failure.divergence.step == 3
+        assert "op_stream" in failure.divergence.field
+        assert "step 3" in failure.divergence.describe()
+
+    def test_config_drift_flagged_without_running(self, corpus_dir):
+        drifted = _tiny_missions()
+        drifted["unit-a"] = replace(drifted["unit-a"], target_velocity=4.0)
+        report = check_corpus(corpus_dir, missions=drifted)
+        failure = next(c for c in report.checks if c.name == "unit-a")
+        assert failure.status == "config-drift"
+        assert "target_velocity" in failure.divergence.field
+
+    def test_missing_record_flagged(self, corpus_dir):
+        missions = _tiny_missions()
+        missions["unit-c"] = CoSimConfig(
+            world="tunnel", model="resnet6", max_sim_time=1.0, seed=2
+        )
+        report = check_corpus(corpus_dir, missions=missions)
+        missing = next(c for c in report.checks if c.name == "unit-c")
+        assert missing.status == "missing"
+
+    def test_stale_record_flagged(self, corpus_dir, tmp_path):
+        work = tmp_path / "stale"
+        work.mkdir()
+        for path in corpus_dir.glob("*.json"):
+            (work / path.name).write_text(path.read_text())
+        (work / "gone-mission.json").write_text(
+            (corpus_dir / "unit-a.json").read_text()
+        )
+        report = check_corpus(work, missions=_tiny_missions())
+        stale = next(c for c in report.checks if c.name == "gone-mission")
+        assert stale.status == "stale"
+
+    def test_unreadable_record_flagged(self, corpus_dir, tmp_path):
+        work = tmp_path / "broken"
+        work.mkdir()
+        for path in corpus_dir.glob("*.json"):
+            (work / path.name).write_text(path.read_text())
+        (work / "unit-a.json").write_text("{not json")
+        report = check_corpus(work, missions=_tiny_missions())
+        broken = next(c for c in report.checks if c.name == "unit-a")
+        assert broken.status == "drift"
+        assert "unreadable" in broken.detail
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported golden format"):
+            GoldenRecord.from_json('{"format": "rose-golden/999"}')
+
+
+class TestRecordContents:
+    def test_record_mission_signature_matches_payload(self):
+        config = CoSimConfig(world="tunnel", model="resnet6", max_sim_time=1.0)
+        record = record_mission("unit", config)
+        assert set(record.metrics) <= set(record.payload)
+        assert record.config["world"] == "tunnel"
+        # The record round-trips through its own JSON representation.
+        again = GoldenRecord.from_json(record.to_json())
+        assert again.signature == record.signature
+        assert again.payload == record.payload
+
+
+class TestCommittedCorpus:
+    """The committed corpus under tests/golden/ IS the tier-1 drift gate."""
+
+    def test_corpus_defines_at_least_eight_missions(self):
+        assert len(golden_missions()) >= 8
+
+    def test_every_mission_has_a_committed_record(self):
+        for name in golden_missions():
+            assert (DEFAULT_GOLDEN_DIR / f"{name}.json").is_file(), (
+                f"golden record for {name!r} missing; run "
+                "`python -m repro verify --record` and commit tests/golden/"
+            )
+
+    def test_committed_corpus_conforms(self):
+        """Behavioural drift against tests/golden/ fails the suite here."""
+        report = check_corpus()
+        assert report.ok, "\n" + report.describe()

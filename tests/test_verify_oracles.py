@@ -1,0 +1,167 @@
+"""Tests for the differential oracles (repro.verify.oracles).
+
+The acceptance criterion for the conformance subsystem: perturbing any
+optimized kernel must make the *matching* oracle fail with a
+first-divergence report naming the layer/site and element — so each
+perturbation test here monkeypatches one optimized code path and asserts
+the oracle catches it by name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn import layers as opt
+from repro.verify import DiffRunner, array_divergence, registered_oracles
+from repro.verify.oracles import (
+    _oracle_dnn_backward,
+    _oracle_dnn_forward,
+    _oracle_im2col_col2im,
+)
+
+KERNEL_ORACLES = ("im2col-col2im", "dnn-forward", "dnn-backward")
+SYSTEM_ORACLES = ("sweep-parallel", "transport-tcp", "fault-noop", "cache-roundtrip")
+
+
+class TestRegistry:
+    def test_all_expected_oracles_registered(self):
+        names = set(registered_oracles())
+        assert set(KERNEL_ORACLES) <= names
+        assert set(SYSTEM_ORACLES) <= names
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(KeyError, match="no-such-oracle"):
+            DiffRunner(names=["no-such-oracle"])
+
+    def test_name_filter(self):
+        runner = DiffRunner(names=["dnn-forward"])
+        assert [o.name for o in runner.oracles] == ["dnn-forward"]
+
+
+class TestKernelOraclesAgree:
+    """With unmodified kernels, every oracle reports zero divergences."""
+
+    def test_im2col_col2im(self):
+        assert _oracle_im2col_col2im() == []
+
+    def test_dnn_forward(self):
+        assert _oracle_dnn_forward() == []
+
+    def test_dnn_backward(self):
+        assert _oracle_dnn_backward() == []
+
+
+class TestPerturbedKernelsCaught:
+    """Flip an optimized kernel to perturbed output; the oracle must fail."""
+
+    def test_perturbed_im2col_caught(self, monkeypatch):
+        real = opt.im2col
+
+        def perturbed(x, kh, kw, stride, pad):
+            cols, oh, ow = real(x, kh, kw, stride, pad)
+            cols = cols.copy()
+            cols[0, 0] += 1.0
+            return cols, oh, ow
+
+        monkeypatch.setattr(opt, "im2col", perturbed)
+        divergences = _oracle_im2col_col2im()
+        assert divergences
+        first = divergences[0]
+        assert first.site == "im2col-col2im"
+        assert first.layer.startswith("im2col[")
+        assert "element" in first.field
+
+    def test_perturbed_col2im_caught(self, monkeypatch):
+        real = opt.col2im
+
+        def perturbed(cols, x_shape, kh, kw, stride, pad, oh, ow):
+            out = real(cols, x_shape, kh, kw, stride, pad, oh, ow)
+            out[0, 0, 0, 0] += 0.5
+            return out
+
+        monkeypatch.setattr(opt, "col2im", perturbed)
+        divergences = _oracle_im2col_col2im()
+        assert divergences
+        first = divergences[0]
+        assert first.layer.startswith("col2im[")
+        assert first.field == "element[0, 0, 0, 0]"
+
+    def test_perturbed_conv_forward_caught(self, monkeypatch):
+        real = opt.Conv2d.forward
+
+        def perturbed(self, x):
+            out = real(self, x)
+            out[..., 0, 0] *= 1.001  # outside RTOL, inside eyeballing range
+            return out
+
+        monkeypatch.setattr(opt.Conv2d, "forward", perturbed)
+        divergences = _oracle_dnn_forward()
+        assert divergences
+        assert divergences[0].layer in ("conv3x3", "conv-s2")
+        assert "element" in divergences[0].field
+
+    def test_perturbed_maxpool_backward_caught(self, monkeypatch):
+        real = opt.MaxPool2d.backward
+
+        def perturbed(self, grad):
+            dx = real(self, grad)
+            dx[0, 0, 0, 0] += 1.0
+            return dx
+
+        monkeypatch.setattr(opt.MaxPool2d, "backward", perturbed)
+        divergences = _oracle_dnn_backward()
+        assert any(d.layer == "maxpool2.dx" for d in divergences)
+
+    def test_crashing_oracle_isolated(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(opt, "im2col", explode)
+        report = DiffRunner(names=["im2col-col2im"]).run()
+        assert not report.ok
+        assert "kernel exploded" in report.outcomes[0].error
+
+
+class TestArrayDivergence:
+    def test_equal_arrays_pass(self):
+        x = np.arange(12.0).reshape(3, 4)
+        assert array_divergence("t", x, x.copy(), exact=True) is None
+
+    def test_first_element_reported(self):
+        want = np.zeros((2, 3))
+        got = want.copy()
+        got[1, 2] = 7.0
+        got[0, 1] = 5.0
+        hit = array_divergence("t", want, got, exact=True)
+        assert hit.field == "element[0, 1]"  # row-major first
+        assert hit.expected == 0.0
+        assert hit.actual == 5.0
+
+    def test_shape_mismatch_reported(self):
+        hit = array_divergence("t", np.zeros((2, 2)), np.zeros((2, 3)))
+        assert hit.field == "shape"
+
+    def test_tolerance_mode_ignores_reassociation_noise(self):
+        want = np.ones(4, dtype=np.float32)
+        got = want + np.float32(1e-7)
+        assert array_divergence("t", want, got) is None
+        assert array_divergence("t", want, got, exact=True) is not None
+
+    def test_layer_and_step_carried_through(self):
+        hit = array_divergence(
+            "site", np.zeros(1), np.ones(1), layer="conv1", step=9
+        )
+        assert hit.layer == "conv1"
+        assert hit.step == 9
+        assert "layer conv1" in hit.describe()
+        assert "step 9" in hit.describe()
+
+
+class TestSystemOracles:
+    """The mission-level oracles agree on the current implementation."""
+
+    @pytest.mark.parametrize("name", SYSTEM_ORACLES)
+    def test_oracle_agrees(self, name):
+        report = DiffRunner(names=[name]).run()
+        assert report.ok, "\n" + report.describe()
