@@ -1,0 +1,57 @@
+"""Static analysis for co-simulation reproducibility (``python -m repro lint``).
+
+The whole evaluation methodology rests on deterministic, bit-reproducible
+co-simulation: the sweep cache (PR 2) and the golden-trace corpus (PR 3)
+are only sound because identical configs simulate identically.  Runtime
+machinery (invariants, oracles, golden replays) catches divergence after
+the fact; this package catches the *sources* of divergence at review
+time, before a golden re-record or a poisoned cache entry ever happens.
+
+Rule families (see the modules for the catalog):
+
+* **DET** (:mod:`.rules_det`) — determinism: unseeded global-state RNG,
+  wall-clock reads on simulation paths, unordered iteration feeding
+  digests;
+* **NUM** (:mod:`.rules_num`) — numeric reproducibility: float
+  reassociation via builtin ``sum()``, dtype-less ``np.array`` in
+  kernels;
+* **PROTO** (:mod:`.rules_proto`) — protocol totality: packet-type
+  dispatch maps that silently miss enum members, swallowed exceptions in
+  transport/synchronizer code;
+* **CFG** (:mod:`.rules_cfg`) — cache-key soundness: every config
+  dataclass field must enter the sweep cache key.
+
+Diagnostics are suppressed either inline (``# repro: allow[RULE]`` on
+the flagged line or the line above) or through a committed baseline file
+(``lint-baseline.json`` at the repository root) for intentional,
+documented leftovers.
+"""
+
+from repro.analysis.lint.baseline import Baseline, baseline_path_for
+from repro.analysis.lint.diagnostics import Diagnostic, render_json, render_text
+from repro.analysis.lint.engine import LintEngine, LintReport, Module, ProjectModel
+from repro.analysis.lint.registry import Rule, all_rules, get_rule, rule
+
+# Importing the rule modules registers every shipped rule.
+from repro.analysis.lint import (  # noqa: E402  (registration side effect)
+    rules_cfg,  # noqa: F401
+    rules_det,  # noqa: F401
+    rules_num,  # noqa: F401
+    rules_proto,  # noqa: F401
+)
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "LintEngine",
+    "LintReport",
+    "Module",
+    "ProjectModel",
+    "Rule",
+    "all_rules",
+    "baseline_path_for",
+    "get_rule",
+    "render_json",
+    "render_text",
+    "rule",
+]

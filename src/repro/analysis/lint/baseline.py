@@ -1,0 +1,129 @@
+"""Baseline suppression: a committed ledger of accepted findings.
+
+The baseline records intentional leftovers — findings that are real but
+blessed, with their rationale kept in DESIGN.md §8 — so ``python -m
+repro lint`` can fail on *new* diagnostics while the accepted ones stay
+visible (reported as ``baselined``) instead of silently vanishing.
+
+Entries match on ``(rule, path, line)``; regenerate the file with
+``python -m repro lint --write-baseline`` after intentional churn.  The
+engine reports entries that matched nothing as *stale* so the ledger
+never rots.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.lint.diagnostics import Diagnostic
+
+BASELINE_FORMAT = "rose-lint-baseline/1"
+BASELINE_NAME = "lint-baseline.json"
+
+
+def baseline_path_for(root: str | Path) -> Path:
+    """Where the baseline lives for a tree scanned at ``root``.
+
+    Looks in ``root`` itself, then one directory up (scanning ``src/``
+    finds the repo-root file).  When neither exists — a fresh tree —
+    the repo-root location is returned so ``--write-baseline`` creates
+    it in the canonical place.
+    """
+    root = Path(root)
+    for candidate in (root / BASELINE_NAME, root.parent / BASELINE_NAME):
+        if candidate.is_file():
+            return candidate
+    return root.parent / BASELINE_NAME
+
+
+class Baseline:
+    """Accepted findings, keyed by ``(rule, path, line)``."""
+
+    def __init__(self, entries: list[dict[str, object]], path: Path | None = None):
+        self.path = path
+        self.entries = entries
+        self._index: dict[tuple[str, str, int], dict[str, object]] = {}
+        self._consumed: set[tuple[str, str, int]] = set()
+        for entry in entries:
+            key = (str(entry["rule"]), str(entry["path"]), int(entry["line"]))  # type: ignore[arg-type]
+            self._index[key] = entry
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls(entries=[], path=path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid lint baseline {path}: {exc}") from exc
+        if data.get("format") != BASELINE_FORMAT:
+            raise ConfigError(
+                f"unsupported lint baseline format {data.get('format')!r} in {path}"
+            )
+        entries = data.get("entries", [])
+        for entry in entries:
+            missing = {"rule", "path", "line"} - set(entry)
+            if missing:
+                raise ConfigError(
+                    f"baseline entry in {path} missing keys: {sorted(missing)}"
+                )
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def from_diagnostics(
+        cls, diagnostics: list["Diagnostic"], path: Path | None = None
+    ) -> "Baseline":
+        """Build a baseline accepting every *active* finding given."""
+        entries = [
+            {
+                "rule": diag.rule,
+                "path": diag.path,
+                "line": diag.line,
+                "message": diag.message,
+            }
+            for diag in sorted(diagnostics)
+            if not diag.waived  # inline waivers stay inline
+        ]
+        return cls(entries=entries, path=path)
+
+    # ------------------------------------------------------------------
+    def matches(self, diag: "Diagnostic") -> bool:
+        """Whether ``diag`` is accepted (marks the entry as consumed)."""
+        key = (diag.rule, diag.path, diag.line)
+        if key in self._index:
+            self._consumed.add(key)
+            return True
+        return False
+
+    def stale(self) -> list[dict[str, object]]:
+        """Entries no diagnostic matched during the run (prune these)."""
+        return [
+            entry
+            for key, entry in sorted(self._index.items())
+            if key not in self._consumed
+        ]
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    def write(self, path: str | Path | None = None) -> Path:
+        """Serialize to ``path`` (or the path the baseline was loaded from)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ConfigError("no path to write the lint baseline to")
+        payload = {"format": BASELINE_FORMAT, "entries": self.entries}
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return target

@@ -1,0 +1,316 @@
+"""The lint engine: parse a source tree, build a project model, run rules.
+
+The engine scans every ``*.py`` under a *source root* (the directory that
+contains the top-level package, e.g. ``src/``), so module paths are
+repo-relative POSIX strings like ``repro/core/transport.py`` — the same
+vocabulary rule scopes, waivers, and baseline entries use.  Fixture
+trees in tests reproduce that layout under a temp directory and get the
+exact same behaviour.
+
+Two passes:
+
+1. **model** — parse all files, collect the cross-module facts rules
+   introspect: enum definitions (member names), dataclass definitions
+   (field names), and a function index;
+2. **rules** — run every registered rule over every module in its scope,
+   then mark each diagnostic ``waived`` (inline ``# repro: allow[RULE]``)
+   or ``baselined`` (committed baseline file) as appropriate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.registry import Rule, all_rules
+
+#: Inline waiver: ``# repro: allow[DET002]`` or ``# repro: allow[DET002,NUM001]``
+#: on the flagged line or the line directly above it.  ``allow[*]`` waives
+#: every rule on that line (reserved for generated code).
+_WAIVER_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+_ENUM_BASES = {"Enum", "IntEnum", "IntFlag", "Flag", "StrEnum"}
+
+
+@dataclass(frozen=True)
+class EnumDef:
+    """An enum class found in the tree: its members, in definition order."""
+
+    name: str
+    path: str
+    line: int
+    members: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DataclassDef:
+    """A ``@dataclass`` found in the tree: its field names, in order."""
+
+    name: str
+    path: str
+    line: int
+    fields: tuple[str, ...]
+    #: Unparsed annotation text per field, parallel to ``fields``.
+    field_types: tuple[str, ...] = ()
+
+    def annotation_for(self, field_name: str) -> str:
+        try:
+            return self.field_types[self.fields.index(field_name)]
+        except (ValueError, IndexError):
+            return ""
+
+
+class Module:
+    """One parsed source file plus the lookup tables rules need."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: local name -> dotted origin ("np" -> "numpy",
+        #: "perf_counter" -> "time.perf_counter", "time" -> "time").
+        self.aliases: dict[str, str] = _import_aliases(tree)
+        #: 1-based line -> set of waived rule ids (may contain "*").
+        self.waivers: dict[int, set[str]] = _waivers(self.lines)
+
+    def dotted(self, node: ast.AST) -> str | None:
+        """Dotted name of an expression, resolved through import aliases.
+
+        ``np.random.seed`` with ``import numpy as np`` resolves to
+        ``numpy.random.seed``; returns ``None`` for non-name expressions
+        (calls, subscripts, ...).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def call_name(self, node: ast.Call) -> str | None:
+        """Dotted name of a call's target (``None`` if not a plain name)."""
+        return self.dotted(node.func)
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def is_waived(self, rule_id: str, line: int) -> bool:
+        """Inline waiver on ``line`` or the line directly above it."""
+        for at in (line, line - 1):
+            rules = self.waivers.get(at)
+            if rules and (rule_id in rules or "*" in rules):
+                return True
+        return False
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0]
+                )
+                if name.asname:
+                    aliases[name.asname] = name.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _waivers(lines: list[str]) -> dict[int, set[str]]:
+    waivers: dict[int, set[str]] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _WAIVER_RE.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if rules:
+                waivers[index] = rules
+    return waivers
+
+
+class ProjectModel:
+    """Cross-module facts: enums, dataclasses, a function index."""
+
+    def __init__(self, modules: list[Module]):
+        self.modules = modules
+        self.by_path: dict[str, Module] = {m.path: m for m in modules}
+        self.enums: dict[str, EnumDef] = {}
+        self.dataclasses: dict[str, DataclassDef] = {}
+        #: function name -> [(module, node)] in path order.
+        self.functions: dict[str, list[tuple[Module, ast.FunctionDef]]] = {}
+        for module in modules:
+            self._index(module)
+
+    def _index(self, module: Module) -> None:
+        for node in module.walk():
+            if isinstance(node, ast.ClassDef):
+                if _is_enum(node, module):
+                    self.enums.setdefault(
+                        node.name,
+                        EnumDef(
+                            name=node.name,
+                            path=module.path,
+                            line=node.lineno,
+                            members=_enum_members(node),
+                        ),
+                    )
+                elif _is_dataclass(node, module):
+                    names, types = _dataclass_fields(node)
+                    self.dataclasses.setdefault(
+                        node.name,
+                        DataclassDef(
+                            name=node.name,
+                            path=module.path,
+                            line=node.lineno,
+                            fields=names,
+                            field_types=types,
+                        ),
+                    )
+            elif isinstance(node, ast.FunctionDef):
+                self.functions.setdefault(node.name, []).append((module, node))
+
+
+def _is_enum(node: ast.ClassDef, module: Module) -> bool:
+    for base in node.bases:
+        dotted = module.dotted(base)
+        if dotted and dotted.split(".")[-1] in _ENUM_BASES:
+            return True
+    return False
+
+
+def _enum_members(node: ast.ClassDef) -> tuple[str, ...]:
+    members: list[str] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    members.append(target.id)
+    return tuple(members)
+
+
+def _is_dataclass(node: ast.ClassDef, module: Module) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = module.dotted(target)
+        if dotted and dotted.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    names: list[str] = []
+    types: list[str] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if not stmt.target.id.startswith("_") and not _is_classvar(stmt):
+                names.append(stmt.target.id)
+                types.append(ast.unparse(stmt.annotation))
+    return tuple(names), tuple(types)
+
+
+def _is_classvar(stmt: ast.AnnAssign) -> bool:
+    annotation = stmt.annotation
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    return isinstance(annotation, ast.Name) and annotation.id == "ClassVar" or (
+        isinstance(annotation, ast.Attribute) and annotation.attr == "ClassVar"
+    )
+
+
+@dataclass
+class LintReport:
+    """Everything one engine run produced."""
+
+    root: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Baseline entries that matched nothing (stale; safe to prune).
+    stale_baseline: list[dict[str, object]] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.active]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.parse_errors
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.files_scanned} file(s) scanned, "
+            f"{len(self.diagnostics)} finding(s): "
+            f"{len(self.active)} active, "
+            f"{sum(1 for d in self.diagnostics if d.waived)} waived, "
+            f"{sum(1 for d in self.diagnostics if d.baselined)} baselined"
+        ]
+        if self.stale_baseline:
+            parts.append(f"{len(self.stale_baseline)} stale baseline entr(y/ies)")
+        if self.parse_errors:
+            parts.append(f"{len(self.parse_errors)} unparsable file(s)")
+        return "; ".join(parts)
+
+
+class LintEngine:
+    """Run the registered rules over one source tree."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        rules: Iterable[Rule] | None = None,
+        baseline: Baseline | None = None,
+    ):
+        self.root = Path(root)
+        self.rules = list(rules) if rules is not None else list(all_rules().values())
+        self.baseline = baseline if baseline is not None else Baseline.empty()
+
+    # ------------------------------------------------------------------
+    def load(self) -> tuple[ProjectModel, list[str]]:
+        """Parse the tree; returns the model plus parse-error strings."""
+        modules: list[Module] = []
+        errors: list[str] = []
+        for path in sorted(self.root.rglob("*.py")):
+            rel = path.relative_to(self.root).as_posix()
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=rel)
+            except SyntaxError as exc:
+                errors.append(f"{rel}:{exc.lineno or 0}: syntax error: {exc.msg}")
+                continue
+            modules.append(Module(path=rel, source=source, tree=tree))
+        return ProjectModel(modules), errors
+
+    def run(self) -> LintReport:
+        """Parse, run every rule, apply waivers and the baseline."""
+        project, errors = self.load()
+        report = LintReport(
+            root=str(self.root),
+            files_scanned=len(project.modules),
+            parse_errors=errors,
+        )
+        for module in project.modules:
+            for rule in self.rules:
+                if not rule.applies_to(module.path):
+                    continue
+                for diag in rule.check(module, project):
+                    diag = diag.suppressed(
+                        waived=module.is_waived(diag.rule, diag.line),
+                        baselined=self.baseline.matches(diag),
+                    )
+                    report.diagnostics.append(diag)
+        report.diagnostics.sort()
+        report.stale_baseline = self.baseline.stale()
+        return report

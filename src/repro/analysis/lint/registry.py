@@ -1,0 +1,97 @@
+"""Rule protocol and registry.
+
+A rule is a callable plus metadata, registered with the :func:`rule`
+decorator.  Rules receive one parsed :class:`~.engine.Module` at a time
+along with the whole-project :class:`~.engine.ProjectModel`, so a rule
+can be purely local (bare ``except:``) or cross-module (a dispatch map in
+one file checked against an enum defined in another).
+
+Scoping lives on the rule: ``paths`` / ``exclude`` are repo-relative
+POSIX prefixes (or exact file paths).  A rule only sees modules it
+applies to, which keeps e.g. the wall-clock rule out of analysis code
+that legitimately measures wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.lint.diagnostics import Diagnostic
+    from repro.analysis.lint.engine import Module, ProjectModel
+
+RuleFunc = Callable[["Module", "ProjectModel"], List["Diagnostic"]]
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    id: str  # "DET001", "CFG001", ...
+    title: str  # short imperative summary
+    rationale: str  # why violating this breaks reproducibility
+    func: RuleFunc
+    paths: tuple[str, ...] = ()  # apply only under these prefixes ("" = everywhere)
+    exclude: tuple[str, ...] = ()  # blessed files/prefixes the rule skips
+
+    @property
+    def family(self) -> str:
+        return self.id.rstrip("0123456789")
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule inspects the module at repo-relative ``path``."""
+        if any(_matches(path, prefix) for prefix in self.exclude):
+            return False
+        if not self.paths:
+            return True
+        return any(_matches(path, prefix) for prefix in self.paths)
+
+    def check(self, module: "Module", project: "ProjectModel") -> list["Diagnostic"]:
+        return self.func(module, project)
+
+
+def _matches(path: str, prefix: str) -> bool:
+    """Exact file match or directory-prefix match."""
+    return path == prefix or path.startswith(prefix.rstrip("/") + "/")
+
+
+def rule(
+    id: str,
+    title: str,
+    rationale: str,
+    paths: Iterable[str] = (),
+    exclude: Iterable[str] = (),
+) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a rule function under ``id`` (decorator)."""
+
+    def register(func: RuleFunc) -> RuleFunc:
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {id!r}")
+        _REGISTRY[id] = Rule(
+            id=id,
+            title=title,
+            rationale=rationale,
+            func=func,
+            paths=tuple(paths),
+            exclude=tuple(exclude),
+        )
+        return func
+
+    return register
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, by id (import the rule modules first)."""
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None

@@ -1,0 +1,130 @@
+"""NUM rules: float reassociation and dtype drift in numeric kernels.
+
+Bit-exactness of the DNN and SoC models is part of the conformance
+contract (the oracles compare kernels bit-for-bit where the arithmetic
+matches).  Two quiet ways to lose it: builtin ``sum()`` over floats
+(its accumulation order — and therefore its rounding — changes whenever
+the iterable's construction changes) and ``np.array`` without a dtype
+(the inferred dtype flips between int64 and float64 with the literal
+contents, changing downstream arithmetic wholesale).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import Module, ProjectModel
+from repro.analysis.lint.registry import rule
+
+_KERNEL_PATHS = ("repro/dnn/", "repro/soc/")
+
+#: Identifier fragments that mark a value as float-valued in this
+#: codebase's vocabulary (times, rates, energies, measured seconds).
+_FLOAT_HINTS = (
+    "seconds",
+    "latency",
+    "energy",
+    "joule",
+    "watt",
+    "power",
+    "duration",
+    "time",
+    "_ms",
+    "_s",
+    "rate",
+)
+
+
+def _float_evidence(node: ast.AST, module: Module) -> str | None:
+    """Why an expression looks float-valued, or ``None`` if it doesn't."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return f"float literal {sub.value!r}"
+        if isinstance(sub, ast.Call):
+            dotted = module.call_name(sub)
+            if dotted == "float":
+                return "float(...) conversion"
+            if dotted is not None and dotted.startswith("numpy."):
+                return f"numpy expression {dotted}(...)"
+        name = None
+        if isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Name):
+            name = sub.id
+        if name is not None:
+            lowered = name.lower()
+            for hint in _FLOAT_HINTS:
+                if hint.startswith("_"):
+                    if lowered.endswith(hint):
+                        return f"float-named value {name!r}"
+                elif hint in lowered:
+                    return f"float-named value {name!r}"
+    return None
+
+
+@rule(
+    "NUM001",
+    "no builtin sum() over float values in kernels",
+    "builtin sum() accumulates left-to-right in whatever order the "
+    "iterable happens to produce; over floats the rounding depends on that "
+    "order, so refactoring the producer silently changes kernel results",
+    paths=_KERNEL_PATHS,
+)
+def num001_float_sum(module: Module, project: ProjectModel) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for node in module.walk():
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+            and node.args
+        ):
+            continue
+        evidence = _float_evidence(node.args[0], module)
+        if evidence is not None:
+            out.append(
+                Diagnostic(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="NUM001",
+                    message=f"builtin sum() over float values ({evidence})",
+                    hint="use math.fsum (order-insensitive) or np.sum with an "
+                    "explicit dtype; integer reductions may be waived inline",
+                )
+            )
+    return out
+
+
+@rule(
+    "NUM002",
+    "np.array in kernels must pin its dtype",
+    "np.array infers dtype from the payload: [1, 2] is int64, [1.0, 2] is "
+    "float64 — editing a literal or a producer changes the dtype and with "
+    "it every downstream arithmetic result",
+    paths=_KERNEL_PATHS,
+)
+def num002_dtypeless_array(module: Module, project: ProjectModel) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for node in module.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        if module.call_name(node) != "numpy.array":
+            continue
+        if any(kw.arg == "dtype" for kw in node.keywords):
+            continue
+        if len(node.args) >= 2:  # positional dtype
+            continue
+        out.append(
+            Diagnostic(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="NUM002",
+                message="np.array without an explicit dtype in kernel code",
+                hint="pass dtype=np.float32/np.float64/... so the element type "
+                "cannot drift with the payload",
+            )
+        )
+    return out

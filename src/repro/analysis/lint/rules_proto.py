@@ -1,0 +1,142 @@
+"""PROTO rules: packet-protocol totality and loud failure.
+
+The synchronizer/bridge link is the system's one wire; a dispatch table
+that silently misses a :class:`~repro.core.packets.PacketType` member
+turns a new packet type into a runtime KeyError (or worse, a silent
+drop) on a path the golden corpus may not exercise.  Likewise, a broad
+``except`` that swallows everything converts protocol violations into
+silent divergence instead of a diagnosable failure.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import Module, ProjectModel
+from repro.analysis.lint.registry import rule
+
+#: A dict literal counts as a dispatch/coverage map over an enum once
+#: this many of its keys are members of the same enum.
+_DISPATCH_THRESHOLD = 3
+
+#: Enums whose dispatch maps must be total.
+_PROTOCOL_ENUMS = ("PacketType",)
+
+_TRANSPORT_PATHS = (
+    "repro/core/",
+    "repro/soc/firesim.py",
+    "repro/env/rpc.py",
+    "repro/sweep/",
+)
+
+
+def _enum_key(module: Module, key: ast.expr | None) -> tuple[str, str] | None:
+    """``(enum_name, member)`` when a dict key is an enum attribute."""
+    if not isinstance(key, ast.Attribute):
+        return None
+    dotted = module.dotted(key)
+    if dotted is None or "." not in dotted:
+        return None
+    parts = dotted.split(".")
+    if len(parts) < 2:
+        return None
+    return parts[-2], parts[-1]
+
+
+@rule(
+    "PROTO001",
+    "packet-type dispatch maps must cover every enum member",
+    "a handler/format map keyed by PacketType that misses a member makes "
+    "the missing packet type fail at runtime on whichever path first "
+    "carries it; totality is checkable at review time",
+    paths=("repro/core/", "repro/soc/"),
+)
+def proto001_dispatch_totality(module: Module, project: ProjectModel) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for node in module.walk():
+        if not isinstance(node, ast.Dict):
+            continue
+        covered: dict[str, set[str]] = {}
+        for key in node.keys:
+            pair = _enum_key(module, key)
+            if pair is not None and pair[0] in _PROTOCOL_ENUMS:
+                covered.setdefault(pair[0], set()).add(pair[1])
+        for enum_name, members in covered.items():
+            enum_def = project.enums.get(enum_name)
+            if enum_def is None or len(members) < _DISPATCH_THRESHOLD:
+                continue
+            missing = [m for m in enum_def.members if m not in members]
+            if missing:
+                out.append(
+                    Diagnostic(
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="PROTO001",
+                        message=f"dispatch map over {enum_name} misses "
+                        f"{len(missing)} member(s): {', '.join(missing)}",
+                        hint="add entries for the missing members (or waive "
+                        "inline when a special-cased path handles them)",
+                    )
+                )
+    return out
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """A handler body that discards the exception without acting on it."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        if isinstance(stmt, ast.Continue):
+            continue
+        return False
+    return True
+
+
+@rule(
+    "PROTO002",
+    "no bare or swallowed broad excepts in link code",
+    "transport/synchronizer/bridge code that catches everything and "
+    "continues converts CRC failures, framing bugs, and protocol "
+    "violations into silent behaviour differences; catch the specific "
+    "error and count or re-raise it",
+    paths=_TRANSPORT_PATHS,
+)
+def proto002_swallowed_except(module: Module, project: ProjectModel) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for node in module.walk():
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            out.append(
+                Diagnostic(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="PROTO002",
+                    message="bare except: catches everything, including "
+                    "KeyboardInterrupt",
+                    hint="name the exception type(s) this path can actually "
+                    "recover from",
+                )
+            )
+            continue
+        dotted = module.dotted(node.type)
+        broad = dotted in ("Exception", "BaseException")
+        if broad and _swallows(node.body):
+            out.append(
+                Diagnostic(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="PROTO002",
+                    message=f"broad except {dotted} with an empty body swallows "
+                    "link failures",
+                    hint="catch the specific error, or record/count the failure "
+                    "before continuing",
+                )
+            )
+    return out

@@ -10,6 +10,9 @@ flags, ``run-all.sh``) with three subcommands:
   plus the on-disk result cache, with a per-stage wall-clock breakdown;
 * ``verify`` — conformance checks: replay the golden-trace corpus
   (``--check`` / ``--record``) and run the differential oracles;
+* ``lint``   — static analysis for determinism/protocol/cache-key
+  soundness (``repro.analysis.lint``): DET/NUM/PROTO/CFG rule families,
+  inline ``# repro: allow[RULE]`` waivers, committed baseline;
 * ``table3`` — print the modeled DNN latency/accuracy table.
 """
 
@@ -213,6 +216,79 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here so mission commands never pay for the analyzer.
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.lint import (
+        Baseline,
+        LintEngine,
+        all_rules,
+        baseline_path_for,
+        render_json,
+        render_text,
+    )
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule_id in sorted(rules):
+            rule = rules[rule_id]
+            scope = ", ".join(rule.paths) if rule.paths else "entire tree"
+            print(f"{rule.id}: {rule.title}")
+            print(f"  scope: {scope}")
+            if rule.exclude:
+                print(f"  blessed: {', '.join(rule.exclude)}")
+            print(f"  why: {rule.rationale}")
+        return 0
+
+    if args.path:
+        root = Path(args.path)
+    else:
+        # The directory containing the ``repro`` package (src/ in a checkout).
+        root = Path(repro.__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"error: lint root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    selected = list(rules.values())
+    if args.rule:
+        unknown = [rule_id for rule_id in args.rule if rule_id not in rules]
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        selected = [rules[rule_id] for rule_id in args.rule]
+
+    baseline_path = Path(args.baseline) if args.baseline else baseline_path_for(root)
+    if args.write_baseline:
+        report = LintEngine(root, rules=selected, baseline=Baseline.empty()).run()
+        baseline = Baseline.from_diagnostics(report.diagnostics, path=baseline_path)
+        written = baseline.write()
+        print(f"wrote {len(baseline)} baseline entr(y/ies) to {written}")
+        return 0
+
+    baseline = Baseline.empty() if args.no_baseline else Baseline.load(baseline_path)
+    report = LintEngine(root, rules=selected, baseline=baseline).run()
+
+    if args.format == "json":
+        print(render_json(report.diagnostics))
+    else:
+        rendered = render_text(
+            report.diagnostics, show_suppressed=args.show_suppressed
+        )
+        if rendered:
+            print(rendered)
+        for error in report.parse_errors:
+            print(error)
+        for entry in report.stale_baseline:
+            print(
+                f"stale baseline entry: {entry['rule']} at "
+                f"{entry['path']}:{entry['line']} (matched nothing; prune it)"
+            )
+        print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_table3(_args: argparse.Namespace) -> int:
     rows = table3_rows()
     print(format_table(
@@ -301,6 +377,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="corpus directory (default: tests/golden/ in the repo)",
     )
     verify.set_defaults(handler=_cmd_verify)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis: determinism / protocol / cache-key rules",
+        description="Run the repro.analysis.lint rule families (DET, NUM, "
+        "PROTO, CFG) over a source tree.  Exit 0 when no active diagnostics "
+        "remain (inline '# repro: allow[RULE]' waivers and the committed "
+        "baseline suppress accepted findings), 1 otherwise.",
+    )
+    lint.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="source root to scan (default: the installed repro package's "
+        "parent, i.e. src/ in a checkout)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    lint.add_argument(
+        "--rule",
+        metavar="ID",
+        action="append",
+        help="restrict to the named rule(s); repeatable",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file (default: lint-baseline.json beside the tree)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file"
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept every current finding into the baseline file and exit",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print waived/baselined findings in text output",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     table3 = commands.add_parser("table3", help="print the DNN latency table")
     table3.set_defaults(handler=_cmd_table3)

@@ -24,9 +24,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.packets import DataPacket
 from repro.errors import BridgeError, InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.invariants import InvariantChecker
 
 
 @dataclass
@@ -67,7 +71,7 @@ class RoseBridge:
         self.counters = BridgeCounters()
         #: Optional conformance hook (repro.core.invariants): when set,
         #: queue conservation is re-verified at every granted step.
-        self.invariants = None
+        self.invariants: "InvariantChecker | None" = None
 
     # ------------------------------------------------------------------
     # Control unit

@@ -19,6 +19,7 @@ synchronization parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.faults import FaultPlan
 from repro.env.simulator import EnvConfig
@@ -111,7 +112,7 @@ class CoSimConfig:
     gemmini_dtype: str = "fp32"  # "fp32" (the paper's config) or "int8"
     beta_lateral: float | None = None  # Equation 2 gains; None = defaults
     beta_angular: float | None = None
-    world_params: dict = field(default_factory=dict)  # forwarded to the world builder
+    world_params: dict[str, Any] = field(default_factory=dict)  # forwarded to the world builder
     seed: int = 0
     transport: str = "inprocess"
     faults: FaultPlan | None = None  # seeded link/sensor fault injection

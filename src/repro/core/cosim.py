@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from repro.core.faults import FaultInjector
 from repro.core.invariants import InvariantChecker, invariants_enabled
 from repro.core.synchronizer import Synchronizer, SyncStats
 from repro.core.timing import StageTimer, TimedPerception
+from repro.core.trace import Tracer
 from repro.core.transport import FaultyTransport, transport_pair
 from repro.errors import TransportError, WatchdogError
 from repro.dnn.calibrated import classifier_profile
@@ -39,7 +41,10 @@ from repro.env.rpc import RpcClient, RpcServer
 from repro.env.simulator import EnvSimulator, TrajectorySample
 from repro.env.worlds import cached_world
 from repro.soc.firesim import FireSimHost
-from repro.soc.soc import Soc, soc_config
+from repro.soc.soc import Soc, TargetRuntime, soc_config
+
+#: A target program: the factory the SoC scheduler calls with its runtime.
+ProgramFactory = Callable[[TargetRuntime], object]
 
 #: The dynamic runtime's fixed network pairing (Section 5.3).
 DYNAMIC_HI_MODEL = "resnet14"
@@ -123,7 +128,7 @@ class CoSimulation:
         self,
         config: CoSimConfig,
         perception: Perception | None = None,
-        tracer=None,
+        tracer: Tracer | None = None,
     ):
         self.config = config
         self.tracer = tracer
@@ -217,7 +222,7 @@ class CoSimulation:
         )
 
     # ------------------------------------------------------------------
-    def _build_app(self, perception: Perception | None):
+    def _build_app(self, perception: Perception | None) -> ProgramFactory | None:
         config = self.config
         # Degradation timeouts arm only under fault injection: with a
         # healthy link the apps wait indefinitely, so their op streams —
@@ -366,7 +371,7 @@ class CoSimulation:
             self._sessions[model] = session
         return session
 
-    def _timed(self, perception) -> TimedPerception:
+    def _timed(self, perception: Perception) -> TimedPerception:
         """Wrap a perception so its wall time lands in the ``inference`` stage."""
         return TimedPerception(perception, self.stage_timer)
 
@@ -455,7 +460,7 @@ class CoSimulation:
 def run_mission(
     config: CoSimConfig,
     perception: Perception | None = None,
-    tracer=None,
+    tracer: Tracer | None = None,
 ) -> MissionResult:
     """Build and run one mission (the examples' and benches' entry point)."""
     return CoSimulation(config, perception=perception, tracer=tracer).run()

@@ -60,7 +60,7 @@ class SyncLogRow:
         "retries",
     )
 
-    def as_tuple(self) -> tuple:
+    def as_tuple(self) -> tuple[float, ...]:
         return tuple(getattr(self, name) for name in self.FIELDS)
 
 

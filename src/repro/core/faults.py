@@ -29,9 +29,13 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.core.packets import HEADER_SIZE, PacketType
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.invariants import InvariantChecker
 
 #: The data packet types carrying sensor responses (synchronizer -> SoC).
 SENSOR_RESPONSE_TYPES = (
@@ -46,7 +50,7 @@ SENSOR_RESPONSE_TYPES = (
 SCHEDULED_KINDS = ("drop", "corrupt", "stuck_imu", "camera_blackout")
 
 
-def _coerce_ptype(value) -> PacketType:
+def _coerce_ptype(value: object) -> PacketType:
     if isinstance(value, PacketType):
         return value
     if isinstance(value, int):
@@ -158,7 +162,7 @@ class FaultPlan:
         )
 
     # -- (de)serialization ---------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         data = asdict(self)
         for rule in data["rules"]:
             rule["ptype"] = PacketType(rule["ptype"]).name
@@ -168,7 +172,7 @@ class FaultPlan:
         return data
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultPlan":
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
         if not isinstance(data, dict):
             raise ConfigError(f"fault plan must be a JSON object, got {type(data).__name__}")
         known = {"seed", "rules", "scheduled"}
@@ -249,7 +253,7 @@ class FaultInjector:
         self._rules = {rule.ptype: rule for rule in plan.rules}
         #: Optional conformance hook (repro.core.invariants): verifies the
         #: step counter only ever moves forward.
-        self.invariants = None
+        self.invariants: "InvariantChecker | None" = None
 
     def begin_step(self, step_index: int) -> None:
         """Advance the injector's notion of the current sync step."""

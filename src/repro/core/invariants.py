@@ -44,7 +44,12 @@ from typing import TYPE_CHECKING
 from repro.errors import InvariantViolation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cosim imports us)
+    from repro.core.bridge import RoseBridge
     from repro.core.config import CoSimConfig, SyncConfig
+    from repro.core.faults import FaultInjector
+    from repro.core.transport import Transport
+    from repro.soc.firesim import FireSimHost
+    from repro.soc.soc import Soc
 
 #: Environment variable forcing invariant checking on ("1") or off ("0")
 #: when ``CoSimConfig.check_invariants`` is left at ``None`` (auto).
@@ -105,11 +110,11 @@ class InvariantChecker:
     def __init__(self, sync: "SyncConfig"):
         self.sync = sync
         self.report = InvariantReport()
-        self._bridge = None
-        self._host = None
-        self._soc = None
-        self._transports: tuple = ()
-        self._injector = None
+        self._bridge: "RoseBridge | None" = None
+        self._host: "FireSimHost | None" = None
+        self._soc: "Soc | None" = None
+        self._transports: tuple["Transport", ...] = ()
+        self._injector: "FaultInjector | None" = None
         self._last_sim_time: float | None = None
         self._granted_step: int | None = None
         self._done_step: int | None = None
@@ -118,11 +123,11 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     def watch(
         self,
-        bridge=None,
-        host=None,
-        soc=None,
-        transports: tuple = (),
-        injector=None,
+        bridge: "RoseBridge | None" = None,
+        host: "FireSimHost | None" = None,
+        soc: "Soc | None" = None,
+        transports: tuple["Transport", ...] = (),
+        injector: "FaultInjector | None" = None,
     ) -> None:
         """Register the components whose cross-layer state is checked."""
         self._bridge = bridge
@@ -230,7 +235,7 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # Bridge hooks
     # ------------------------------------------------------------------
-    def check_bridge(self, bridge) -> None:
+    def check_bridge(self, bridge: "RoseBridge") -> None:
         """Hardware-queue conservation: counts and byte totals balance."""
         self.report.bridge_checks += 1
         counters = bridge.counters

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
+from typing import Any
 
 from repro.core.config import CoSimConfig, SyncConfig
 from repro.core.faults import FaultPlan
@@ -20,7 +21,7 @@ from repro.errors import ConfigError
 MANIFEST_FORMAT = "rose-repro-manifest/1"
 
 
-def config_to_dict(config: CoSimConfig) -> dict:
+def config_to_dict(config: CoSimConfig) -> dict[str, Any]:
     """Plain-dict form of a configuration (JSON-safe)."""
     data = asdict(config)
     data["sync"] = {
@@ -38,7 +39,7 @@ def config_to_dict(config: CoSimConfig) -> dict:
     return data
 
 
-def config_from_dict(data: dict) -> CoSimConfig:
+def config_from_dict(data: dict[str, Any]) -> CoSimConfig:
     """Inverse of :func:`config_to_dict` (validates via the dataclasses)."""
     data = dict(data)
     sync_data = data.pop("sync", None)

@@ -74,7 +74,17 @@ class PacketType(IntEnum):
         return not self.is_sync
 
 
-#: struct formats for fixed-layout payloads.
+#: Lidar response: metadata prefix then raw float32 ranges.
+LIDAR_META_FORMAT = "<Hdd"  # beam count, fov_rad, timestamp
+LIDAR_META_SIZE = struct.calcsize(LIDAR_META_FORMAT)
+
+#: Camera response: metadata prefix then raw uint8 pixels.
+CAMERA_META_FORMAT = "<HHd3d"  # height, width, timestamp, heading_err, lat_off, half_width
+CAMERA_META_SIZE = struct.calcsize(CAMERA_META_FORMAT)
+
+#: struct formats for fixed-layout payloads.  Total over PacketType (lint
+#: rule PROTO001): the two raw-carrying responses list their metadata
+#: prefix here and are special-cased in encode/decode for the raw tail.
 _PAYLOAD_FORMATS: dict[PacketType, str] = {
     PacketType.SYNC_SET_STEPS: "<QI",  # cycles per sync, frames per sync
     PacketType.SYNC_GRANT: "<Q",  # step index
@@ -84,21 +94,15 @@ _PAYLOAD_FORMATS: dict[PacketType, str] = {
     PacketType.IMU_REQ: "",
     PacketType.IMU_RESP: "<5d",  # ax, ay, az, gyro_z, timestamp
     PacketType.CAMERA_REQ: "",
+    PacketType.CAMERA_RESP: CAMERA_META_FORMAT,  # + raw uint8 pixels
     PacketType.DEPTH_REQ: "",
     PacketType.DEPTH_RESP: "<d",
     PacketType.STATE_REQ: "",
     PacketType.STATE_RESP: "<8d",  # x, y, z, yaw, u, v, r, timestamp
     PacketType.TARGET_CMD: "<4d",  # v_forward, v_lateral, yaw_rate, altitude
     PacketType.LIDAR_REQ: "",
+    PacketType.LIDAR_RESP: LIDAR_META_FORMAT,  # + raw float32 ranges
 }
-
-#: Lidar response: metadata prefix then raw float32 ranges.
-LIDAR_META_FORMAT = "<Hdd"  # beam count, fov_rad, timestamp
-LIDAR_META_SIZE = struct.calcsize(LIDAR_META_FORMAT)
-
-#: Camera response: metadata prefix then raw uint8 pixels.
-CAMERA_META_FORMAT = "<HHd3d"  # height, width, timestamp, heading_err, lat_off, half_width
-CAMERA_META_SIZE = struct.calcsize(CAMERA_META_FORMAT)
 
 
 @dataclass(frozen=True)
@@ -106,7 +110,7 @@ class DataPacket:
     """A decoded packet: type plus either typed fields or raw payload."""
 
     ptype: PacketType
-    values: tuple = ()
+    values: tuple[float, ...] = ()
     raw: bytes = b""
 
     @property

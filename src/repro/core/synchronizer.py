@@ -40,6 +40,9 @@ from repro.core.packets import (
     sync_set_steps,
     sync_shutdown,
 )
+from repro.core.invariants import InvariantChecker
+from repro.core.timing import StageTimer, wall_clock
+from repro.core.trace import Tracer
 from repro.core.transport import Transport
 from repro.env.rpc import RpcClient
 from repro.errors import SyncError, WatchdogError
@@ -102,10 +105,10 @@ class Synchronizer:
         sync: SyncConfig,
         host_service: Callable[[], None] | None = None,
         logger: SyncLogger | None = None,
-        tracer=None,
+        tracer: Tracer | None = None,
         faults: FaultInjector | None = None,
-        stage_timer=None,
-        invariants=None,
+        stage_timer: StageTimer | None = None,
+        invariants: InvariantChecker | None = None,
     ):
         self.rpc = rpc
         self.transport = transport
@@ -236,17 +239,17 @@ class Synchronizer:
         timer = self.stage_timer
         env_seconds = 0.0
         if timer is not None:
-            step_t0 = time.perf_counter()
+            step_t0 = wall_clock()
             soc_before = timer.get("soc_step")
 
         # % Translate IO packets into AirSim APIs %
         rtl_data, self._pending_rtl = self._pending_rtl, []
         if timer is not None:
-            t0 = time.perf_counter()
+            t0 = wall_clock()
         for packet in rtl_data:
             self._dispatch_rtl_packet(packet)
         if timer is not None:
-            env_seconds += time.perf_counter() - t0
+            env_seconds += wall_clock() - t0
 
         # % Allocate tokens to start AirSim and FireSim %
         step_index = self.stats.steps
@@ -254,10 +257,10 @@ class Synchronizer:
             self.invariants.on_grant(step_index)
         self.transport.send(sync_grant(step_index))
         if timer is not None:
-            t0 = time.perf_counter()
+            t0 = wall_clock()
         self.rpc.continue_for_frames(self.sync.frames_per_sync)
         if timer is not None:
-            env_seconds += time.perf_counter() - t0
+            env_seconds += wall_clock() - t0
 
         # % Poll simulators until both finish %
         try:
@@ -282,12 +285,12 @@ class Synchronizer:
             self.invariants.after_step(step_index, self.sim_time)
         if self.logger is not None:
             if timer is not None:
-                t0 = time.perf_counter()
+                t0 = wall_clock()
             self._log_row()
             if timer is not None:
-                env_seconds += time.perf_counter() - t0
+                env_seconds += wall_clock() - t0
         if timer is not None:
-            total = time.perf_counter() - step_t0
+            total = wall_clock() - step_t0
             soc_seconds = timer.get("soc_step") - soc_before
             timer.add("env_step", env_seconds)
             timer.add("sync_overhead", max(total - env_seconds - soc_seconds, 0.0))
@@ -324,16 +327,18 @@ class Synchronizer:
         raises :class:`WatchdogError`, which the mission runner converts
         into a structured failure.
         """
-        deadline = time.monotonic() + self.sync.sync_done_timeout_s
-        regrant_deadline = time.monotonic() + self.sync.regrant_timeout_s
+        # Watchdog deadlines are wall-clock by design: they bound *host*
+        # silence on a dead link, never simulated behaviour.
+        deadline = time.monotonic() + self.sync.sync_done_timeout_s  # repro: allow[DET002]
+        regrant_deadline = time.monotonic() + self.sync.regrant_timeout_s  # repro: allow[DET002]
         regrants = 0
         timer = self.stage_timer
         while True:
             if self.host_service:
                 if timer is not None:
-                    t0 = time.perf_counter()
+                    t0 = wall_clock()
                     self.host_service()
-                    timer.add("soc_step", time.perf_counter() - t0)
+                    timer.add("soc_step", wall_clock() - t0)
                 else:
                     self.host_service()
             done = False
@@ -372,7 +377,7 @@ class Synchronizer:
                 # was lost on the wire.
                 regrants = self._regrant(step_index, regrants)
                 continue
-            now = time.monotonic()
+            now = time.monotonic()  # repro: allow[DET002] watchdog, host-time by design
             if now > deadline:
                 raise WatchdogError(
                     f"FireSim did not complete step {step_index} within "

@@ -24,6 +24,23 @@ uninstrumented ones.
 from __future__ import annotations
 
 from time import perf_counter
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (app imports core)
+    from repro.app.perception import Perception
+    from repro.core.packets import DataPacket
+    from repro.dnn.calibrated import TrailInference
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds — the blessed read for stage accounting.
+
+    Simulation code must not read host time directly (lint rule DET002):
+    results would depend on host speed.  Code charging wall time to a
+    :class:`StageTimer` imports this instead, which keeps every
+    wall-clock read in the one module that is allowed to make them.
+    """
+    return perf_counter()
 
 
 class StageTimer:
@@ -59,7 +76,7 @@ class StageTimer:
         return f"StageTimer({parts})"
 
 
-def merge_timings(timings) -> dict[str, float]:
+def merge_timings(timings: Iterable[dict[str, float] | None]) -> dict[str, float]:
     """Sum an iterable of per-mission stage dicts (``None`` entries skipped).
 
     The benchmarks use this to fold a whole sweep's missions into one
@@ -81,17 +98,17 @@ class TimedPerception:
     charges the wall time to the timer's ``inference`` stage.
     """
 
-    def __init__(self, inner, timer: StageTimer):
+    def __init__(self, inner: "Perception", timer: StageTimer):
         self.inner = inner
         self.timer = timer
 
-    def infer_packet(self, packet):
+    def infer_packet(self, packet: "DataPacket") -> "TrailInference":
         t0 = perf_counter()
         try:
             return self.inner.infer_packet(packet)
         finally:
             self.timer.add("inference", perf_counter() - t0)
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         # Expose the wrapped perception's attributes (e.g. ``profile``).
         return getattr(self.inner, name)

@@ -21,7 +21,7 @@ class TraceEvent:
     start_s: float
     duration_s: float = 0.0
     track: str = "synchronizer"
-    args: dict = field(default_factory=dict)
+    args: dict[str, object] = field(default_factory=dict)
 
     @property
     def instant(self) -> bool:
@@ -35,7 +35,14 @@ class Tracer:
         self.enabled = enabled
         self.events: list[TraceEvent] = []
 
-    def instant(self, name: str, category: str, at_s: float, track: str = "synchronizer", **args) -> None:
+    def instant(
+        self,
+        name: str,
+        category: str,
+        at_s: float,
+        track: str = "synchronizer",
+        **args: object,
+    ) -> None:
         if not self.enabled:
             return
         self.events.append(
@@ -49,7 +56,7 @@ class Tracer:
         start_s: float,
         duration_s: float,
         track: str = "synchronizer",
-        **args,
+        **args: object,
     ) -> None:
         if not self.enabled:
             return

@@ -90,7 +90,7 @@ class Transport:
 class InProcessTransport(Transport):
     """One end of a deque-backed in-process link (see :func:`transport_pair`)."""
 
-    def __init__(self, outbox: deque, inbox: deque):
+    def __init__(self, outbox: deque[bytes], inbox: deque[bytes]):
         self._outbox = outbox
         self._inbox = inbox
         self._closed = False
@@ -301,8 +301,8 @@ def transport_pair(kind: str = "inprocess") -> tuple[Transport, Transport]:
     ``kind`` is ``"inprocess"`` or ``"tcp"`` (localhost loopback).
     """
     if kind == "inprocess":
-        a_to_b: deque = deque()
-        b_to_a: deque = deque()
+        a_to_b: deque[bytes] = deque()
+        b_to_a: deque[bytes] = deque()
         return (
             InProcessTransport(outbox=a_to_b, inbox=b_to_a),
             InProcessTransport(outbox=b_to_a, inbox=a_to_b),

@@ -179,7 +179,7 @@ class TrailInference:
 
 
 #: Class centers in boundary units; outer classes centered at 2x boundary.
-_CLASS_CENTERS = np.array([2.0, 0.0, -2.0])  # left, center, right
+_CLASS_CENTERS = np.array([2.0, 0.0, -2.0], dtype=np.float64)  # left, center, right
 
 
 class CalibratedTrailClassifier:

@@ -22,7 +22,9 @@ import os
 import random
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing.context import BaseContext
 from time import perf_counter
+from typing import Iterable, Union
 
 import numpy as np
 
@@ -34,6 +36,10 @@ from repro.sweep.fingerprint import config_key
 
 #: Environment variable setting the default worker count (1 = serial).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: What :meth:`SweepRunner.run` accepts per task: an explicit
+#: :class:`SweepTask`, a bare config (auto-named), or a (name, config) pair.
+TaskLike = Union["SweepTask", CoSimConfig, tuple[str, CoSimConfig]]
 
 
 @dataclass(frozen=True)
@@ -95,7 +101,7 @@ def _execute_task(item: tuple[str, CoSimConfig]) -> tuple[str, MissionResult, fl
     return name, result, perf_counter() - t0
 
 
-def _pool_context():
+def _pool_context() -> BaseContext:
     """Fork where available so workers inherit warmed memo caches."""
     try:
         return multiprocessing.get_context("fork")
@@ -112,8 +118,8 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _normalize(tasks) -> list[SweepTask]:
-        normalized = []
+    def _normalize(tasks: Iterable[TaskLike]) -> list[SweepTask]:
+        normalized: list[SweepTask] = []
         for index, task in enumerate(tasks):
             if isinstance(task, SweepTask):
                 normalized.append(task)
@@ -125,7 +131,7 @@ class SweepRunner:
         return normalized
 
     # ------------------------------------------------------------------
-    def run(self, tasks) -> SweepReport:
+    def run(self, tasks: Iterable[TaskLike]) -> SweepReport:
         """Execute ``tasks`` (SweepTasks, configs, or ``(name, config)``).
 
         Outcomes preserve task order regardless of worker scheduling.
@@ -185,7 +191,7 @@ class SweepRunner:
 
 
 def sweep_missions(
-    configs,
+    configs: Iterable[TaskLike],
     workers: int | None = None,
     cache: ResultCache | None = None,
 ) -> list[MissionResult]:

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+from typing import Any
 
 from repro.core.cosim import MissionResult
 
 
-def _num(value) -> str:
+def _num(value: float | None) -> str:
     """Canonical text for a number: ``repr`` round-trips floats exactly."""
     if value is None:
         return "None"
@@ -31,8 +32,8 @@ def _num(value) -> str:
 TRAJECTORY_FIELDS = ("time", "x", "y", "z", "yaw", "speed", "s", "d")
 
 
-def canonical_payload(result: MissionResult) -> dict:
-    payload: dict = {
+def canonical_payload(result: MissionResult) -> dict[str, Any]:
+    payload: dict[str, Any] = {
         "completed": bool(result.completed),
         "mission_time": _num(result.mission_time),
         "failure_reason": result.failure_reason,

@@ -45,7 +45,9 @@ class Divergence:
         )
 
 
-def _walk(expected, actual, path: str):
+def _walk(
+    expected: object, actual: object, path: str
+) -> tuple[str, object, object] | None:
     """Yield the first differing (path, expected, actual) leaf, if any."""
     if isinstance(expected, dict) and isinstance(actual, dict):
         for key in sorted(set(expected) | set(actual)):
@@ -77,7 +79,7 @@ def _walk(expected, actual, path: str):
 
 
 def first_divergence(
-    expected, actual, site: str = "payload"
+    expected: object, actual: object, site: str = "payload"
 ) -> Divergence | None:
     """Structural diff: the first differing leaf, or ``None`` if equal."""
     hit = _walk(expected, actual, "")
@@ -97,7 +99,7 @@ def _parse_index(path: str, prefix: str) -> tuple[int, str] | None:
 
 
 def mission_divergence(
-    expected_payload: dict, actual_payload: dict, site: str
+    expected_payload: dict[str, object], actual_payload: dict[str, object], site: str
 ) -> Divergence | None:
     """First divergence between two canonical mission payloads.
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from repro.core.config import CoSimConfig, SyncConfig
 from repro.core.cosim import run_mission
@@ -141,10 +142,10 @@ class GoldenRecord:
     """One mission's recorded behaviour."""
 
     name: str
-    config: dict
+    config: dict[str, Any]
     signature: str
-    metrics: dict
-    payload: dict
+    metrics: dict[str, Any]
+    payload: dict[str, Any]
 
     def to_json(self) -> str:
         return json.dumps(
@@ -240,7 +241,7 @@ def _record_path(golden_dir: Path, name: str) -> Path:
     return Path(golden_dir) / f"{name}.json"
 
 
-def _json_round_trip(data: dict) -> dict:
+def _json_round_trip(data: dict[str, Any]) -> dict[str, Any]:
     """Normalize through JSON so tuples/lists compare structurally equal.
 
     Stored records pass through JSON (tuples become lists); a freshly

@@ -24,6 +24,7 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
@@ -42,6 +43,9 @@ from repro.verify.diffutil import Divergence, mission_divergence
 RTOL = 1e-5
 ATOL = 1e-6
 
+#: An oracle body: runs both implementations, returns every divergence.
+OracleFunc = Callable[[], list[Divergence]]
+
 _REGISTRY: dict[str, "Oracle"] = {}
 
 
@@ -51,16 +55,16 @@ class Oracle:
 
     name: str
     description: str
-    func: object
+    func: OracleFunc
 
     def run(self) -> list[Divergence]:
         return self.func()
 
 
-def oracle(name: str, description: str):
+def oracle(name: str, description: str) -> Callable[[OracleFunc], OracleFunc]:
     """Register a differential oracle.  The function returns divergences."""
 
-    def register(func):
+    def register(func: OracleFunc) -> OracleFunc:
         _REGISTRY[name] = Oracle(name=name, description=description, func=func)
         return func
 
@@ -319,8 +323,8 @@ def _oracle_dnn_backward() -> list[Divergence]:
 # ---------------------------------------------------------------------------
 # System oracles (sweep / transport / faults / cache)
 # ---------------------------------------------------------------------------
-def _tiny_config(**overrides) -> CoSimConfig:
-    base = dict(
+def _tiny_config(**overrides: Any) -> CoSimConfig:
+    base: dict[str, Any] = dict(
         world="tunnel",
         soc="A",
         model="resnet6",
@@ -399,6 +403,50 @@ def _oracle_fault_noop() -> list[Divergence]:
         _tiny_config(faults=None),
         _tiny_config(faults=FaultPlan()),
     )
+
+
+@oracle(
+    "lint-clean",
+    "repro.analysis.lint over the shipped tree vs. an empty report: every "
+    "static-analysis finding is fixed, waived inline, or baselined",
+)
+def _oracle_lint_clean() -> list[Divergence]:
+    # Imported here (not module scope) so a broken lint package fails its
+    # own oracle without taking down the rest of the registry.
+    import repro
+    from repro.analysis.lint import Baseline, LintEngine, baseline_path_for
+
+    root = Path(repro.__file__).resolve().parent.parent
+    baseline = Baseline.load(baseline_path_for(root))
+    report = LintEngine(root, baseline=baseline).run()
+    out = [
+        Divergence(
+            site="lint-clean",
+            field=f"{diag.path}:{diag.line}",
+            expected="no finding",
+            actual=f"{diag.rule} {diag.message}",
+        )
+        for diag in report.active
+    ]
+    out.extend(
+        Divergence(
+            site="lint-clean",
+            field=f"{entry['path']}:{entry['line']}",
+            expected="a finding matching this baseline entry",
+            actual="<stale baseline entry>",
+        )
+        for entry in report.stale_baseline
+    )
+    out.extend(
+        Divergence(
+            site="lint-clean",
+            field="parse",
+            expected="parseable source",
+            actual=error,
+        )
+        for error in report.parse_errors
+    )
+    return out
 
 
 @oracle(

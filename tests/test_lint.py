@@ -1,0 +1,701 @@
+"""Tests for the repro.analysis.lint static-analysis framework.
+
+Fixture trees replicate the real layout — a ``repro/...`` package under a
+scanned source root — so path-scoped rules behave exactly as they do on
+the shipped tree.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Baseline,
+    LintEngine,
+    all_rules,
+    baseline_path_for,
+    get_rule,
+)
+from repro.cli import main
+from repro.errors import ConfigError
+
+
+def make_tree(root: Path, files: dict[str, str]) -> Path:
+    """Write ``files`` (repo-relative paths -> source) under ``root``."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def run_lint(root: Path, rules: list[str] | None = None, baseline: Baseline | None = None):
+    selected = [get_rule(r) for r in rules] if rules else None
+    return LintEngine(root, rules=selected, baseline=baseline).run()
+
+
+def active_rules(report) -> list[str]:
+    return [d.rule for d in report.active]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_all_families_registered(self):
+        families = {r.family for r in all_rules().values()}
+        assert {"DET", "NUM", "PROTO", "CFG"} <= families
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("NOPE999")
+
+    def test_rule_scoping(self):
+        det002 = get_rule("DET002")
+        assert det002.applies_to("repro/core/synchronizer.py")
+        assert not det002.applies_to("repro/app/controller.py")
+        assert not det002.applies_to("repro/core/timing.py")  # excluded
+
+
+# ---------------------------------------------------------------------------
+# DET: determinism rules
+# ---------------------------------------------------------------------------
+class TestDet001GlobalRng:
+    def test_flags_global_stream_calls(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/env/noise.py": """
+                import random
+                import numpy as np
+
+                def jitter():
+                    return random.random() + np.random.rand()
+            """,
+        })
+        report = run_lint(tmp_path, rules=["DET001"])
+        assert active_rules(report) == ["DET001", "DET001"]
+
+    def test_flags_seeding_outside_blessed_site(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/env/setup.py": """
+                import random
+
+                def prep():
+                    random.seed(0)
+            """,
+        })
+        report = run_lint(tmp_path, rules=["DET001"])
+        assert active_rules(report) == ["DET001"]
+        assert "blessed" in report.active[0].message
+
+    def test_blessed_site_may_seed(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/runner.py": """
+                import random
+                import numpy as np
+
+                def _seed_worker(seed):
+                    random.seed(seed)
+                    np.random.seed(seed)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET001"]).active == []
+
+    def test_instance_rngs_are_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/env/ok.py": """
+                import random
+                import numpy as np
+
+                def draw(seed):
+                    rng = np.random.default_rng(seed)
+                    local = random.Random(seed)
+                    return rng.normal() + local.random()
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET001"]).active == []
+
+
+class TestDet002WallClock:
+    def test_flags_wall_clock_in_scope(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        report = run_lint(tmp_path, rules=["DET002"])
+        assert active_rules(report) == ["DET002"]
+
+    def test_resolves_from_import_alias(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/soc/clock.py": """
+                from time import perf_counter as tick
+
+                def now():
+                    return tick()
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["DET002"])) == ["DET002"]
+
+    def test_out_of_scope_path_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/app/bench.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET002"]).active == []
+
+    def test_timing_module_is_the_blessed_exception(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/timing.py": """
+                from time import perf_counter
+
+                def wall_clock():
+                    return perf_counter()
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET002"]).active == []
+
+
+class TestDet003SetIteration:
+    def test_flags_set_literal_and_set_call(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/order.py": """
+                def names(raw):
+                    out = []
+                    for item in {"b", "a"}:
+                        out.append(item)
+                    return [x for x in set(raw)] + out
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["DET003"])) == ["DET003", "DET003"]
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/order.py": """
+                def names(raw):
+                    return [x for x in sorted(set(raw))]
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET003"]).active == []
+
+
+class TestDet004DigestOrder:
+    def test_flags_unsorted_dumps_in_digest_file(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/signature.py": """
+                import json
+
+                def payload(data):
+                    return json.dumps(data)
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["DET004"])) == ["DET004"]
+
+    def test_flags_dict_view_iteration_in_hashing_function(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/fingerprint.py": """
+                import hashlib
+
+                def digest(data):
+                    h = hashlib.sha256()
+                    for key, value in data.items():
+                        h.update(f"{key}={value}".encode())
+                    return h.hexdigest()
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["DET004"])) == ["DET004"]
+
+    def test_sorted_serialization_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/signature.py": """
+                import hashlib
+                import json
+
+                def digest(data):
+                    text = json.dumps(data, sort_keys=True)
+                    return hashlib.sha256(text.encode()).hexdigest()
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET004"]).active == []
+
+    def test_non_digest_files_unscanned(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/trace.py": """
+                import json
+
+                def render(events):
+                    return json.dumps(events)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET004"]).active == []
+
+
+# ---------------------------------------------------------------------------
+# NUM: numeric hygiene rules
+# ---------------------------------------------------------------------------
+class TestNum001FloatSum:
+    def test_flags_float_sum_in_kernel(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/dnn/stats.py": """
+                def total_latency(latencies_ms):
+                    return sum(latencies_ms)
+            """,
+        })
+        report = run_lint(tmp_path, rules=["NUM001"])
+        assert active_rules(report) == ["NUM001"]
+
+    def test_integer_sum_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/dnn/stats.py": """
+                def total_macs(mac_counts):
+                    return sum(mac_counts)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["NUM001"]).active == []
+
+    def test_out_of_scope_path_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/env/stats.py": """
+                def total_latency(latencies_ms):
+                    return sum(latencies_ms)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["NUM001"]).active == []
+
+
+class TestNum002DtypelessArray:
+    def test_flags_dtypeless_array(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/soc/calib2.py": """
+                import numpy as np
+
+                CENTERS = np.array([2.0, 0.0, -2.0])
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["NUM002"])) == ["NUM002"]
+
+    def test_explicit_dtype_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/soc/calib2.py": """
+                import numpy as np
+
+                CENTERS = np.array([2.0, 0.0, -2.0], dtype=np.float64)
+                POSITIONAL = np.array([1, 2], np.int32)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["NUM002"]).active == []
+
+
+# ---------------------------------------------------------------------------
+# PROTO: protocol totality and loud failure
+# ---------------------------------------------------------------------------
+_ENUM_SOURCE = """
+    from enum import IntEnum
+
+    class PacketType(IntEnum):
+        SYNC_GRANT = 1
+        SYNC_DONE = 2
+        CAMERA_REQ = 3
+        CAMERA_RESP = 4
+"""
+
+
+class TestProto001DispatchTotality:
+    def test_flags_missing_member(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/packets.py": _ENUM_SOURCE,
+            "repro/core/dispatch.py": """
+                from repro.core.packets import PacketType
+
+                HANDLERS = {
+                    PacketType.SYNC_GRANT: "grant",
+                    PacketType.SYNC_DONE: "done",
+                    PacketType.CAMERA_REQ: "req",
+                }
+            """,
+        })
+        report = run_lint(tmp_path, rules=["PROTO001"])
+        assert active_rules(report) == ["PROTO001"]
+        assert "CAMERA_RESP" in report.active[0].message
+
+    def test_total_map_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/packets.py": _ENUM_SOURCE,
+            "repro/core/dispatch.py": """
+                from repro.core.packets import PacketType
+
+                HANDLERS = {
+                    PacketType.SYNC_GRANT: "grant",
+                    PacketType.SYNC_DONE: "done",
+                    PacketType.CAMERA_REQ: "req",
+                    PacketType.CAMERA_RESP: "resp",
+                }
+            """,
+        })
+        assert run_lint(tmp_path, rules=["PROTO001"]).active == []
+
+    def test_small_maps_below_threshold_ignored(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/packets.py": _ENUM_SOURCE,
+            "repro/core/dispatch.py": """
+                from repro.core.packets import PacketType
+
+                SPECIAL = {
+                    PacketType.CAMERA_REQ: "req",
+                    PacketType.CAMERA_RESP: "resp",
+                }
+            """,
+        })
+        assert run_lint(tmp_path, rules=["PROTO001"]).active == []
+
+
+class TestProto002SwallowedExcept:
+    def test_flags_bare_except(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                def poll(sock):
+                    try:
+                        return sock.recv()
+                    except:
+                        return None
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["PROTO002"])) == ["PROTO002"]
+
+    def test_flags_swallowed_broad_except(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                def poll(sock):
+                    try:
+                        return sock.recv()
+                    except Exception:
+                        pass
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["PROTO002"])) == ["PROTO002"]
+
+    def test_broad_except_that_acts_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                def poll(sock, stats):
+                    try:
+                        return sock.recv()
+                    except Exception as exc:
+                        stats.errors += 1
+                        raise RuntimeError("link failed") from exc
+            """,
+        })
+        assert run_lint(tmp_path, rules=["PROTO002"]).active == []
+
+    def test_specific_except_pass_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                def poll(sock):
+                    try:
+                        return sock.recv()
+                    except BlockingIOError:
+                        pass
+            """,
+        })
+        assert run_lint(tmp_path, rules=["PROTO002"]).active == []
+
+
+# ---------------------------------------------------------------------------
+# CFG: cache-key coverage
+# ---------------------------------------------------------------------------
+_CONFIG_SOURCE = """
+    from dataclasses import dataclass, field
+
+    @dataclass
+    class SyncConfig:
+        cycles_per_sync: int = 1000
+        frame_rate_hz: float = 60.0
+
+    @dataclass
+    class CoSimConfig:
+        world: str = "tunnel"
+        seed: int = 0
+        sync: SyncConfig = field(default_factory=SyncConfig)
+"""
+
+
+class TestCfg001CacheKeyCoverage:
+    def test_missing_field_without_asdict_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/config.py": _CONFIG_SOURCE,
+            "repro/core/manifest.py": """
+                def config_to_dict(config):
+                    return {"world": config.world, "sync": {}}
+            """,
+        })
+        report = run_lint(tmp_path, rules=["CFG001"])
+        messages = " | ".join(d.message for d in report.active)
+        assert "seed" in messages  # top-level field escaped
+
+    def test_nested_override_missing_field_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/config.py": _CONFIG_SOURCE,
+            "repro/core/manifest.py": """
+                from dataclasses import asdict
+
+                def config_to_dict(config):
+                    data = asdict(config)
+                    data["sync"] = {"cycles_per_sync": config.sync.cycles_per_sync}
+                    return data
+            """,
+        })
+        report = run_lint(tmp_path, rules=["CFG001"])
+        assert active_rules(report) == ["CFG001"]
+        assert "frame_rate_hz" in report.active[0].message
+
+    def test_asdict_with_total_override_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/config.py": _CONFIG_SOURCE,
+            "repro/core/manifest.py": """
+                from dataclasses import asdict
+
+                def config_to_dict(config):
+                    data = asdict(config)
+                    data["sync"] = {
+                        "cycles_per_sync": config.sync.cycles_per_sync,
+                        "frame_rate_hz": config.sync.frame_rate_hz,
+                    }
+                    return data
+            """,
+        })
+        assert run_lint(tmp_path, rules=["CFG001"]).active == []
+
+    def test_missing_serializer_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/config.py": _CONFIG_SOURCE,
+            "repro/core/manifest.py": """
+                FORMAT = "v1"
+            """,
+        })
+        report = run_lint(tmp_path, rules=["CFG001"])
+        assert active_rules(report) == ["CFG001"]
+        assert "config_to_dict" in report.active[0].message
+
+
+# ---------------------------------------------------------------------------
+# Waivers and baseline
+# ---------------------------------------------------------------------------
+class TestWaivers:
+    def test_inline_waiver_on_flagged_line(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # repro: allow[DET002] host-time by design
+            """,
+        })
+        report = run_lint(tmp_path, rules=["DET002"])
+        assert report.active == []
+        assert len(report.diagnostics) == 1
+        assert report.diagnostics[0].waived
+
+    def test_waiver_on_line_above(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                import time
+
+                def stamp():
+                    # repro: allow[DET002]
+                    return time.time()
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET002"]).active == []
+
+    def test_waiver_for_other_rule_does_not_apply(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # repro: allow[NUM001]
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["DET002"])) == ["DET002"]
+
+    def test_star_waiver_covers_everything(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # repro: allow[*]
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET002"]).active == []
+
+
+class TestBaseline:
+    def _tree(self, tmp_path):
+        return make_tree(tmp_path / "src", {
+            "repro/core/link.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+
+    def test_baselined_finding_suppressed_not_hidden(self, tmp_path):
+        root = self._tree(tmp_path)
+        first = run_lint(root, rules=["DET002"])
+        baseline = Baseline.from_diagnostics(first.diagnostics)
+        report = run_lint(root, rules=["DET002"], baseline=baseline)
+        assert report.active == [] and report.ok
+        assert [d.baselined for d in report.diagnostics] == [True]
+
+    def test_write_load_round_trip(self, tmp_path):
+        root = self._tree(tmp_path)
+        first = run_lint(root, rules=["DET002"])
+        path = tmp_path / "lint-baseline.json"
+        Baseline.from_diagnostics(first.diagnostics).write(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert run_lint(root, rules=["DET002"], baseline=loaded).ok
+
+    def test_stale_entries_reported(self, tmp_path):
+        root = self._tree(tmp_path)
+        baseline = Baseline(entries=[
+            {"rule": "DET002", "path": "repro/core/link.py", "line": 5},
+            {"rule": "DET002", "path": "repro/core/gone.py", "line": 1},
+        ])
+        report = run_lint(root, rules=["DET002"], baseline=baseline)
+        assert [e["path"] for e in report.stale_baseline] == ["repro/core/gone.py"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_bad_format_raises(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"format": "bogus/9", "entries": []}))
+        with pytest.raises(ConfigError):
+            Baseline.load(path)
+
+    def test_baseline_path_discovery(self, tmp_path):
+        root = tmp_path / "src"
+        root.mkdir()
+        (tmp_path / "lint-baseline.json").write_text(
+            json.dumps({"format": "rose-lint-baseline/1", "entries": []})
+        )
+        assert baseline_path_for(root) == tmp_path / "lint-baseline.json"
+
+
+# ---------------------------------------------------------------------------
+# Engine mechanics
+# ---------------------------------------------------------------------------
+class TestEngine:
+    def test_parse_error_reported_not_fatal(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/good.py": "x = 1\n",
+            "repro/core/bad.py": "def broken(:\n",
+        })
+        report = run_lint(tmp_path)
+        assert report.files_scanned == 1
+        assert len(report.parse_errors) == 1
+        assert "repro/core/bad.py" in report.parse_errors[0]
+        assert not report.ok
+
+    def test_diagnostics_sorted_by_location(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/b.py": "import time\nx = time.time()\n",
+            "repro/core/a.py": "import time\ny = time.time()\nz = time.time()\n",
+        })
+        report = run_lint(tmp_path, rules=["DET002"])
+        locations = [(d.path, d.line) for d in report.active]
+        assert locations == sorted(locations)
+
+
+# ---------------------------------------------------------------------------
+# The shipped tree and the CLI
+# ---------------------------------------------------------------------------
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+class TestShippedTree:
+    def test_shipped_tree_is_lint_clean(self):
+        baseline = Baseline.load(baseline_path_for(REPO_SRC))
+        report = LintEngine(REPO_SRC, baseline=baseline).run()
+        assert report.ok, "\n".join(d.location for d in report.active)
+        assert report.stale_baseline == []
+
+    def test_lint_clean_oracle_registered(self):
+        from repro.verify.oracles import registered_oracles
+
+        oracle = registered_oracles()["lint-clean"]
+        assert oracle.run() == []
+
+
+class TestCli:
+    def _tree(self, tmp_path):
+        return make_tree(tmp_path / "src", {
+            "repro/core/link.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = make_tree(tmp_path / "src", {"repro/core/ok.py": "x = 1\n"})
+        assert main(["lint", str(root)]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        code = main(["lint", str(root), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DET002" in out and "repro/core/link.py" in out
+
+    def test_bad_root_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        assert main(["lint", str(root), "--rule", "XYZ001"]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        code = main(["lint", str(root), "--format", "json", "--no-baseline"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert data["format"] == "rose-lint-report/1"
+        assert data["summary"]["active"] == 1
+        [finding] = data["diagnostics"]
+        assert finding["rule"] == "DET002"
+        assert finding["path"] == "repro/core/link.py"
+
+    def test_rule_filter(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        assert main(["lint", str(root), "--rule", "NUM001"]) == 0
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        assert main(["lint", str(root), "--write-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").is_file()
+        assert main(["lint", str(root)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "DET004",
+                        "NUM001", "NUM002", "PROTO001", "PROTO002", "CFG001"):
+            assert rule_id in out
+
+    def test_shipped_tree_via_cli_default_root(self, capsys):
+        assert main(["lint"]) == 0
