@@ -19,7 +19,10 @@ Rule families (see the modules for the catalog):
   dispatch maps that silently miss enum members, swallowed exceptions in
   transport/synchronizer code;
 * **CFG** (:mod:`.rules_cfg`) — cache-key soundness: every config
-  dataclass field must enter the sweep cache key.
+  dataclass field must enter the sweep cache key;
+* **OBS** (:mod:`.rules_obs`) — observability: metric names and
+  :class:`MetricSpec` declarations single-sourced in
+  :mod:`repro.obs.declarations`.
 
 Diagnostics are suppressed either inline (``# repro: allow[RULE]`` on
 the flagged line or the line above) or through a committed baseline file
@@ -37,6 +40,7 @@ from repro.analysis.lint import (  # noqa: E402  (registration side effect)
     rules_cfg,  # noqa: F401
     rules_det,  # noqa: F401
     rules_num,  # noqa: F401
+    rules_obs,  # noqa: F401
     rules_proto,  # noqa: F401
 )
 

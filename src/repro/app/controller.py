@@ -30,6 +30,8 @@ from repro.core.packets import PacketType, camera_request, target_command
 from repro.dnn.calibrated import TrailInference
 from repro.dnn.dataset import LEFT, RIGHT
 from repro.errors import ConfigError
+from repro.obs.declarations import mission_registry
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -106,11 +108,47 @@ class AppStats:
     records: list[InferenceRecord] = field(default_factory=list)
     session_switches: int = 0
     inferences_by_model: dict[str, int] = field(default_factory=dict)
-    # -- degradation telemetry (all zero on a healthy link) --------------
-    sensor_timeouts: int = 0  # sensor waits that expired
-    sensor_retries: int = 0  # requests re-issued after a timeout
-    stale_frames_reused: int = 0  # iterations flown on the previous frame
-    held_commands: int = 0  # iterations that re-sent the last command
+    registry: MetricsRegistry = field(
+        default_factory=mission_registry, repr=False, compare=False
+    )
+
+    # -- degradation telemetry (all zero on a healthy link), stored as
+    # -- registry-backed views so the obs layer is the source of truth --
+    @property
+    def sensor_timeouts(self) -> int:
+        """Sensor waits that expired."""
+        return int(self.registry.value("rose_app_sensor_timeouts_total"))
+
+    @sensor_timeouts.setter
+    def sensor_timeouts(self, total: int) -> None:
+        self.registry.advance_to("rose_app_sensor_timeouts_total", total)
+
+    @property
+    def sensor_retries(self) -> int:
+        """Requests re-issued after a timeout."""
+        return int(self.registry.value("rose_app_sensor_retries_total"))
+
+    @sensor_retries.setter
+    def sensor_retries(self, total: int) -> None:
+        self.registry.advance_to("rose_app_sensor_retries_total", total)
+
+    @property
+    def stale_frames_reused(self) -> int:
+        """Iterations flown on the previous frame."""
+        return int(self.registry.value("rose_app_stale_frames_total"))
+
+    @stale_frames_reused.setter
+    def stale_frames_reused(self, total: int) -> None:
+        self.registry.advance_to("rose_app_stale_frames_total", total)
+
+    @property
+    def held_commands(self) -> int:
+        """Iterations that re-sent the last command."""
+        return int(self.registry.value("rose_app_held_commands_total"))
+
+    @held_commands.setter
+    def held_commands(self, total: int) -> None:
+        self.registry.advance_to("rose_app_held_commands_total", total)
 
     @property
     def inference_count(self) -> int:
@@ -126,8 +164,13 @@ class AppStats:
         return 1e3 * float(np.mean(lats)) / frequency_hz
 
     def record(self, request_cycle: int, response_cycle: int, model: str) -> None:
-        self.records.append(InferenceRecord(request_cycle, response_cycle, model))
+        record = InferenceRecord(request_cycle, response_cycle, model)
+        self.records.append(record)
         self.inferences_by_model[model] = self.inferences_by_model.get(model, 0) + 1
+        self.registry.inc("rose_app_inferences_total", model=model)
+        self.registry.observe(
+            "rose_app_inference_latency_cycles", record.latency_cycles, model=model
+        )
 
 
 def trail_navigation_app(

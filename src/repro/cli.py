@@ -10,9 +10,12 @@ flags, ``run-all.sh``) with three subcommands:
   plus the on-disk result cache, with a per-stage wall-clock breakdown;
 * ``verify`` — conformance checks: replay the golden-trace corpus
   (``--check`` / ``--record``) and run the differential oracles;
+* ``obs``    — observability: run missions and emit ``rose-obs/1``
+  flight-recorder artifacts, merge/diff/validate them, and check that
+  the demo set exercises the whole declared metric catalog;
 * ``lint``   — static analysis for determinism/protocol/cache-key
-  soundness (``repro.analysis.lint``): DET/NUM/PROTO/CFG rule families,
-  inline ``# repro: allow[RULE]`` waivers, committed baseline;
+  soundness (``repro.analysis.lint``): DET/NUM/PROTO/CFG/OBS rule
+  families, inline ``# repro: allow[RULE]`` waivers, committed baseline;
 * ``table3`` — print the modeled DNN latency/accuracy table.
 """
 
@@ -145,6 +148,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "stores": report.cache_stores,
             },
             "stage_seconds": stages,
+            "metrics": report.telemetry(),
             "missions": [
                 {
                     "name": outcome.name,
@@ -214,6 +218,145 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if not ran_anything:  # pragma: no cover - defensive; flags above cover all
         print("nothing to do")
     return status
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    # Imported here so mission commands never pay for the obs CLI stack.
+    from pathlib import Path
+
+    from repro.obs import (
+        COVERAGE_EXEMPT,
+        DECLARED_METRICS,
+        FlightRecord,
+        exercised_metrics,
+        merge_snapshots,
+        to_prometheus,
+        validate_artifact,
+    )
+    from repro.obs.demo import demo_missions
+    from repro.verify import golden_missions
+    from repro.verify.diffutil import first_divergence
+
+    def load_record(path: str) -> FlightRecord:
+        return FlightRecord.from_json(Path(path).read_text())
+
+    def missions() -> dict[str, CoSimConfig]:
+        return {**golden_missions(), **demo_missions()}
+
+    if args.list:
+        print("missions (golden corpus + obs demo set):")
+        for name in sorted(missions()):
+            print(f"  {name}")
+        print(f"{len(DECLARED_METRICS)} declared metric(s); "
+              f"{len(COVERAGE_EXEMPT)} coverage-exempt")
+        return 0
+
+    if args.validate:
+        status = 0
+        for path in args.validate:
+            errors = validate_artifact(json.loads(Path(path).read_text()))
+            if errors:
+                status = 1
+                print(f"[FAIL] {path}")
+                for error in errors:
+                    print(f"        {error}")
+            else:
+                print(f"[ok]    {path}")
+        return status
+
+    if args.diff:
+        a, b = (load_record(path) for path in args.diff)
+        hit = first_divergence(
+            a.deterministic_view(), b.deterministic_view(), "obs-diff"
+        )
+        if hit is None:
+            print("identical deterministic views")
+            return 0
+        print(hit.describe())
+        return 1
+
+    if args.summarize:
+        records = [
+            load_record(str(path))
+            for path in sorted(Path(args.summarize).glob("*.json"))
+        ]
+        if not records:
+            print(f"no rose-obs artifacts under {args.summarize}", file=sys.stderr)
+            return 2
+        merged = merge_snapshots(record.metrics for record in records)
+        exercised = exercised_metrics(merged)
+        for name in sorted(merged):
+            entry = merged[name]
+            if not entry["series"]:
+                continue
+            if entry["kind"] == "histogram":
+                total = sum(row["count"] for row in entry["series"])
+            else:
+                total = sum(row["value"] for row in entry["series"])
+            print(f"{name} ({entry['kind']}): total={total} "
+                  f"series={len(entry['series'])}")
+        print(f"{len(records)} artifact(s) merged; "
+              f"{len(exercised)}/{len(merged)} metric(s) exercised")
+        if args.out:
+            Path(args.out).write_text(json.dumps(merged, sort_keys=True, indent=2))
+            print(f"wrote merged snapshot to {args.out}")
+        return 0
+
+    if args.mission:
+        catalog = missions()
+        if args.mission not in catalog:
+            print(f"error: unknown mission {args.mission!r} "
+                  f"(see --list)", file=sys.stderr)
+            return 2
+        result = run_mission(catalog[args.mission])
+        record = result.obs
+        assert record is not None
+        if args.out:
+            Path(args.out).write_text(record.to_json())
+            print(f"wrote {args.mission} flight record to {args.out}")
+        else:
+            print(record.to_json())
+        if args.prometheus:
+            Path(args.prometheus).write_text(to_prometheus(record.metrics))
+            print(f"wrote Prometheus exposition to {args.prometheus}")
+        return 0
+
+    if args.demo:
+        out_dir = Path(args.demo)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        snapshots = []
+        status = 0
+        for name, config in demo_missions().items():
+            result = run_mission(config)
+            record = result.obs
+            assert record is not None
+            errors = validate_artifact(record.to_dict())
+            if errors:
+                status = 1
+                for error in errors:
+                    print(f"[FAIL] {name}: {error}")
+            path = out_dir / f"{name}.json"
+            path.write_text(record.to_json())
+            snapshots.append(record.metrics)
+            print(f"[{name}] wrote {path} "
+                  f"({len(exercised_metrics(record.metrics))} metric(s) exercised)")
+        merged = merge_snapshots(snapshots)
+        if args.prometheus:
+            Path(args.prometheus).write_text(to_prometheus(merged))
+            print(f"wrote merged Prometheus exposition to {args.prometheus}")
+        declared = {spec.name for spec in DECLARED_METRICS}
+        missing = sorted(declared - exercised_metrics(merged) - COVERAGE_EXEMPT)
+        if missing:
+            status = 1
+            print(f"coverage FAIL: {len(missing)} declared metric(s) never "
+                  f"exercised: {', '.join(missing)}")
+        else:
+            print(f"coverage ok: every non-exempt declared metric exercised "
+                  f"({len(declared) - len(COVERAGE_EXEMPT)} checked)")
+        return status
+
+    print("nothing to do (see --help)", file=sys.stderr)
+    return 2
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -377,6 +520,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="corpus directory (default: tests/golden/ in the repo)",
     )
     verify.set_defaults(handler=_cmd_verify)
+
+    obs = commands.add_parser(
+        "obs",
+        help="observability: flight records, telemetry aggregation, coverage",
+        description="Work with rose-obs/1 flight-recorder artifacts: run a "
+        "mission and dump its record (--mission), run the demo set with the "
+        "metric-coverage check (--demo, the CI configuration), merge a "
+        "directory of artifacts (--summarize), diff two records (--diff), "
+        "or validate artifacts against the JSON Schema (--validate).",
+    )
+    obs.add_argument(
+        "--mission",
+        metavar="NAME",
+        help="run one mission (golden corpus or obs demo set) and emit its "
+        "flight record",
+    )
+    obs.add_argument(
+        "--demo",
+        metavar="DIR",
+        help="run the obs demo missions, write one artifact per mission into "
+        "DIR, validate each, and fail if any non-exempt metric is unexercised",
+    )
+    obs.add_argument(
+        "--summarize",
+        metavar="DIR",
+        help="merge every rose-obs artifact in DIR and print totals",
+    )
+    obs.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        help="first divergence between two artifacts' deterministic views",
+    )
+    obs.add_argument(
+        "--validate",
+        metavar="PATH",
+        action="append",
+        help="validate artifact(s) against the rose-obs/1 schema; repeatable",
+    )
+    obs.add_argument(
+        "--out", metavar="PATH", help="write the record/merged snapshot here"
+    )
+    obs.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="also write a Prometheus text exposition",
+    )
+    obs.add_argument(
+        "--list", action="store_true", help="list runnable missions, then exit"
+    )
+    obs.set_defaults(handler=_cmd_obs)
 
     lint = commands.add_parser(
         "lint",

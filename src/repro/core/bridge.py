@@ -55,6 +55,11 @@ class BridgeCounters:
     tx_dequeued: int = 0
     rx_rejected: int = 0
     steps_granted: int = 0
+    #: Payload bytes accepted into each queue over the whole run — the
+    #: DMA traffic the obs layer reports (queue-occupancy bytes are the
+    #: separate ``_rx_bytes``/``_tx_bytes`` running balances).
+    rx_bytes_enqueued: int = 0
+    tx_bytes_enqueued: int = 0
 
 
 class RoseBridge:
@@ -111,6 +116,7 @@ class RoseBridge:
         self._rx.append(packet)
         self._rx_bytes += size
         self.counters.rx_enqueued += 1
+        self.counters.rx_bytes_enqueued += size
         return True
 
     def host_collect(self) -> list[DataPacket]:
@@ -154,6 +160,7 @@ class RoseBridge:
         self._tx.append(packet)
         self._tx_bytes += size
         self.counters.tx_enqueued += 1
+        self.counters.tx_bytes_enqueued += size
 
     # ------------------------------------------------------------------
     @property

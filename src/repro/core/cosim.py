@@ -34,6 +34,8 @@ from repro.core.timing import StageTimer, TimedPerception
 from repro.core.trace import Tracer
 from repro.core.transport import FaultyTransport, transport_pair
 from repro.errors import TransportError, WatchdogError
+from repro.obs.declarations import mission_registry
+from repro.obs.recorder import FlightRecord, trace_summary
 from repro.dnn.calibrated import classifier_profile
 from repro.dnn.resnet import build_resnet_graph
 from repro.dnn.runtime import InferenceSession
@@ -85,6 +87,10 @@ class MissionResult:
     #: sync_overhead, inference).  Observational only — excluded from
     #: result signatures and cache keys, since wall time varies run-to-run.
     stage_timings: dict[str, float] | None = field(repr=False, default=None)
+    #: The mission's ``rose-obs/1`` flight record (repro.obs): metrics
+    #: snapshot + stage timings + trace summary.  Rides through the sweep
+    #: result cache, so cache hits reconstitute their telemetry.
+    obs: FlightRecord | None = field(repr=False, default=None, compare=False)
 
     @property
     def label(self) -> str:
@@ -134,6 +140,10 @@ class CoSimulation:
         self.tracer = tracer
         #: Wall-clock stage accounting for this run (observational only).
         self.stage_timer = StageTimer()
+        #: The per-mission metrics registry (repro.obs), shared by every
+        #: component below.  Instrumentation is observational: recording
+        #: never consumes RNG, reads wall clock, or alters behaviour.
+        self.obs = mission_registry()
         #: One shared InferenceSession per model within this simulation —
         #: the dynamic runtime and background tenants reuse graphs/plans
         #: instead of rebuilding them per call site.
@@ -169,9 +179,11 @@ class CoSimulation:
         self.fault_injector = (
             FaultInjector(config.faults) if config.faults is not None else None
         )
-        self.app_stats = AppStats()
+        if self.fault_injector is not None:
+            self.fault_injector.registry = self.obs
+        self.app_stats = AppStats(registry=self.obs)
         self.mpc_stats = MpcStats()
-        self.fusion_stats = FusionStats()
+        self.fusion_stats = FusionStats(registry=self.obs)
         self.slam_stats = SlamNavStats()
         self.background_stats = SlamNavStats()
         self.monitor_stats = MonitorStats()
@@ -219,6 +231,7 @@ class CoSimulation:
             faults=self.fault_injector,
             stage_timer=self.stage_timer,
             invariants=self.invariants,
+            registry=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -253,6 +266,7 @@ class CoSimulation:
                 target_velocity=config.target_velocity,
             )
             self.app_stats = pipeline.stats
+            self.app_stats.registry = self.obs
             self.ros_pipeline = pipeline
             return None
         if config.controller == "slam":
@@ -412,6 +426,11 @@ class CoSimulation:
         return self._collect(failure_reason)
 
     def _collect(self, failure_reason: str | None = None) -> MissionResult:
+        # Deferred: importing repro.sweep at module scope would close an
+        # import cycle (sweep.runner imports this module).  By the time a
+        # mission is collected, both packages are fully initialised.
+        from repro.sweep.fingerprint import config_key
+
         env = self.env
         # The synchronizer only sees its own endpoint's decode discards;
         # corrupted sensor responses die at the FireSim end.  Fold both
@@ -428,7 +447,8 @@ class CoSimulation:
             avg_velocity = (
                 float(np.mean([p.speed for p in traj])) if traj else 0.0
             )
-        return MissionResult(
+        self._record_final_metrics(completed)
+        result = MissionResult(
             config=self.config,
             completed=completed,
             mission_time=mission_time,
@@ -455,6 +475,88 @@ class CoSimulation:
             logger=self.logger,
             stage_timings=self.stage_timer.asdict(),
         )
+        result.obs = FlightRecord(
+            label=result.label,
+            config_key=config_key(self.config),
+            metrics=self.obs.snapshot(),
+            stage_timings=self.stage_timer.asdict(),
+            trace=(
+                trace_summary(self.tracer.events)
+                if self.tracer is not None
+                else None
+            ),
+        )
+        return result
+
+    def _record_final_metrics(self, completed: bool) -> None:
+        """Fold end-of-mission component counters into the registry.
+
+        These are totals that only settle once the mission is over (SoC
+        cycle books, bridge queue counters, transport byte counts), so
+        they are advanced here rather than incremented on the hot path.
+        """
+        obs = self.obs
+        env = self.env
+        soc = self.soc
+        obs.advance_to("rose_soc_cycles_total", soc.cycle)
+        obs.advance_to("rose_soc_cpu_busy_cycles_total", soc.counters.cpu_busy_cycles)
+        obs.advance_to("rose_soc_idle_cycles_total", soc.counters.idle_cycles)
+        obs.advance_to("rose_soc_gemmini_busy_cycles_total", soc.gemmini_busy_cycles)
+        obs.advance_to("rose_soc_mmio_total", soc.counters.mmio_reads, op="read")
+        obs.advance_to("rose_soc_mmio_total", soc.counters.mmio_writes, op="write")
+        obs.advance_to("rose_soc_inferences_total", soc.counters.inferences)
+        bridge = soc.bridge.counters
+        for queue, event, count in (
+            ("rx", "enqueued", bridge.rx_enqueued),
+            ("rx", "dequeued", bridge.rx_dequeued),
+            ("rx", "rejected", bridge.rx_rejected),
+            ("tx", "enqueued", bridge.tx_enqueued),
+            ("tx", "dequeued", bridge.tx_dequeued),
+        ):
+            obs.advance_to("rose_bridge_packets_total", count, queue=queue, event=event)
+        obs.advance_to("rose_bridge_steps_granted_total", bridge.steps_granted)
+        obs.advance_to("rose_soc_dma_bytes_total", bridge.rx_bytes_enqueued, direction="rx")
+        obs.advance_to("rose_soc_dma_bytes_total", bridge.tx_bytes_enqueued, direction="tx")
+        for endpoint, transport in (
+            ("sync", self.synchronizer.transport),
+            ("firesim", self.host.transport),
+        ):
+            obs.advance_to(
+                "rose_link_bytes_total",
+                getattr(transport, "bytes_sent", 0),
+                endpoint=endpoint,
+                direction="sent",
+            )
+            obs.advance_to(
+                "rose_link_bytes_total",
+                getattr(transport, "bytes_received", 0),
+                endpoint=endpoint,
+                direction="received",
+            )
+        # Per-layer cost histograms: the cost plan is static per session,
+        # so each node contributes `inferences_run` observations.
+        gemmini_ops = 0
+        for session in self._sessions.values():
+            runs = session.inferences_run
+            if runs <= 0:
+                continue
+            for cost in session.report.node_costs:
+                if cost.backend == "gemmini":
+                    gemmini_ops += runs
+                if cost.cycles <= 0:
+                    continue
+                obs.observe(
+                    "rose_dnn_layer_cycles",
+                    cost.cycles,
+                    count=runs,
+                    model=session.graph.name,
+                    backend=cost.backend,
+                )
+        obs.advance_to("rose_soc_gemmini_ops_total", gemmini_ops)
+        obs.set("rose_mission_sim_time_seconds", env.sim_time)
+        obs.set("rose_mission_progress", env.course_progress)
+        obs.set("rose_mission_completed", 1 if completed else 0)
+        obs.advance_to("rose_mission_collisions_total", env.collision_count)
 
 
 def run_mission(

@@ -36,6 +36,7 @@ from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.invariants import InvariantChecker
+    from repro.obs.metrics import MetricsRegistry
 
 #: The data packet types carrying sensor responses (synchronizer -> SoC).
 SENSOR_RESPONSE_TYPES = (
@@ -254,6 +255,16 @@ class FaultInjector:
         #: Optional conformance hook (repro.core.invariants): verifies the
         #: step counter only ever moves forward.
         self.invariants: "InvariantChecker | None" = None
+        #: Optional observability hook (repro.obs): injections counted by
+        #: kind and packet type at the moment they are decided.  Purely
+        #: observational — no RNG is consumed recording them.
+        self.registry: "MetricsRegistry | None" = None
+
+    def _record(self, kind: str, ptype: PacketType) -> None:
+        if self.registry is not None:
+            self.registry.inc(
+                "rose_faults_injected_total", kind=kind, ptype=ptype.name
+            )
 
     def begin_step(self, step_index: int) -> None:
         """Advance the injector's notion of the current sync step."""
@@ -281,6 +292,7 @@ class FaultInjector:
         """Decide this packet's fate; consumes RNG only for matching rules."""
         if self._scheduled_active("drop", ptype):
             self.counters.dropped += 1
+            self._record("drop", ptype)
             return FaultDecision(drop=True)
         corrupt = self._scheduled_active("corrupt", ptype)
         rule = self._rules.get(ptype)
@@ -289,6 +301,7 @@ class FaultInjector:
         if rule is not None:
             if rule.drop and self._rng.random() < rule.drop:
                 self.counters.dropped += 1
+                self._record("drop", ptype)
                 return FaultDecision(drop=True)
             if not corrupt and rule.corrupt:
                 corrupt = self._rng.random() < rule.corrupt
@@ -300,10 +313,13 @@ class FaultInjector:
             return _NO_FAULT
         if corrupt:
             self.counters.corrupted += 1
+            self._record("corrupt", ptype)
         if duplicate:
             self.counters.duplicated += 1
+            self._record("duplicate", ptype)
         if delay_steps:
             self.counters.delayed += 1
+            self._record("delay", ptype)
         return FaultDecision(
             corrupt=corrupt, duplicate=duplicate, delay_steps=delay_steps
         )

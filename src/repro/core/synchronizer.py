@@ -46,11 +46,21 @@ from repro.core.trace import Tracer
 from repro.core.transport import Transport
 from repro.env.rpc import RpcClient
 from repro.errors import SyncError, WatchdogError
+from repro.obs.declarations import mission_registry
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
 class SyncStats:
-    """Counters across one mission."""
+    """Counters across one mission.
+
+    The fault/resilience columns (``packets_dropped`` … ``sensor_faults``)
+    are *views* over the mission's :class:`~repro.obs.metrics.MetricsRegistry`
+    — reads pull the counter series, writes advance it — so the legacy
+    ``stats.x += 1`` / ``stats.x = total`` call sites and ``fault_summary()``
+    (part of the canonical mission payload) keep working unchanged while
+    the registry stays the single source of truth.
+    """
 
     steps: int = 0
     packets_from_rtl: int = 0
@@ -64,16 +74,83 @@ class SyncStats:
     last_target: tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
     #: (sim_time of request) per camera request — latency studies read this.
     camera_request_times: list[float] = field(default_factory=list)
-    # -- fault / resilience counters ------------------------------------
-    packets_dropped: int = 0  # injected drops (from the fault plan)
-    packets_corrupted: int = 0  # injected corruptions
-    packets_duplicated: int = 0  # injected duplicates
-    packets_delayed: int = 0  # injected delays
-    corrupt_discards: int = 0  # frames discarded on decode (synchronizer end;
-    # the mission runner folds in the FireSim end when it collects results)
-    sync_regrants: int = 0  # SYNC_GRANTs re-issued by the watchdog
-    stale_sync_done: int = 0  # SYNC_DONEs for already-finished steps
-    sensor_faults: int = 0  # stuck-IMU / camera-blackout responses served
+    registry: MetricsRegistry = field(
+        default_factory=mission_registry, repr=False, compare=False
+    )
+
+    # -- fault / resilience views over the registry ---------------------
+    @property
+    def packets_dropped(self) -> int:
+        """Injected drops (from the fault plan)."""
+        return int(self.registry.value("rose_link_faults_total", kind="drop"))
+
+    @packets_dropped.setter
+    def packets_dropped(self, total: int) -> None:
+        self.registry.advance_to("rose_link_faults_total", total, kind="drop")
+
+    @property
+    def packets_corrupted(self) -> int:
+        """Injected corruptions."""
+        return int(self.registry.value("rose_link_faults_total", kind="corrupt"))
+
+    @packets_corrupted.setter
+    def packets_corrupted(self, total: int) -> None:
+        self.registry.advance_to("rose_link_faults_total", total, kind="corrupt")
+
+    @property
+    def packets_duplicated(self) -> int:
+        """Injected duplicates."""
+        return int(self.registry.value("rose_link_faults_total", kind="duplicate"))
+
+    @packets_duplicated.setter
+    def packets_duplicated(self, total: int) -> None:
+        self.registry.advance_to("rose_link_faults_total", total, kind="duplicate")
+
+    @property
+    def packets_delayed(self) -> int:
+        """Injected delays."""
+        return int(self.registry.value("rose_link_faults_total", kind="delay"))
+
+    @packets_delayed.setter
+    def packets_delayed(self, total: int) -> None:
+        self.registry.advance_to("rose_link_faults_total", total, kind="delay")
+
+    @property
+    def corrupt_discards(self) -> int:
+        """Frames discarded on decode (synchronizer end; the mission
+        runner folds in the FireSim end when it collects results)."""
+        return int(self.registry.value("rose_link_crc_discards_total"))
+
+    @corrupt_discards.setter
+    def corrupt_discards(self, total: int) -> None:
+        self.registry.advance_to("rose_link_crc_discards_total", total)
+
+    @property
+    def sync_regrants(self) -> int:
+        """SYNC_GRANTs re-issued by the watchdog."""
+        return int(self.registry.value("rose_sync_regrants_total"))
+
+    @sync_regrants.setter
+    def sync_regrants(self, total: int) -> None:
+        self.registry.advance_to("rose_sync_regrants_total", total)
+
+    @property
+    def stale_sync_done(self) -> int:
+        """SYNC_DONEs for already-finished steps."""
+        return int(self.registry.value("rose_sync_done_total", result="stale"))
+
+    @stale_sync_done.setter
+    def stale_sync_done(self, total: int) -> None:
+        self.registry.advance_to("rose_sync_done_total", total, result="stale")
+
+    @property
+    def sensor_faults(self) -> int:
+        """Stuck-IMU / camera-blackout responses served."""
+        return int(self.registry.value("rose_sync_sensor_faults_total"))
+
+    @sensor_faults.setter
+    def sensor_faults(self, total: int) -> None:
+        self.registry.advance_to("rose_sync_sensor_faults_total", total)
 
     def fault_summary(self) -> dict[str, int]:
         """The resilience counters as one dict (reporting/determinism checks)."""
@@ -109,6 +186,7 @@ class Synchronizer:
         faults: FaultInjector | None = None,
         stage_timer: StageTimer | None = None,
         invariants: InvariantChecker | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.rpc = rpc
         self.transport = transport
@@ -121,7 +199,10 @@ class Synchronizer:
         #: Optional conformance hook (repro.core.invariants): grant/ack
         #: pairing, monotonic sim time, and cross-layer token checks.
         self.invariants = invariants
-        self.stats = SyncStats()
+        #: Per-mission metrics registry (repro.obs); shared with the
+        #: mission runner, fault injector, and app layer when provided.
+        self.obs = registry if registry is not None else mission_registry()
+        self.stats = SyncStats(registry=self.obs)
         self.sim_time = 0.0
         self._pending_rtl: list[DataPacket] = []
         self._configured = False
@@ -133,12 +214,22 @@ class Synchronizer:
         self.transport.send(
             sync_set_steps(self.sync.cycles_per_sync, self.sync.frames_per_sync)
         )
+        self.obs.inc(
+            "rose_link_packets_total",
+            direction="to_rtl",
+            ptype=PacketType.SYNC_SET_STEPS.name,
+        )
         if self.host_service:
             self.host_service()
         self._configured = True
 
     def shutdown(self) -> None:
         self.transport.send(sync_shutdown())
+        self.obs.inc(
+            "rose_link_packets_total",
+            direction="to_rtl",
+            ptype=PacketType.SYNC_SHUTDOWN.name,
+        )
         if self.host_service:
             self.host_service()
 
@@ -147,6 +238,9 @@ class Synchronizer:
         """Translate one SoC I/O packet into environment API calls."""
         self.stats.packets_from_rtl += 1
         ptype = packet.ptype
+        self.obs.inc(
+            "rose_link_packets_total", direction="from_rtl", ptype=ptype.name
+        )
         if self.tracer is not None:
             self.tracer.instant(
                 ptype.name, "packet-from-rtl", self.sim_time, track="io"
@@ -220,6 +314,9 @@ class Synchronizer:
 
     def _transmit(self, packet: DataPacket) -> None:
         self.stats.packets_to_rtl += 1
+        self.obs.inc(
+            "rose_link_packets_total", direction="to_rtl", ptype=packet.ptype.name
+        )
         if self.tracer is not None:
             self.tracer.instant(
                 packet.ptype.name, "packet-to-rtl", self.sim_time, track="io"
@@ -256,6 +353,12 @@ class Synchronizer:
         if self.invariants is not None:
             self.invariants.on_grant(step_index)
         self.transport.send(sync_grant(step_index))
+        self.obs.inc("rose_sync_grants_total")
+        self.obs.inc(
+            "rose_link_packets_total",
+            direction="to_rtl",
+            ptype=PacketType.SYNC_GRANT.name,
+        )
         if timer is not None:
             t0 = wall_clock()
         self.rpc.continue_for_frames(self.sync.frames_per_sync)
@@ -280,6 +383,7 @@ class Synchronizer:
             )
         self.sim_time += self.sync.sync_period_seconds
         self.stats.steps += 1
+        self.obs.inc("rose_sync_steps_total")
         self._update_fault_stats()
         if self.invariants is not None:
             self.invariants.after_step(step_index, self.sim_time)
@@ -307,6 +411,7 @@ class Synchronizer:
     def _regrant(self, step_index: int, regrants: int) -> int:
         """Watchdog retry: re-issue the grant for a step that went silent."""
         if regrants >= self.sync.max_regrants:
+            self.obs.inc("rose_sync_watchdog_fires_total")
             raise WatchdogError(
                 f"step {step_index} incomplete after {regrants} regrant(s); "
                 "link presumed dead"
@@ -315,6 +420,12 @@ class Synchronizer:
         if self.invariants is not None:
             self.invariants.on_grant(step_index)
         self.transport.send(sync_grant(step_index))
+        self.obs.inc("rose_sync_grants_total")
+        self.obs.inc(
+            "rose_link_packets_total",
+            direction="to_rtl",
+            ptype=PacketType.SYNC_GRANT.name,
+        )
         return regrants + 1
 
     def _wait_for_sync_done(self, step_index: int) -> None:
@@ -349,6 +460,7 @@ class Synchronizer:
                     got_index = int(packet.values[0])
                     if got_index == step_index:
                         done = True
+                        self.obs.inc("rose_sync_done_total", result="ok")
                         if self.invariants is not None:
                             self.invariants.on_done(got_index)
                     elif got_index < step_index:
@@ -379,6 +491,7 @@ class Synchronizer:
                 continue
             now = time.monotonic()  # repro: allow[DET002] watchdog, host-time by design
             if now > deadline:
+                self.obs.inc("rose_sync_watchdog_fires_total")
                 raise WatchdogError(
                     f"FireSim did not complete step {step_index} within "
                     f"{self.sync.sync_done_timeout_s:g}s"

@@ -1,0 +1,35 @@
+"""repro.obs — unified observability: metrics, flight recorder, exporters.
+
+See DESIGN.md §9 for the metric catalog, determinism rules, and the
+``rose-obs/1`` artifact schema.
+"""
+
+from repro.obs.aggregate import merge_snapshots
+from repro.obs.declarations import (
+    COVERAGE_EXEMPT,
+    DECLARED_METRICS,
+    mission_registry,
+    spec_for,
+)
+from repro.obs.export import parse_prometheus, to_prometheus
+from repro.obs.metrics import MetricSpec, MetricsRegistry, exercised_metrics
+from repro.obs.recorder import OBS_FORMAT, FlightRecord, trace_summary
+from repro.obs.schema import OBS_SCHEMA, validate_artifact
+
+__all__ = [
+    "COVERAGE_EXEMPT",
+    "DECLARED_METRICS",
+    "FlightRecord",
+    "MetricSpec",
+    "MetricsRegistry",
+    "OBS_FORMAT",
+    "OBS_SCHEMA",
+    "exercised_metrics",
+    "merge_snapshots",
+    "mission_registry",
+    "parse_prometheus",
+    "spec_for",
+    "to_prometheus",
+    "trace_summary",
+    "validate_artifact",
+]

@@ -1,0 +1,88 @@
+"""Sweep-level telemetry aggregation: merge mission snapshots.
+
+``merge_snapshots`` folds any number of per-mission metric snapshots
+(as produced by :meth:`repro.obs.metrics.MetricsRegistry.snapshot`)
+into one combined snapshot with the same shape.  The fold is
+associative and commutative — counters, histograms, *and* gauges all
+sum per label set, and series stay sorted — so splitting a sweep across
+workers, merging shards in any grouping, and merging the serial run all
+yield the identical aggregate (this is the property the hypothesis
+suite pins down).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ConfigError
+from repro.obs.metrics import exercised_metrics
+
+__all__ = ["merge_snapshots", "exercised_metrics"]
+
+
+def _labels_key(labels: dict[str, str], order: list[str]) -> tuple[str, ...]:
+    return tuple(str(labels[name]) for name in order)
+
+
+def _merge_entry(name: str, base: dict[str, Any], other: dict[str, Any]) -> None:
+    """Fold ``other``'s series into ``base`` (same metric) in place."""
+    for attr in ("kind", "labels", "buckets"):
+        if base.get(attr) != other.get(attr):
+            raise ConfigError(
+                f"cannot merge metric {name}: {attr} mismatch "
+                f"({base.get(attr)!r} vs {other.get(attr)!r})"
+            )
+    order = list(base["labels"])
+    kind = base["kind"]
+    by_key: dict[tuple[str, ...], dict[str, Any]] = {
+        _labels_key(row["labels"], order): row for row in base["series"]
+    }
+    for row in other["series"]:
+        key = _labels_key(row["labels"], order)
+        mine = by_key.get(key)
+        if mine is None:
+            if kind == "histogram":
+                by_key[key] = {
+                    "labels": dict(row["labels"]),
+                    "buckets": list(row["buckets"]),
+                    "sum": row["sum"],
+                    "count": row["count"],
+                }
+            else:
+                by_key[key] = {"labels": dict(row["labels"]), "value": row["value"]}
+            continue
+        if kind == "histogram":
+            if len(mine["buckets"]) != len(row["buckets"]):
+                raise ConfigError(f"cannot merge metric {name}: bucket count mismatch")
+            mine["buckets"] = [a + b for a, b in zip(mine["buckets"], row["buckets"])]
+            mine["sum"] += row["sum"]
+            mine["count"] += row["count"]
+        else:
+            mine["value"] += row["value"]
+    base["series"] = [by_key[key] for key in sorted(by_key)]
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Merge metric snapshots into one aggregate snapshot.
+
+    Accepts zero or more snapshots; metrics absent from one shard but
+    present in another are kept (a shard only missing *series* is the
+    normal case — declared-but-unexercised metrics carry empty series).
+    """
+    merged: dict[str, Any] = {}
+    for snapshot in snapshots:
+        for name, entry in snapshot.items():
+            mine = merged.get(name)
+            if mine is None:
+                copied: dict[str, Any] = {
+                    "kind": entry["kind"],
+                    "labels": list(entry["labels"]),
+                }
+                if entry["kind"] == "histogram":
+                    copied["buckets"] = list(entry["buckets"])
+                copied["series"] = []
+                merged[name] = copied
+                _merge_entry(name, copied, entry)
+            else:
+                _merge_entry(name, mine, entry)
+    return dict(sorted(merged.items()))

@@ -1,0 +1,258 @@
+"""The single catalog of every metric the co-simulation records.
+
+Lint rule OBS001 enforces that :class:`~repro.obs.metrics.MetricSpec`
+is only constructed here and that every ``rose_*`` metric name used at
+a call site appears in this catalog — no stringly-typed ad-hoc metrics.
+
+Bucket edges are fixed here (not derived from data) so histogram output
+is bit-stable across runs and mergeable across sweep shards.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricSpec, MetricsRegistry
+
+#: Per-layer compute cost in SoC cycles: decade edges spanning a trivial
+#: ReLU (~1e2 cycles) up to a large conv on the CPU path (~1e8).
+LAYER_CYCLE_BUCKETS: tuple[float, ...] = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
+#: End-to-end inference latency in SoC cycles (request to response).
+LATENCY_CYCLE_BUCKETS: tuple[float, ...] = (
+    1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8,
+)
+
+#: Metrics declared but not reachable from any committed mission
+#: configuration; the coverage check skips them.  ``held_commands``
+#: mirrors an AppStats column whose guarding branch (command held with
+#: no frame ever seen) cannot fire under the shipped control flow —
+#: kept because the thin-view migration must cover every legacy column.
+COVERAGE_EXEMPT: frozenset[str] = frozenset({"rose_app_held_commands_total"})
+
+DECLARED_METRICS: tuple[MetricSpec, ...] = (
+    # -- synchronizer ---------------------------------------------------
+    MetricSpec(
+        "rose_sync_steps_total",
+        "counter",
+        "Completed lockstep synchronization steps (Algorithm 1 iterations).",
+    ),
+    MetricSpec(
+        "rose_sync_grants_total",
+        "counter",
+        "SYNC_GRANT packets sent to the RTL side, including regrant resends.",
+    ),
+    MetricSpec(
+        "rose_sync_done_total",
+        "counter",
+        "SYNC_DONE acknowledgements received, split by freshness.",
+        labels=("result",),
+    ),
+    MetricSpec(
+        "rose_sync_regrants_total",
+        "counter",
+        "Watchdog-triggered grant retransmissions.",
+    ),
+    MetricSpec(
+        "rose_sync_watchdog_fires_total",
+        "counter",
+        "Watchdog expirations that aborted the mission (regrants exhausted "
+        "or SYNC_DONE never arrived).",
+    ),
+    MetricSpec(
+        "rose_sync_sensor_faults_total",
+        "counter",
+        "Sensor-side fault activations observed by the synchronizer "
+        "(camera blackout, stuck IMU).",
+    ),
+    # -- link / transports ---------------------------------------------
+    MetricSpec(
+        "rose_link_packets_total",
+        "counter",
+        "Packets crossing the synchronizer boundary by direction and type.",
+        labels=("direction", "ptype"),
+    ),
+    MetricSpec(
+        "rose_link_bytes_total",
+        "counter",
+        "Framed bytes through each transport endpoint by direction.",
+        labels=("endpoint", "direction"),
+    ),
+    MetricSpec(
+        "rose_link_crc_discards_total",
+        "counter",
+        "Frames dropped by CRC verification across both transports.",
+    ),
+    MetricSpec(
+        "rose_link_faults_total",
+        "counter",
+        "Wire-level fault effects applied to the link, by kind "
+        "(drop/corrupt/duplicate/delay).",
+        labels=("kind",),
+    ),
+    # -- fault injector -------------------------------------------------
+    MetricSpec(
+        "rose_faults_injected_total",
+        "counter",
+        "Fault-injector decisions by kind and packet type, counted at the "
+        "moment of injection.",
+        labels=("kind", "ptype"),
+    ),
+    # -- bridge / SoC ---------------------------------------------------
+    MetricSpec(
+        "rose_bridge_packets_total",
+        "counter",
+        "RoseBridge queue traffic by queue (rx/tx) and event "
+        "(enqueued/dequeued/rejected).",
+        labels=("queue", "event"),
+    ),
+    MetricSpec(
+        "rose_bridge_steps_granted_total",
+        "counter",
+        "Cycle-budget grants accepted by the bridge.",
+    ),
+    MetricSpec(
+        "rose_soc_dma_bytes_total",
+        "counter",
+        "Payload bytes DMA'd across the bridge by direction (rx/tx).",
+        labels=("direction",),
+    ),
+    MetricSpec(
+        "rose_soc_cycles_total",
+        "counter",
+        "Simulated SoC cycles elapsed over the mission.",
+    ),
+    MetricSpec(
+        "rose_soc_cpu_busy_cycles_total",
+        "counter",
+        "Cycles the SoC CPU spent busy (non-idle).",
+    ),
+    MetricSpec(
+        "rose_soc_idle_cycles_total",
+        "counter",
+        "Cycles the SoC spent idle waiting for work.",
+    ),
+    MetricSpec(
+        "rose_soc_gemmini_busy_cycles_total",
+        "counter",
+        "Cycles the Gemmini accelerator spent busy.",
+    ),
+    MetricSpec(
+        "rose_soc_gemmini_ops_total",
+        "counter",
+        "Operations dispatched to the Gemmini accelerator.",
+    ),
+    MetricSpec(
+        "rose_soc_mmio_total",
+        "counter",
+        "MMIO accesses to the bridge register file by operation.",
+        labels=("op",),
+    ),
+    MetricSpec(
+        "rose_soc_inferences_total",
+        "counter",
+        "DNN inferences completed on the SoC.",
+    ),
+    # -- DNN runtime ----------------------------------------------------
+    MetricSpec(
+        "rose_dnn_layer_cycles",
+        "histogram",
+        "Per-layer compute cost in SoC cycles, labelled by model and "
+        "backend (cpu/gemmini).",
+        labels=("model", "backend"),
+        buckets=LAYER_CYCLE_BUCKETS,
+    ),
+    # -- application layer ---------------------------------------------
+    MetricSpec(
+        "rose_app_inferences_total",
+        "counter",
+        "Application-level inference requests completed, by model.",
+        labels=("model",),
+    ),
+    MetricSpec(
+        "rose_app_inference_latency_cycles",
+        "histogram",
+        "End-to-end inference latency in SoC cycles (request cycle to "
+        "response cycle), by model.",
+        labels=("model",),
+        buckets=LATENCY_CYCLE_BUCKETS,
+    ),
+    MetricSpec(
+        "rose_app_sensor_timeouts_total",
+        "counter",
+        "Sensor requests the trail app abandoned after the timeout budget.",
+    ),
+    MetricSpec(
+        "rose_app_sensor_retries_total",
+        "counter",
+        "Sensor request retries issued by the trail app.",
+    ),
+    MetricSpec(
+        "rose_app_stale_frames_total",
+        "counter",
+        "Control decisions recomputed from a stale (held) camera frame.",
+    ),
+    MetricSpec(
+        "rose_app_held_commands_total",
+        "counter",
+        "Actuation commands re-issued with no frame ever received.",
+    ),
+    MetricSpec(
+        "rose_fusion_sensor_timeouts_total",
+        "counter",
+        "Fusion-pipeline sensor timeouts by sensor branch.",
+        labels=("sensor",),
+    ),
+    MetricSpec(
+        "rose_fusion_sensor_retries_total",
+        "counter",
+        "Fusion-pipeline sensor request retries.",
+    ),
+    MetricSpec(
+        "rose_app_deadline_checks_total",
+        "counter",
+        "Deadline-policy evaluations in the dynamic runtime, split by "
+        "whether the situation was at risk (Eq. 3 TTC below threshold).",
+        labels=("at_risk",),
+    ),
+    MetricSpec(
+        "rose_app_deadline_misses_total",
+        "counter",
+        "Inferences whose selected model could not meet the process "
+        "deadline (Eq. 5).",
+    ),
+    # -- mission summary ------------------------------------------------
+    MetricSpec(
+        "rose_mission_sim_time_seconds",
+        "gauge",
+        "Simulated time covered by the mission.",
+    ),
+    MetricSpec(
+        "rose_mission_progress",
+        "gauge",
+        "Fraction of the course completed (0..1).",
+    ),
+    MetricSpec(
+        "rose_mission_completed",
+        "gauge",
+        "1 if the mission finished the course without failure, else 0.",
+    ),
+    MetricSpec(
+        "rose_mission_collisions_total",
+        "counter",
+        "Collisions recorded by the environment during the mission.",
+    ),
+)
+
+
+def mission_registry() -> MetricsRegistry:
+    """A fresh registry pre-loaded with the full declared catalog."""
+    return MetricsRegistry(DECLARED_METRICS)
+
+
+def spec_for(name: str) -> MetricSpec | None:
+    """Look up a declared spec by name (None if not declared)."""
+    for spec in DECLARED_METRICS:
+        if spec.name == name:
+            return spec
+    return None

@@ -1,0 +1,123 @@
+"""Short demonstration missions that exercise the full metric catalog.
+
+``python -m repro obs --demo`` (and the CI obs job) runs this set and
+then checks, via :func:`repro.obs.metrics.exercised_metrics`, that every
+declared metric outside ``COVERAGE_EXEMPT`` recorded at least one
+series — a declared-but-dead metric is a lint-grade bug: either the
+instrumentation was dropped or the declaration is stale.
+
+Each mission is deliberately tiny (a few simulated seconds) but tuned
+to light up one corner of the catalog: healthy lockstep, deadline-miss
+accounting, fusion sensor branches, link faults with app-level
+degradation, watchdog abort, and stale SYNC_DONE classification.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CoSimConfig
+from repro.core.faults import FaultPlan, FaultRule, ScheduledFault
+
+
+def demo_missions() -> dict[str, CoSimConfig]:
+    """Named short missions covering every reachable declared metric."""
+    return {
+        # Healthy lockstep: sync/link/bridge/SoC/DNN/app/mission metrics.
+        "obs-healthy": CoSimConfig(
+            world="tunnel",
+            soc="A",
+            model="resnet14",
+            target_velocity=3.0,
+            max_sim_time=2.0,
+        ),
+        # Dynamic runtime driven fast toward the wall: deadline checks
+        # flip to at_risk and the low-latency model still misses Eq. 5.
+        "obs-deadline": CoSimConfig(
+            world="tunnel",
+            soc="A",
+            controller="dnn",
+            dynamic_runtime=True,
+            target_velocity=14.0,
+            initial_angle_deg=50.0,
+            max_sim_time=2.0,
+        ),
+        # Fusion pipeline with flaky IMU/camera responses plus a stuck-IMU
+        # window: fusion timeout/retry counters and sensor faults.
+        "obs-fusion-faults": CoSimConfig(
+            world="tunnel",
+            soc="A",
+            controller="fusion",
+            target_velocity=3.0,
+            max_sim_time=3.0,
+            faults=FaultPlan(
+                seed=11,
+                rules=(
+                    FaultRule(ptype="IMU_RESP", drop=0.3),
+                    FaultRule(ptype="CAMERA_RESP", drop=0.3),
+                ),
+                scheduled=(
+                    ScheduledFault(kind="stuck_imu", start_step=2, end_step=40),
+                ),
+            ),
+        ),
+        # Trail app over a lossy link: corrupt/duplicate/delay rules, a
+        # camera-response blackout window late enough that a first frame
+        # has arrived (stale-frame reuse), and a camera blackout for
+        # synchronizer-side sensor faults.
+        "obs-lossy-link": CoSimConfig(
+            world="tunnel",
+            soc="A",
+            target_velocity=3.0,
+            max_sim_time=5.0,
+            faults=FaultPlan(
+                seed=7,
+                rules=(
+                    FaultRule(
+                        ptype="CAMERA_RESP",
+                        corrupt=0.2,
+                        duplicate=0.2,
+                        delay=0.2,
+                        delay_steps=1,
+                    ),
+                ),
+                scheduled=(
+                    # Wide enough that the app's timeout budget (3 syncs
+                    # x 3 retries) exhausts mid-window, forcing stale-frame
+                    # reuse rather than a late success.
+                    ScheduledFault(
+                        kind="drop", ptype="CAMERA_RESP", start_step=6, end_step=60
+                    ),
+                    ScheduledFault(
+                        kind="camera_blackout", start_step=70, end_step=90
+                    ),
+                ),
+            ),
+        ),
+        # Every SYNC_GRANT dropped: regrants exhaust and the watchdog
+        # ends the mission (failure_reason="watchdog").
+        "obs-watchdog": CoSimConfig(
+            world="tunnel",
+            soc="A",
+            target_velocity=3.0,
+            max_sim_time=1.0,
+            faults=FaultPlan(
+                seed=3,
+                rules=(FaultRule(ptype="SYNC_GRANT", drop=1.0),),
+            ),
+        ),
+        # Delayed + duplicated SYNC_DONE acks: the synchronizer regrants,
+        # then classifies the late/extra acks as stale.
+        "obs-stale-ack": CoSimConfig(
+            world="tunnel",
+            soc="A",
+            target_velocity=3.0,
+            max_sim_time=2.0,
+            faults=FaultPlan(
+                seed=5,
+                rules=(
+                    FaultRule(
+                        ptype="SYNC_DONE", delay=0.5, duplicate=0.5, delay_steps=1
+                    ),
+                ),
+            ),
+        ),
+    }

@@ -1,0 +1,236 @@
+"""Exporters: Prometheus text exposition format (and a parser for it).
+
+``to_prometheus`` renders a metrics snapshot in the Prometheus text
+format (``# HELP`` / ``# TYPE`` lines, cumulative ``_bucket{le=...}``
+series for histograms).  ``parse_prometheus`` reads that format back
+into snapshot shape — it exists so the property suite can prove the
+exporter round-trips losslessly, and doubles as a scrape-file reader
+for ad-hoc tooling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.obs.declarations import spec_for
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints; refuse the ambiguity
+        raise ConfigError("boolean metric values are not supported")
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _label_str(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, str(v)) for k, v in labels.items()] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a snapshot in Prometheus text exposition format.
+
+    Only exercised series are emitted (Prometheus has no notion of a
+    declared-but-empty metric), but ``# TYPE`` lines appear for every
+    metric with at least one series.  Histogram buckets are cumulative
+    with a closing ``le="+Inf"`` bucket, per the exposition format.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if not entry["series"]:
+            continue
+        spec = spec_for(name)
+        if spec is not None and spec.help:
+            lines.append(f"# HELP {name} {_escape(spec.help)}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        if entry["kind"] == "histogram":
+            edges = entry["buckets"]
+            for row in entry["series"]:
+                cumulative = 0
+                for edge, count in zip(edges, row["buckets"]):
+                    cumulative += count
+                    label_s = _label_str(row["labels"], (("le", _format_value(edge)),))
+                    lines.append(f"{name}_bucket{label_s} {cumulative}")
+                cumulative += row["buckets"][len(edges)]
+                label_s = _label_str(row["labels"], (("le", "+Inf"),))
+                lines.append(f"{name}_bucket{label_s} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_label_str(row['labels'])} "
+                    f"{_format_value(row['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(row['labels'])} {row['count']}"
+                )
+        else:
+            for row in entry["series"]:
+                lines.append(
+                    f"{name}{_label_str(row['labels'])} "
+                    f"{_format_value(row['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_number(text: str) -> int | float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip()
+        if text[eq + 1] != '"':
+            raise ConfigError(f"malformed label value near {text[eq:]!r}")
+        j = eq + 2
+        raw: list[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                raw.append(text[j : j + 2])
+                j += 2
+            else:
+                raw.append(text[j])
+                j += 1
+        labels[key] = _unescape("".join(raw))
+        i = j + 1
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return labels
+
+
+def _split_sample(line: str) -> tuple[str, dict[str, str], int | float]:
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        body, tail = rest.rsplit("}", 1)
+        return name.strip(), _parse_labels(body), _parse_number(tail.strip())
+    name, value = line.rsplit(None, 1)
+    return name.strip(), {}, _parse_number(value)
+
+
+def parse_prometheus(text: str) -> dict[str, Any]:
+    """Parse Prometheus text exposition back into snapshot shape.
+
+    Inverse of :func:`to_prometheus` for exercised series: cumulative
+    histogram buckets are de-accumulated back to per-bucket counts and
+    bucket edges recovered from the ``le`` labels.
+    """
+    kinds: dict[str, str] = {}
+    scalar_rows: dict[str, list[dict[str, Any]]] = {}
+    hist_edges: dict[str, list[float]] = {}
+    hist_rows: dict[str, dict[tuple[str, ...], dict[str, Any]]] = {}
+
+    def hist_row(name: str, labels: dict[str, str]) -> dict[str, Any]:
+        key = tuple(f"{k}={v}" for k, v in sorted(labels.items()))
+        rows = hist_rows.setdefault(name, {})
+        if key not in rows:
+            rows[key] = {"labels": dict(labels), "cumulative": {}, "sum": 0, "count": 0}
+        return rows[key]
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split(None, 3)
+            kinds[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        sample, labels, value = _split_sample(line)
+        base = sample
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = sample[: -len(suffix)] if sample.endswith(suffix) else None
+            if candidate is not None and kinds.get(candidate) == "histogram":
+                base = candidate
+                if suffix == "_bucket":
+                    edge = _parse_number(labels.pop("le"))
+                    row = hist_row(base, labels)
+                    row["cumulative"][float(edge)] = value
+                    if not math.isinf(edge):
+                        edges = hist_edges.setdefault(base, [])
+                        if float(edge) not in edges:
+                            edges.append(float(edge))
+                elif suffix == "_sum":
+                    hist_row(base, labels)["sum"] = value
+                else:
+                    hist_row(base, labels)["count"] = value
+                break
+        else:
+            if kinds.get(sample) in ("counter", "gauge"):
+                scalar_rows.setdefault(sample, []).append(
+                    {"labels": labels, "value": value}
+                )
+            else:
+                raise ConfigError(f"sample {sample!r} has no preceding # TYPE line")
+
+    snapshot: dict[str, Any] = {}
+    for name, kind in kinds.items():
+        if kind == "histogram":
+            edges = sorted(hist_edges.get(name, []))
+            series: list[dict[str, Any]] = []
+            for row in hist_rows.get(name, {}).values():
+                cumulative = row["cumulative"]
+                counts: list[int | float] = []
+                prev: int | float = 0
+                for edge in edges:
+                    cum = cumulative.get(edge, prev)
+                    counts.append(cum - prev)
+                    prev = cum
+                counts.append(cumulative.get(math.inf, prev) - prev)
+                series.append(
+                    {
+                        "labels": row["labels"],
+                        "buckets": counts,
+                        "sum": row["sum"],
+                        "count": row["count"],
+                    }
+                )
+            label_names = sorted(series[0]["labels"]) if series else []
+            series.sort(key=lambda r: tuple(str(r["labels"][k]) for k in label_names))
+            snapshot[name] = {
+                "kind": kind,
+                "labels": label_names,
+                "buckets": edges,
+                "series": series,
+            }
+        else:
+            rows = scalar_rows.get(name, [])
+            label_names = sorted(rows[0]["labels"]) if rows else []
+            rows.sort(key=lambda r: tuple(str(r["labels"][k]) for k in label_names))
+            snapshot[name] = {"kind": kind, "labels": label_names, "series": rows}
+    return dict(sorted(snapshot.items()))

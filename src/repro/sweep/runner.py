@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.config import CoSimConfig
 from repro.core.cosim import MissionResult, run_mission
 from repro.core.timing import merge_timings
+from repro.obs.aggregate import merge_snapshots
 from repro.sweep.cache import CACHE_DIR_ENV, ResultCache
 from repro.sweep.fingerprint import config_key
 
@@ -82,6 +83,21 @@ class SweepReport:
             outcome.result.stage_timings
             for outcome in self.outcomes
             if not outcome.from_cache
+        )
+
+    def telemetry(self) -> dict[str, object]:
+        """The sweep's aggregated metrics snapshot (repro.obs).
+
+        Merges every mission's flight-recorder snapshot — cache hits
+        included, since their telemetry rides in the cached result —
+        into one registry-shaped dict.  The merge is associative and
+        commutative, so worker count and placement cannot change it:
+        a 2-worker sweep aggregates to exactly the serial run's value.
+        """
+        return merge_snapshots(
+            outcome.result.obs.metrics
+            for outcome in self.outcomes
+            if outcome.result.obs is not None
         )
 
 

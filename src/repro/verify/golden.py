@@ -146,20 +146,23 @@ class GoldenRecord:
     signature: str
     metrics: dict[str, Any]
     payload: dict[str, Any]
+    #: The mission's deterministic obs snapshot (repro.obs metrics dict).
+    #: ``None`` in records captured before the observability layer existed
+    #: — the checker tolerates that and compares only when present.
+    obs: dict[str, Any] | None = None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "format": GOLDEN_FORMAT,
-                "name": self.name,
-                "config": self.config,
-                "signature": self.signature,
-                "metrics": self.metrics,
-                "payload": self.payload,
-            },
-            sort_keys=True,
-            indent=1,
-        )
+        data: dict[str, Any] = {
+            "format": GOLDEN_FORMAT,
+            "name": self.name,
+            "config": self.config,
+            "signature": self.signature,
+            "metrics": self.metrics,
+            "payload": self.payload,
+        }
+        if self.obs is not None:
+            data["obs"] = self.obs
+        return json.dumps(data, sort_keys=True, indent=1)
 
     @classmethod
     def from_json(cls, text: str) -> "GoldenRecord":
@@ -172,6 +175,7 @@ class GoldenRecord:
             signature=data["signature"],
             metrics=data["metrics"],
             payload=data["payload"],
+            obs=data.get("obs"),
         )
 
 
@@ -186,6 +190,7 @@ def record_mission(name: str, config: CoSimConfig) -> GoldenRecord:
         signature=mission_signature(result),
         metrics=metrics,
         payload=payload,
+        obs=result.obs.metrics if result.obs is not None else None,
     )
 
 
@@ -267,6 +272,23 @@ def _check_one(name: str, config: CoSimConfig, record: GoldenRecord) -> MissionC
     result = run_mission(config)
     signature = mission_signature(result)
     if signature == record.signature:
+        # The signature covers the canonical payload; the obs snapshot is
+        # checked separately so telemetry drift is caught even when the
+        # legacy metrics agree.  Records captured before the observability
+        # layer existed carry no snapshot and are tolerated as-is.
+        if record.obs is not None and result.obs is not None:
+            recorded_obs = _json_round_trip(record.obs)
+            current_obs = _json_round_trip(result.obs.metrics)
+            if recorded_obs != current_obs:
+                divergence = first_divergence(
+                    recorded_obs, current_obs, f"{name}.obs"
+                )
+                return MissionCheck(
+                    name=name,
+                    status="drift",
+                    divergence=divergence,
+                    detail="obs snapshot diverged from recorded telemetry",
+                )
         return MissionCheck(name=name, status="ok")
     payload = canonical_payload(result)
     divergence = mission_divergence(record.payload, payload, name)

@@ -36,7 +36,7 @@ from repro.dnn import reference as ref
 from repro.sweep.cache import ResultCache
 from repro.sweep.runner import SweepRunner
 from repro.sweep.signature import canonical_payload, mission_signature
-from repro.verify.diffutil import Divergence, mission_divergence
+from repro.verify.diffutil import Divergence, first_divergence, mission_divergence
 
 #: Relative/absolute tolerance for kernels whose optimized path
 #: reassociates a float32 sum (matmul vs. loop-of-dots).
@@ -403,6 +403,105 @@ def _oracle_fault_noop() -> list[Divergence]:
         _tiny_config(faults=None),
         _tiny_config(faults=FaultPlan()),
     )
+
+
+def _series_sum(snapshot: dict[str, Any], name: str, **labels: str) -> int | float:
+    """Sum the series of ``name`` whose labels match every given pair."""
+    entry = snapshot.get(name, {})
+    total: int | float = 0
+    for row in entry.get("series", []):
+        if all(row["labels"].get(k) == v for k, v in labels.items()):
+            total += row["value"]
+    return total
+
+
+@oracle(
+    "obs-snapshot",
+    "flight-recorder metrics vs. the legacy stats counters they shadow "
+    "(independently recorded, must agree exactly) plus replay determinism",
+)
+def _oracle_obs_snapshot() -> list[Divergence]:
+    out: list[Divergence] = []
+    cfg = _tiny_config(seed=5, faults=FaultPlan.sensor_response_drop(0.2, seed=3))
+    result = run_mission(cfg)
+    if result.obs is None:
+        return [
+            Divergence(
+                site="obs-snapshot",
+                field="obs",
+                expected="a FlightRecord on the mission result",
+                actual="<none>",
+            )
+        ]
+    snap = result.obs.metrics
+
+    def check(field: str, expected: Any, actual: Any) -> None:
+        if expected != actual:
+            out.append(
+                Divergence(
+                    site="obs-snapshot",
+                    field=field,
+                    expected=expected,
+                    actual=actual,
+                )
+            )
+
+    stats = result.sync_stats
+    assert stats is not None
+    check("steps", stats.steps, _series_sum(snap, "rose_sync_steps_total"))
+    # stats.packets_to_rtl counts only data packets (_transmit); the link
+    # counter also sees SYNC_GRANT/SYNC_SET_STEPS/SYNC_SHUTDOWN control
+    # traffic, so exclude SYNC_* series from the comparison.
+    data_to_rtl = sum(
+        row["value"]
+        for row in snap.get("rose_link_packets_total", {}).get("series", [])
+        if row["labels"]["direction"] == "to_rtl"
+        and not row["labels"]["ptype"].startswith("SYNC_")
+    )
+    check("packets_to_rtl", stats.packets_to_rtl, data_to_rtl)
+    check(
+        "packets_from_rtl",
+        stats.packets_from_rtl,
+        _series_sum(snap, "rose_link_packets_total", direction="from_rtl"),
+    )
+    # The fault injector records rose_faults_injected_total at its own
+    # decision sites; the synchronizer records rose_link_faults_total when
+    # it applies each verdict.  Two independent recorders, one event.
+    for kind in ("drop", "corrupt", "duplicate", "delay"):
+        check(
+            f"faults[{kind}]",
+            _series_sum(snap, "rose_link_faults_total", kind=kind),
+            _series_sum(snap, "rose_faults_injected_total", kind=kind),
+        )
+
+    app = result.app_stats
+    assert app is not None
+    check(
+        "inference_count",
+        app.inference_count,
+        _series_sum(snap, "rose_app_inferences_total"),
+    )
+    latency = snap.get("rose_app_inference_latency_cycles", {})
+    check(
+        "inference_latency.count",
+        app.inference_count,
+        sum(row["count"] for row in latency.get("series", [])),
+    )
+    check("soc_cycles", result.soc_cycles, _series_sum(snap, "rose_soc_cycles_total"))
+    check(
+        "collisions",
+        result.collisions,
+        _series_sum(snap, "rose_mission_collisions_total"),
+    )
+
+    # Replay determinism: an identical second run must produce a
+    # byte-identical snapshot (sorted keys, fixed buckets — no slack).
+    replay = run_mission(cfg)
+    if replay.obs is not None and replay.obs.metrics != snap:
+        hit = first_divergence(snap, replay.obs.metrics, "obs-snapshot.replay")
+        if hit is not None:
+            out.append(hit)
+    return out
 
 
 @oracle(

@@ -1,0 +1,115 @@
+"""Tests for repro.app.deadline (Equations 3-5) and the dynamic
+runtime's deadline-miss accounting through the obs metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.app.deadline import (
+    DEFAULT_ACTUATION_LATENCY_S,
+    DEFAULT_SENSOR_LATENCY_S,
+    DeadlinePolicy,
+    process_deadline,
+    time_to_collision,
+)
+from repro.core.cosim import run_mission
+from repro.errors import ConfigError
+from repro.obs.demo import demo_missions
+
+
+class TestTimeToCollision:
+    def test_equation_3(self):
+        assert time_to_collision(depth_m=18.0, velocity_mps=9.0) == 2.0
+
+    def test_zero_velocity_never_collides(self):
+        assert time_to_collision(10.0, 0.0) == math.inf
+        assert time_to_collision(10.0, -1.0) == math.inf
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            time_to_collision(-0.1, 1.0)
+
+
+class TestProcessDeadline:
+    def test_equation_5_subtracts_fixed_latencies(self):
+        budget = process_deadline(18.0, 9.0)
+        assert budget == pytest.approx(
+            2.0 - DEFAULT_SENSOR_LATENCY_S - DEFAULT_ACTUATION_LATENCY_S
+        )
+
+    def test_budget_can_go_negative(self):
+        # Already inside the unavoidable-latency envelope: no compute
+        # budget remains ("already late" is representable).
+        assert process_deadline(0.5, 9.0) < 0
+
+    def test_negative_latencies_rejected(self):
+        with pytest.raises(ConfigError):
+            process_deadline(10.0, 1.0, sensor_latency_s=-0.01)
+        with pytest.raises(ConfigError):
+            process_deadline(10.0, 1.0, actuation_latency_s=-0.01)
+
+
+class TestDeadlinePolicy:
+    def test_at_risk_threshold(self):
+        policy = DeadlinePolicy(threshold_s=0.40)
+        assert not policy.at_risk(depth_m=20.0, velocity_mps=3.0)
+        assert policy.at_risk(depth_m=1.0, velocity_mps=3.0)
+
+    def test_meets_deadline_is_equation_4(self):
+        policy = DeadlinePolicy()
+        budget = process_deadline(18.0, 9.0)
+        assert policy.meets_deadline(18.0, 9.0, compute_s=budget)
+        assert not policy.meets_deadline(18.0, 9.0, compute_s=budget + 1e-6)
+
+    def test_custom_latencies_flow_through(self):
+        policy = DeadlinePolicy(
+            threshold_s=0.1, sensor_latency_s=0.0, actuation_latency_s=0.0
+        )
+        assert policy.meets_deadline(1.0, 1.0, compute_s=1.0)
+
+
+class TestDeadlineMissAccounting:
+    """The dynamic runtime counts Eq. 4/5 outcomes in the obs registry."""
+
+    @pytest.fixture(scope="class")
+    def deadline_result(self):
+        # The obs demo set's deadline mission: dynamic runtime driven
+        # fast toward the wall so both at_risk outcomes and misses occur.
+        return run_mission(demo_missions()["obs-deadline"])
+
+    def test_checks_counted_per_outcome(self, deadline_result):
+        snap = deadline_result.obs.metrics
+        rows = {
+            row["labels"]["at_risk"]: row["value"]
+            for row in snap["rose_app_deadline_checks_total"]["series"]
+        }
+        assert set(rows) == {"true", "false"}
+        assert all(value > 0 for value in rows.values())
+        # One deadline check per control iteration; the mission may end
+        # between the final check and its inference, so at most one extra.
+        checks = sum(rows.values())
+        assert (
+            deadline_result.inference_count
+            <= checks
+            <= deadline_result.inference_count + 1
+        )
+
+    def test_misses_counted(self, deadline_result):
+        snap = deadline_result.obs.metrics
+        misses = sum(
+            row["value"]
+            for row in snap["rose_app_deadline_misses_total"]["series"]
+        )
+        checks = sum(
+            row["value"]
+            for row in snap["rose_app_deadline_checks_total"]["series"]
+        )
+        assert 0 < misses <= checks
+
+    def test_static_runtime_records_no_checks(self):
+        healthy = run_mission(demo_missions()["obs-healthy"])
+        snap = healthy.obs.metrics
+        assert snap["rose_app_deadline_checks_total"]["series"] == []
+        assert snap["rose_app_deadline_misses_total"]["series"] == []

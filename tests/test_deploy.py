@@ -1,0 +1,102 @@
+"""Tests for repro.core.deploy (Table 4 deployments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deploy import (
+    CLOUD_AWS,
+    DEPLOYMENTS,
+    ON_PREMISE,
+    Deployment,
+    MachineSpec,
+    deployment,
+)
+from repro.soc.firesim import simulation_throughput_mhz, wall_time_per_sync
+
+
+class TestCatalog:
+    def test_both_paper_deployments_present(self):
+        assert set(DEPLOYMENTS) == {"on-premise", "cloud-aws"}
+        assert DEPLOYMENTS["on-premise"] is ON_PREMISE
+        assert DEPLOYMENTS["cloud-aws"] is CLOUD_AWS
+
+    def test_lookup_by_name(self):
+        assert deployment("on-premise").name == "on-premise"
+
+    def test_unknown_deployment_raises_with_choices(self):
+        with pytest.raises(KeyError) as exc:
+            deployment("laptop")
+        assert "on-premise" in str(exc.value)
+
+    def test_roles_and_hardware(self):
+        for dep in DEPLOYMENTS.values():
+            assert dep.airsim.role == "airsim"
+            assert dep.firesim.role == "firesim"
+            # The renderer needs a GPU; the simulator needs an FPGA.
+            assert dep.airsim.gpu is not None
+            assert dep.airsim.fpga is None
+            assert dep.firesim.fpga is not None
+            assert dep.firesim.gpu is None
+
+    def test_cloud_machines_name_instances(self):
+        assert CLOUD_AWS.airsim.instance == "g4dn.2xlarge"
+        assert CLOUD_AWS.firesim.instance == "f1.2xlarge"
+        assert ON_PREMISE.airsim.instance is None
+
+
+class TestTableRows:
+    def test_layout_matches_table4(self):
+        rows = ON_PREMISE.table_rows()
+        fields = [field for field, _, _ in rows]
+        assert fields == ["Instance", "CPU", "Frequency", "GPU", "FPGA", "OS"]
+
+    def test_missing_hardware_renders_placeholders(self):
+        by_field = {field: (left, right) for field, left, right in ON_PREMISE.table_rows()}
+        assert by_field["Instance"] == ("-", "-")
+        assert by_field["GPU"][1] == "N/A"  # FireSim machine has no GPU
+        assert by_field["FPGA"][0] == "N/A"  # AirSim machine has no FPGA
+
+    def test_frequency_formatting(self):
+        by_field = {field: (left, right) for field, left, right in CLOUD_AWS.table_rows()}
+        assert by_field["Frequency"] == ("@2.5GHz", "@2.3GHz")
+
+
+class TestPerfModels:
+    def test_cloud_is_slower_per_sync(self):
+        # Cross-instance RPC dominates: the AWS pair pays more per sync.
+        cycles = 10_000_000
+        assert wall_time_per_sync(
+            CLOUD_AWS.perf, cycles
+        ) > wall_time_per_sync(ON_PREMISE.perf, cycles)
+
+    def test_throughput_improves_with_granularity(self):
+        # Figure 15's shape: coarser sync granularity amortizes overhead.
+        for dep in DEPLOYMENTS.values():
+            fine = simulation_throughput_mhz(dep.perf, 1_000_000)
+            coarse = simulation_throughput_mhz(dep.perf, 100_000_000)
+            assert coarse > fine
+
+    def test_throughput_bounded_by_fpga_rate(self):
+        for dep in DEPLOYMENTS.values():
+            throughput = simulation_throughput_mhz(dep.perf, 100_000_000)
+            assert 0 < throughput <= dep.perf.fpga_sim_rate_mhz
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            ON_PREMISE.name = "other"  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            ON_PREMISE.airsim.cpu = "other"  # type: ignore[misc]
+
+    def test_custom_deployment_composes(self):
+        dep = Deployment(
+            name="bench",
+            airsim=MachineSpec(
+                role="airsim", cpu="X", frequency_ghz=3.0, gpu="G", fpga=None, os="L"
+            ),
+            firesim=MachineSpec(
+                role="firesim", cpu="Y", frequency_ghz=2.0, gpu=None, fpga="F", os="L"
+            ),
+            perf=ON_PREMISE.perf,
+        )
+        assert len(dep.table_rows()) == 6

@@ -48,7 +48,7 @@ def active_rules(report) -> list[str]:
 class TestRegistry:
     def test_all_families_registered(self):
         families = {r.family for r in all_rules().values()}
-        assert {"DET", "NUM", "PROTO", "CFG"} <= families
+        assert {"DET", "NUM", "PROTO", "CFG", "OBS"} <= families
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -485,6 +485,102 @@ class TestCfg001CacheKeyCoverage:
         report = run_lint(tmp_path, rules=["CFG001"])
         assert active_rules(report) == ["CFG001"]
         assert "config_to_dict" in report.active[0].message
+
+
+# ---------------------------------------------------------------------------
+# OBS: metric catalog single-sourcing
+# ---------------------------------------------------------------------------
+_DECLARATIONS_SOURCE = """
+    from repro.obs.metrics import MetricSpec
+
+    DECLARED_METRICS = (
+        MetricSpec("rose_sync_steps_total", "counter", "steps"),
+        MetricSpec(name="rose_link_bytes_total", kind="counter", help="bytes"),
+    )
+"""
+
+
+class TestObs001DeclaredMetrics:
+    def test_undeclared_metric_name_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/obs/declarations.py": _DECLARATIONS_SOURCE,
+            "repro/core/synchronizer.py": """
+                def step(registry):
+                    registry.inc("rose_sync_stepz_total")
+            """,
+        })
+        report = run_lint(tmp_path, rules=["OBS001"])
+        assert active_rules(report) == ["OBS001"]
+        assert "rose_sync_stepz_total" in report.active[0].message
+
+    def test_declared_names_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/obs/declarations.py": _DECLARATIONS_SOURCE,
+            "repro/core/synchronizer.py": """
+                def step(registry, stats):
+                    registry.inc("rose_sync_steps_total")
+                    # name= keyword declarations count too:
+                    registry.advance_to("rose_link_bytes_total", stats.total)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["OBS001"]).active == []
+
+    def test_metricspec_outside_declarations_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/obs/declarations.py": _DECLARATIONS_SOURCE,
+            "repro/app/controller.py": """
+                from repro.obs.metrics import MetricSpec
+
+                EXTRA = MetricSpec("rose_extra_total", "counter", "sneaky")
+            """,
+        })
+        report = run_lint(tmp_path, rules=["OBS001"])
+        assert active_rules(report) == ["OBS001"]
+        assert "MetricSpec" in report.active[0].message
+
+    def test_declarations_module_itself_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/obs/declarations.py": _DECLARATIONS_SOURCE,
+        })
+        assert run_lint(tmp_path, rules=["OBS001"]).active == []
+
+    def test_non_metric_strings_ignored(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/obs/declarations.py": _DECLARATIONS_SOURCE,
+            "repro/core/cosim.py": """
+                def collect(registry, payload):
+                    registry.inc(1)             # non-string first arg
+                    payload.get("rose_sync_steps_total")  # not a registry method
+                    registry.set("progress", 1.0)         # no rose_ prefix
+            """,
+        })
+        assert run_lint(tmp_path, rules=["OBS001"]).active == []
+
+    def test_missing_declarations_module_skips_name_check(self, tmp_path):
+        # Fixture trees without the catalog only get the MetricSpec check.
+        make_tree(tmp_path, {
+            "repro/core/synchronizer.py": """
+                def step(registry):
+                    registry.inc("rose_sync_steps_total")
+            """,
+        })
+        assert run_lint(tmp_path, rules=["OBS001"]).active == []
+
+    def test_finding_can_be_baselined(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/obs/declarations.py": _DECLARATIONS_SOURCE,
+            "repro/core/synchronizer.py": """
+                def step(registry):
+                    registry.inc("rose_legacy_total")
+            """,
+        })
+        report = run_lint(tmp_path, rules=["OBS001"])
+        baseline = Baseline.from_diagnostics(
+            report.diagnostics, path=tmp_path / "lint-baseline.json"
+        )
+        rerun = run_lint(tmp_path, rules=["OBS001"], baseline=baseline)
+        assert rerun.active == []
+        assert [d.rule for d in rerun.diagnostics if d.baselined] == ["OBS001"]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,129 @@
+"""Tests for repro.app.monitor (background DNN contention workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.monitor import MonitorConfig, MonitorStats, dnn_monitor_app
+from repro.core.config import CoSimConfig
+from repro.core.cosim import run_mission
+from repro.errors import ConfigError
+from repro.soc.iodev import REG_CYCLE
+from repro.soc.program import TargetRuntime
+
+
+class TestMonitorConfig:
+    def test_default_rate(self):
+        assert MonitorConfig().rate_hz == 10.0
+
+    @pytest.mark.parametrize("rate", [0.0, -5.0])
+    def test_non_positive_rate_rejected(self, rate):
+        with pytest.raises(ConfigError):
+            MonitorConfig(rate_hz=rate)
+
+
+class TestMonitorStats:
+    def test_mean_latency(self):
+        stats = MonitorStats(inferences=4, total_cycles=8_000_000)
+        assert stats.mean_latency_cycles == 2_000_000
+
+    def test_mean_latency_empty_is_zero(self):
+        assert MonitorStats().mean_latency_cycles == 0.0
+
+
+class FakeSession:
+    pass
+
+
+class FakeCpu:
+    frequency_hz = 1e9
+
+
+class FakeReport:
+    total_cycles = 2_000_000
+
+
+def drive_monitor(app, iterations: int) -> tuple[int, list[int]]:
+    """Interpret the generator's ops with a minimal fake engine.
+
+    Returns the final cycle count and the delay lengths the app slept.
+    """
+    cycle = 0
+    delays: list[int] = []
+    inferences = 0
+    op = app.send(None)
+    while inferences < iterations:
+        kind = op[0]
+        if kind == "mmio_read":
+            assert op[1] == REG_CYCLE  # the monitor only reads the clock
+            op = app.send(cycle)
+        elif kind == "inference":
+            cycle += FakeReport.total_cycles
+            inferences += 1
+            op = app.send(FakeReport())
+        elif kind in ("delay", "cpu"):
+            cycle += op[1]
+            if kind == "delay":
+                delays.append(op[1])
+            op = app.send(None)
+        else:  # pragma: no cover - unexpected op means the test must fail
+            raise AssertionError(f"unexpected op {op!r}")
+    return cycle, delays
+
+
+class TestMonitorApp:
+    def test_periodic_cadence(self):
+        stats = MonitorStats()
+        app = dnn_monitor_app(
+            TargetRuntime(),
+            FakeSession(),
+            FakeCpu(),
+            config=MonitorConfig(rate_hz=10.0),
+            stats=stats,
+        )
+        cycle, delays = drive_monitor(app, iterations=3)
+        period = int(FakeCpu.frequency_hz / 10.0)
+        assert stats.inferences == 3
+        assert stats.total_cycles == 3 * FakeReport.total_cycles
+        assert stats.mean_latency_cycles == FakeReport.total_cycles
+        # Each completed iteration sleeps the period remainder (the driver
+        # stops mid-iteration after the final inference, so 2 full sleeps).
+        assert delays == [period - FakeReport.total_cycles] * 2
+
+    def test_no_sleep_when_inference_exceeds_period(self):
+        # At 1 kHz the period (1M cycles) is shorter than the 2M-cycle
+        # inference: the app must not sleep (and must not sleep negative).
+        stats = MonitorStats()
+        app = dnn_monitor_app(
+            TargetRuntime(),
+            FakeSession(),
+            FakeCpu(),
+            config=MonitorConfig(rate_hz=1000.0),
+            stats=stats,
+        )
+        _, delays = drive_monitor(app, iterations=3)
+        assert delays == []
+
+
+class TestMonitorIntegration:
+    def test_background_monitor_runs_and_is_observable(self):
+        result = run_mission(
+            CoSimConfig(
+                world="tunnel",
+                model="resnet6",
+                target_velocity=3.0,
+                max_sim_time=5.0,
+                background="dnn-monitor",
+            )
+        )
+        stats = result.monitor_stats
+        assert stats is not None
+        assert stats.inferences > 0
+        assert stats.mean_latency_cycles > 0
+        # Both tenants' inferences land in the per-model app counter via
+        # their own sessions; the SoC-level counter sees the total.
+        snap = result.obs.metrics
+        soc_inferences = sum(
+            row["value"] for row in snap["rose_soc_inferences_total"]["series"]
+        )
+        assert soc_inferences >= stats.inferences + result.inference_count

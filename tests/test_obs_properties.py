@@ -1,0 +1,206 @@
+"""Property-based tests for the repro.obs layer.
+
+Three laws the sweep engine and exporters rely on, pinned with
+hypothesis-generated inputs:
+
+* **merge is associative and commutative** — histogram (and scalar)
+  snapshots can be merged in any shard grouping and any order; this is
+  what makes worker placement irrelevant to sweep telemetry;
+* **the Prometheus exporter round-trips** — rendering a snapshot to
+  text exposition format and parsing it back recovers every exercised
+  series (modulo the declared-vs-sorted label-name ordering, which the
+  normalizer below accounts for);
+* **counter merges never lose increments** — the merged total equals
+  the sum of per-shard totals, no matter how increments are split.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    MetricSpec,
+    MetricsRegistry,
+    merge_snapshots,
+    parse_prometheus,
+    to_prometheus,
+)
+
+#: Fixed bucket edges for the generated histograms (declared up front,
+#: exactly like the real catalog).
+EDGES = (1.0, 10.0, 100.0, 1000.0)
+
+#: A small closed label vocabulary keeps series overlap between shards
+#: likely, which is where merge bugs would hide.
+label_values = st.sampled_from(["a", "b", "c"])
+
+observations = st.lists(
+    st.tuples(
+        label_values,
+        st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+        st.integers(min_value=1, max_value=5),
+    ),
+    max_size=20,
+)
+
+increments = st.lists(
+    st.tuples(label_values, st.integers(min_value=0, max_value=100)),
+    max_size=20,
+)
+
+
+def hist_registry() -> MetricsRegistry:
+    return MetricsRegistry(
+        [
+            MetricSpec(
+                "rose_test_latency",
+                "histogram",
+                "generated",
+                labels=("shard",),
+                buckets=EDGES,
+            )
+        ]
+    )
+
+
+def hist_snapshot(obs: list[tuple[str, float, int]]) -> dict:
+    reg = hist_registry()
+    for shard, value, count in obs:
+        reg.observe("rose_test_latency", value, count=count, shard=shard)
+    return reg.snapshot()
+
+
+def counter_snapshot(incs: list[tuple[str, int]]) -> dict:
+    reg = MetricsRegistry(
+        [MetricSpec("rose_test_total", "counter", "generated", labels=("shard",))]
+    )
+    for shard, amount in incs:
+        reg.inc("rose_test_total", amount, shard=shard)
+    return reg.snapshot()
+
+
+def canon(snapshot: dict) -> str:
+    return json.dumps(snapshot, sort_keys=True)
+
+
+def structural(snapshot: dict) -> str:
+    """Canonical form with the float histogram sums stripped.
+
+    Bucket counts and observation counts are integers and merge exactly
+    associatively; the ``sum`` field is a float accumulator, and float
+    addition is only associative up to rounding — so it is compared
+    separately with a tolerance.  (The sweep engine never depends on
+    sum-associativity: ``SweepReport.telemetry()`` folds per-mission
+    snapshots in deterministic input order, so the grouping is fixed.)
+    """
+    stripped = {}
+    for name, entry in snapshot.items():
+        copied = dict(entry)
+        copied["series"] = [
+            {k: v for k, v in row.items() if k != "sum"}
+            for row in entry["series"]
+        ]
+        stripped[name] = copied
+    return json.dumps(stripped, sort_keys=True)
+
+
+def sums(snapshot: dict) -> list:
+    """Histogram sums in snapshot (name, label-sorted-row) order."""
+    return [
+        row["sum"]
+        for _, entry in sorted(snapshot.items())
+        for row in entry["series"]
+        if "sum" in row
+    ]
+
+
+class TestHistogramMergeLaws:
+    @given(observations, observations, observations)
+    @settings(max_examples=100)
+    def test_associative(self, a, b, c):
+        sa, sb, sc = hist_snapshot(a), hist_snapshot(b), hist_snapshot(c)
+        left = merge_snapshots([merge_snapshots([sa, sb]), sc])
+        right = merge_snapshots([sa, merge_snapshots([sb, sc])])
+        assert structural(left) == structural(right)
+        assert sums(left) == pytest.approx(sums(right))
+
+    @given(observations, observations)
+    @settings(max_examples=100)
+    def test_commutative(self, a, b):
+        sa, sb = hist_snapshot(a), hist_snapshot(b)
+        assert canon(merge_snapshots([sa, sb])) == canon(
+            merge_snapshots([sb, sa])
+        )
+
+    @given(observations, observations)
+    @settings(max_examples=100)
+    def test_counts_conserved(self, a, b):
+        merged = merge_snapshots([hist_snapshot(a), hist_snapshot(b)])
+        total = sum(
+            row["count"] for row in merged["rose_test_latency"]["series"]
+        )
+        assert total == sum(count for _, _, count in a + b)
+        for row in merged["rose_test_latency"]["series"]:
+            assert sum(row["buckets"]) == row["count"]
+
+
+def normalize(snapshot: dict) -> dict:
+    """Project a snapshot onto what Prometheus exposition preserves.
+
+    The text format carries no declared-label-order or empty-series
+    information, and ``parse_prometheus`` reconstructs label names in
+    sorted order — so drop empty metrics and sort label names before
+    comparing.
+    """
+    out: dict = {}
+    for name, entry in snapshot.items():
+        if not entry["series"]:
+            continue
+        copied = dict(entry)
+        copied["labels"] = sorted(entry["labels"])
+        out[name] = copied
+    return out
+
+
+class TestPrometheusRoundTrip:
+    @given(increments)
+    @settings(max_examples=100)
+    def test_counters(self, incs):
+        snap = counter_snapshot(incs)
+        back = parse_prometheus(to_prometheus(snap))
+        assert canon(back) == canon(normalize(snap))
+
+    @given(observations)
+    @settings(max_examples=100)
+    def test_histograms(self, obs):
+        snap = hist_snapshot(obs)
+        back = parse_prometheus(to_prometheus(snap))
+        assert canon(back) == canon(normalize(snap))
+
+
+class TestCounterMergeLossless:
+    @given(st.lists(increments, max_size=5))
+    @settings(max_examples=100)
+    def test_total_conserved_across_any_split(self, shards):
+        merged = merge_snapshots(counter_snapshot(incs) for incs in shards)
+        merged_total = sum(
+            row["value"]
+            for row in merged.get("rose_test_total", {}).get("series", [])
+        )
+        assert merged_total == sum(
+            amount for incs in shards for _, amount in incs
+        )
+
+    @given(increments, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100)
+    def test_sharding_equals_single_registry(self, incs, shards):
+        # Round-robin the same increments across N registries: the merge
+        # must equal the single-registry snapshot.
+        single = counter_snapshot(incs)
+        parts = [incs[i::shards] for i in range(shards)]
+        merged = merge_snapshots(counter_snapshot(part) for part in parts)
+        assert canon(merged) == canon(single)

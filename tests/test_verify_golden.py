@@ -127,6 +127,37 @@ class TestDriftDetection:
         with pytest.raises(ValueError, match="unsupported golden format"):
             GoldenRecord.from_json('{"format": "rose-golden/999"}')
 
+    def test_obs_drift_flagged_even_when_signature_matches(self, corpus_dir, tmp_path):
+        # Telemetry drift with an unchanged canonical payload: the
+        # signature still matches, so only the obs comparison can catch it.
+        work = tmp_path / "obs-drifted"
+        work.mkdir()
+        for path in corpus_dir.glob("*.json"):
+            (work / path.name).write_text(path.read_text())
+        record_path = work / "unit-a.json"
+        data = json.loads(record_path.read_text())
+        steps = data["obs"]["rose_sync_steps_total"]["series"][0]
+        steps["value"] += 1
+        record_path.write_text(json.dumps(data))
+
+        report = check_corpus(work, missions=_tiny_missions())
+        failure = next(c for c in report.checks if c.name == "unit-a")
+        assert failure.status == "drift"
+        assert "obs" in failure.detail
+        assert "rose_sync_steps_total" in failure.divergence.field
+
+    def test_record_without_obs_snapshot_tolerated(self, corpus_dir, tmp_path):
+        # Records captured before the observability layer carry no obs
+        # key; the checker compares only the signature for them.
+        work = tmp_path / "pre-obs"
+        work.mkdir()
+        for path in corpus_dir.glob("*.json"):
+            data = json.loads(path.read_text())
+            data.pop("obs", None)
+            (work / path.name).write_text(json.dumps(data))
+        report = check_corpus(work, missions=_tiny_missions())
+        assert report.ok
+
 
 class TestRecordContents:
     def test_record_mission_signature_matches_payload(self):
@@ -138,6 +169,18 @@ class TestRecordContents:
         again = GoldenRecord.from_json(record.to_json())
         assert again.signature == record.signature
         assert again.payload == record.payload
+
+    def test_record_carries_obs_snapshot(self):
+        config = CoSimConfig(world="tunnel", model="resnet6", max_sim_time=1.0)
+        record = record_mission("unit", config)
+        assert record.obs is not None
+        steps = sum(
+            row["value"]
+            for row in record.obs["rose_sync_steps_total"]["series"]
+        )
+        assert steps > 0
+        again = GoldenRecord.from_json(record.to_json())
+        assert again.obs == json.loads(json.dumps(record.obs))
 
 
 class TestCommittedCorpus:
