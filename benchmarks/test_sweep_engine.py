@@ -1,12 +1,15 @@
 """Sweep-engine benchmarks: cache speedup, parallel bit-identity.
 
-The engine's two performance claims, asserted:
+The engine's performance claims, asserted:
 
 * a warm cache re-run of a sweep is at least 10x faster than the cold
   run (it deserializes results instead of simulating);
 * parallel execution is bit-identical to serial — and, given enough
   cores, a 4-worker figure-12-style sweep is at least 2.5x faster than
-  the serial run (skipped on small CI machines).
+  the serial run (skipped on small CI machines);
+* chaos recovery is bounded: a sweep with an injected worker crash
+  completes bit-identical to the fault-free run, and the supervision
+  overhead (pool respawn + retry) stays within an absolute budget.
 """
 
 from __future__ import annotations
@@ -18,7 +21,15 @@ from dataclasses import replace
 import pytest
 
 from repro.core.config import CoSimConfig
-from repro.sweep import ResultCache, SweepRunner, mission_signature
+from repro.sweep import (
+    CHAOS_ENV,
+    ChaosPlan,
+    ResultCache,
+    RetryPolicy,
+    SweepRunner,
+    config_key,
+    mission_signature,
+)
 
 
 def _small_configs(count: int = 4) -> list[CoSimConfig]:
@@ -84,6 +95,49 @@ def test_sweep_parallel_bit_identity(benchmark):
     benchmark.extra_info["stage_seconds"] = {
         stage: round(seconds, 4) for stage, seconds in serial.stage_seconds().items()
     }
+
+
+def test_sweep_chaos_recovery_overhead(benchmark):
+    """A crash-injected sweep converges, bit-identical, within budget."""
+    configs = _small_configs()
+    serial = SweepRunner(workers=1).run(configs)
+    serial_signatures = [mission_signature(r) for r in serial.results()]
+
+    plan = ChaosPlan(
+        forced=((config_key(configs[0])[:16], "crash"),),
+        max_faulty_attempts=1,
+    )
+    previous = os.environ.get(CHAOS_ENV)
+    os.environ[CHAOS_ENV] = plan.to_json()
+    try:
+        t0 = time.perf_counter()
+        chaotic = benchmark.pedantic(
+            lambda: SweepRunner(
+                workers=2,
+                retry=RetryPolicy(max_attempts=5, base_delay=0.01, max_delay=0.05),
+            ).run(configs),
+            rounds=1,
+            iterations=1,
+        )
+        chaotic_seconds = time.perf_counter() - t0
+    finally:
+        if previous is None:
+            os.environ.pop(CHAOS_ENV, None)
+        else:
+            os.environ[CHAOS_ENV] = previous
+
+    assert chaotic.ok
+    assert chaotic.pool_crashes >= 1
+    assert [mission_signature(r) for r in chaotic.results()] == serial_signatures
+    # Recovery cost (kill + respawn + redispatch) must stay bounded: the
+    # chaotic parallel run may not exceed the serial run plus a fixed
+    # supervision budget.
+    assert chaotic_seconds < serial.wall_seconds + 15.0
+
+    benchmark.extra_info["serial_seconds"] = round(serial.wall_seconds, 4)
+    benchmark.extra_info["chaotic_seconds"] = round(chaotic_seconds, 4)
+    benchmark.extra_info["pool_crashes"] = chaotic.pool_crashes
+    benchmark.extra_info["retries"] = chaotic.retries
 
 
 @pytest.mark.skipif(

@@ -22,7 +22,10 @@ Rule families (see the modules for the catalog):
   dataclass field must enter the sweep cache key;
 * **OBS** (:mod:`.rules_obs`) — observability: metric names and
   :class:`MetricSpec` declarations single-sourced in
-  :mod:`repro.obs.declarations`.
+  :mod:`repro.obs.declarations`;
+* **RES** (:mod:`.rules_res`) — resilience: retry loops in the sweep
+  engine must be bounded, and every sweep-side wait must route through
+  the shared backoff helper in :mod:`repro.sweep.resilience`.
 
 Diagnostics are suppressed either inline (``# repro: allow[RULE]`` on
 the flagged line or the line above) or through a committed baseline file
@@ -42,6 +45,7 @@ from repro.analysis.lint import (  # noqa: E402  (registration side effect)
     rules_num,  # noqa: F401
     rules_obs,  # noqa: F401
     rules_proto,  # noqa: F401
+    rules_res,  # noqa: F401
 )
 
 __all__ = [

@@ -8,6 +8,9 @@ flags, ``run-all.sh``) with three subcommands:
 * ``run``    — run every experiment in a JSON manifest, serially;
 * ``sweep``  — run a manifest through the sweep engine: worker processes
   plus the on-disk result cache, with a per-stage wall-clock breakdown;
+  supervised execution (per-task timeouts, deterministic retries, poison
+  quarantine), a crash-safe journal, and ``--resume`` to pick up a
+  killed sweep where it stopped;
 * ``verify`` — conformance checks: replay the golden-trace corpus
   (``--check`` / ``--record``) and run the differential oracles;
 * ``obs``    — observability: run missions and emit ``rose-obs/1``
@@ -23,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis.figures import table3_rows
@@ -117,18 +121,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Imported here so `repro fly` startup never pays for the resilience
+    # stack.
+    from repro.sweep import RetryPolicy, SweepJournal, config_key
+    from repro.sweep.chaos import CHAOS_ENV, load_chaos_plan
+
     with open(args.manifest) as handle:
         configs = load_manifest(handle.read())
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    runner = SweepRunner(workers=args.workers, cache=cache)
+
+    if args.chaos:
+        # Validate eagerly (a bad plan should fail the command, not the
+        # first worker) and export for forked workers to inherit.
+        os.environ[CHAOS_ENV] = load_chaos_plan(args.chaos).to_json()
+
+    retry = RetryPolicy(max_attempts=max(1, args.max_attempts))
+    journal = None
+    if cache is not None and not args.no_journal:
+        tasks = [(name, config_key(config)) for name, config in configs.items()]
+        journal = SweepJournal.for_sweep(cache.root, cache.fingerprint, tasks)
+    if args.resume and journal is None:
+        print("--resume needs a journal (enable the cache, drop --no-journal)")
+        return 2
+
+    runner = SweepRunner(
+        workers=args.workers,
+        cache=cache,
+        retry=retry,
+        task_timeout=args.task_timeout,
+        journal=journal,
+        resume=args.resume,
+    )
     report = runner.run(list(configs.items()))
     failures = 0
     for outcome in report.outcomes:
-        origin = "cache" if outcome.from_cache else f"{outcome.wall_seconds:.2f}s"
-        print(f"[{outcome.name}] ({origin}) {outcome.result.summary()}")
-        failures += 0 if outcome.result.completed else 1
+        if outcome.result is not None:
+            origin = "cache" if outcome.from_cache else f"{outcome.wall_seconds:.2f}s"
+            print(f"[{outcome.name}] ({origin}) {outcome.result.summary()}")
+            failures += 0 if outcome.result.completed else 1
+        else:
+            detail = outcome.failure.describe() if outcome.failure else "no result"
+            print(
+                f"[{outcome.name}] {outcome.state.upper()} after "
+                f"{outcome.attempts} attempt(s): {detail}"
+            )
+            failures += 1
     stages = report.stage_seconds()
     if any(stages.values()):
         rendered = ", ".join(f"{name}={seconds:.2f}s" for name, seconds in stages.items())
@@ -138,6 +177,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({report.workers or 'no'} worker(s); cache: {report.cache_hits} hit(s), "
         f"{report.cache_misses} miss(es), {report.cache_stores} store(s))"
     )
+    resilience_active = (
+        report.retries
+        or report.timeouts
+        or report.pool_crashes
+        or report.quarantined
+        or report.journal_replays
+    )
+    if resilience_active:
+        print(
+            f"resilience: {report.retries} retrie(s), {report.timeouts} "
+            f"timeout(s), {report.pool_crashes} pool crash(es), "
+            f"{report.quarantined} quarantined, {report.journal_replays} "
+            "journal replay(s)"
+        )
+    if journal is not None:
+        print(f"journal: {journal.path} ({journal.appended} event(s) appended)")
     if args.json:
         payload = {
             "wall_seconds": report.wall_seconds,
@@ -147,17 +202,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "misses": report.cache_misses,
                 "stores": report.cache_stores,
             },
+            "resilience": {
+                "retries": report.retries,
+                "timeouts": report.timeouts,
+                "pool_crashes": report.pool_crashes,
+                "quarantined": report.quarantined,
+                "journal_replays": report.journal_replays,
+                "policy": retry.to_dict(),
+                "journal": str(journal.path) if journal is not None else None,
+            },
             "stage_seconds": stages,
             "metrics": report.telemetry(),
             "missions": [
                 {
                     "name": outcome.name,
-                    "completed": outcome.result.completed,
-                    "mission_time": outcome.result.mission_time,
-                    "collisions": outcome.result.collisions,
+                    "state": outcome.state,
+                    "attempts": outcome.attempts,
+                    "completed": (
+                        outcome.result.completed
+                        if outcome.result is not None
+                        else False
+                    ),
+                    "mission_time": (
+                        outcome.result.mission_time
+                        if outcome.result is not None
+                        else None
+                    ),
+                    "collisions": (
+                        outcome.result.collisions
+                        if outcome.result is not None
+                        else None
+                    ),
                     "wall_seconds": outcome.wall_seconds,
                     "from_cache": outcome.from_cache,
-                    "stage_timings": outcome.result.stage_timings,
+                    "failure": (
+                        outcome.failure.to_dict()
+                        if outcome.failure is not None
+                        else None
+                    ),
+                    "stage_timings": (
+                        outcome.result.stage_timings
+                        if outcome.result is not None
+                        else {}
+                    ),
                 }
                 for outcome in report.outcomes
             ],
@@ -481,6 +568,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the sweep journal and recompute only unfinished tasks "
+        "(requires the cache + journal)",
+    )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock deadline; expired attempts are retried "
+        "(default: no deadline)",
+    )
+    sweep.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per task before quarantine (1 disables retries; "
+        "default: 3)",
+    )
+    sweep.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="skip the crash-safe sweep journal (implies no --resume)",
+    )
+    sweep.add_argument(
+        "--chaos",
+        metavar="JSON|PATH",
+        default=None,
+        help="inject deterministic worker faults from a ChaosPlan, given "
+        "as inline JSON or a file path (testing/CI only; exported as "
+        "$REPRO_SWEEP_CHAOS)",
     )
     sweep.add_argument("--json", metavar="PATH", help="write a JSON sweep report")
     sweep.set_defaults(handler=_cmd_sweep)

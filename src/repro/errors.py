@@ -48,6 +48,14 @@ class InvariantViolation(ReproError):
     failed."""
 
 
+class SweepError(ReproError):
+    """A sweep finished with failed tasks (after retries/quarantine).
+
+    Raised by :meth:`~repro.sweep.runner.SweepReport.results` when any
+    outcome lacks a usable result — callers that tolerate partial sweeps
+    should inspect ``SweepReport.outcomes`` instead."""
+
+
 class SimulationError(ReproError):
     """The environment simulator was driven incorrectly (e.g. stepping a
     vehicle that has not taken off, out-of-world query)."""

@@ -8,8 +8,11 @@ from repro.obs.aggregate import merge_snapshots
 from repro.obs.declarations import (
     COVERAGE_EXEMPT,
     DECLARED_METRICS,
+    MISSION_METRICS,
+    SWEEP_METRICS,
     mission_registry,
     spec_for,
+    sweep_registry,
 )
 from repro.obs.export import parse_prometheus, to_prometheus
 from repro.obs.metrics import MetricSpec, MetricsRegistry, exercised_metrics
@@ -20,13 +23,16 @@ __all__ = [
     "COVERAGE_EXEMPT",
     "DECLARED_METRICS",
     "FlightRecord",
+    "MISSION_METRICS",
     "MetricSpec",
     "MetricsRegistry",
     "OBS_FORMAT",
     "OBS_SCHEMA",
+    "SWEEP_METRICS",
     "exercised_metrics",
     "merge_snapshots",
     "mission_registry",
+    "sweep_registry",
     "parse_prometheus",
     "spec_for",
     "to_prometheus",

@@ -28,9 +28,25 @@ LATENCY_CYCLE_BUCKETS: tuple[float, ...] = (
 #: mirrors an AppStats column whose guarding branch (command held with
 #: no frame ever seen) cannot fire under the shipped control flow —
 #: kept because the thin-view migration must cover every legacy column.
-COVERAGE_EXEMPT: frozenset[str] = frozenset({"rose_app_held_commands_total"})
+#: The ``rose_sweep_*`` / ``rose_cache_*`` series live in the *sweep*
+#: registry (not in mission snapshots) and record sweep-engine
+#: resilience activity (retries, crashes, journal replays): they only
+#: move under injected faults or cache corruption, which single demo
+#: missions never produce — the chaos tests and the CI chaos job
+#: exercise them instead.
+COVERAGE_EXEMPT: frozenset[str] = frozenset(
+    {
+        "rose_app_held_commands_total",
+        "rose_sweep_retries_total",
+        "rose_sweep_timeouts_total",
+        "rose_sweep_crashes_total",
+        "rose_sweep_quarantined_total",
+        "rose_sweep_journal_replays_total",
+        "rose_cache_corrupt_total",
+    }
+)
 
-DECLARED_METRICS: tuple[MetricSpec, ...] = (
+MISSION_METRICS: tuple[MetricSpec, ...] = (
     # -- synchronizer ---------------------------------------------------
     MetricSpec(
         "rose_sync_steps_total",
@@ -245,9 +261,57 @@ DECLARED_METRICS: tuple[MetricSpec, ...] = (
 )
 
 
+#: Sweep-engine resilience metrics.  Recorded by the *sweep supervisor*
+#: (parent process), never by a mission: they live in their own registry
+#: so per-mission flight-recorder snapshots — and everything hashed from
+#: them (golden corpus telemetry, mission signatures' obs payloads) —
+#: are byte-identical whether or not the mission ran under a sweep.
+SWEEP_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec(
+        "rose_sweep_retries_total",
+        "counter",
+        "Failed task attempts re-dispatched under the sweep RetryPolicy.",
+    ),
+    MetricSpec(
+        "rose_sweep_timeouts_total",
+        "counter",
+        "Task attempts killed for exceeding the per-task timeout.",
+    ),
+    MetricSpec(
+        "rose_sweep_crashes_total",
+        "counter",
+        "Worker-pool breaks (BrokenProcessPool) survived by respawning.",
+    ),
+    MetricSpec(
+        "rose_sweep_quarantined_total",
+        "counter",
+        "Poison tasks quarantined after exhausting their retry budget.",
+    ),
+    MetricSpec(
+        "rose_sweep_journal_replays_total",
+        "counter",
+        "Tasks skipped on --resume because the sweep journal already "
+        "recorded their completion.",
+    ),
+    MetricSpec(
+        "rose_cache_corrupt_total",
+        "counter",
+        "Corrupt result-cache entries quarantined to <key>.pkl.corrupt.",
+    ),
+)
+
+#: The full declared catalog (lint rule OBS001's source of truth).
+DECLARED_METRICS: tuple[MetricSpec, ...] = MISSION_METRICS + SWEEP_METRICS
+
+
 def mission_registry() -> MetricsRegistry:
-    """A fresh registry pre-loaded with the full declared catalog."""
-    return MetricsRegistry(DECLARED_METRICS)
+    """A fresh registry pre-loaded with the mission metric catalog."""
+    return MetricsRegistry(MISSION_METRICS)
+
+
+def sweep_registry() -> MetricsRegistry:
+    """A fresh registry for sweep-supervisor resilience metrics."""
+    return MetricsRegistry(SWEEP_METRICS)
 
 
 def spec_for(name: str) -> MetricSpec | None:

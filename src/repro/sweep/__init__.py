@@ -10,11 +10,27 @@ into one engine:
   serial ones;
 * :class:`ResultCache` stores results content-addressed by config hash
   under a code fingerprint, so warm re-runs skip simulation entirely;
-* :func:`mission_signature` is the bit-identity check both rely on.
+* :func:`mission_signature` is the bit-identity check both rely on;
+* :class:`RetryPolicy` / :class:`TaskFailure` (``repro.sweep.resilience``)
+  give the runner its supervised-execution vocabulary — bounded retries
+  with deterministic backoff, per-task failure taxonomy;
+* :class:`SweepJournal` (``repro.sweep.journal``) is the crash-safe
+  append-only log behind ``python -m repro sweep --resume``;
+* :class:`ChaosPlan` (``repro.sweep.chaos``) injects deterministic worker
+  faults so tests and CI can prove the resilience claims.
 """
 
 from repro.sweep.cache import ResultCache, default_cache_dir
+from repro.sweep.chaos import CHAOS_ENV, ChaosError, ChaosPlan, load_chaos_plan
 from repro.sweep.fingerprint import code_fingerprint, config_key
+from repro.sweep.journal import JOURNAL_FORMAT, SweepJournal, sweep_id
+from repro.sweep.resilience import (
+    OUTCOME_STATES,
+    SUCCESS_STATES,
+    RetryPolicy,
+    TaskFailure,
+    backoff_sleep,
+)
 from repro.sweep.runner import (
     SweepOutcome,
     SweepReport,
@@ -25,15 +41,27 @@ from repro.sweep.runner import (
 from repro.sweep.signature import canonical_payload, mission_signature
 
 __all__ = [
+    "CHAOS_ENV",
+    "ChaosError",
+    "ChaosPlan",
+    "JOURNAL_FORMAT",
+    "OUTCOME_STATES",
     "ResultCache",
-    "canonical_payload",
+    "RetryPolicy",
+    "SUCCESS_STATES",
+    "SweepJournal",
     "SweepOutcome",
     "SweepReport",
     "SweepRunner",
     "SweepTask",
+    "TaskFailure",
+    "backoff_sleep",
+    "canonical_payload",
     "code_fingerprint",
     "config_key",
     "default_cache_dir",
+    "load_chaos_plan",
     "mission_signature",
+    "sweep_id",
     "sweep_missions",
 ]

@@ -10,9 +10,10 @@ are simply orphaned under the old directory (``prune`` deletes them).
 
 Entries are pickled envelopes carrying their own key and fingerprint so a
 mis-filed or truncated file is detected on read; corrupt entries are
-removed and treated as misses.  Writes go through a temp file and
-``os.replace`` so concurrent workers and interrupted runs can never
-publish a half-written entry.
+*quarantined* — renamed to ``<key>.pkl.corrupt`` so the evidence survives
+for post-mortem — counted in :meth:`ResultCache.stats`, and treated as
+misses.  Writes go through a temp file and ``os.replace`` so concurrent
+workers and interrupted runs can never publish a half-written entry.
 """
 
 from __future__ import annotations
@@ -50,6 +51,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     def _dir(self) -> Path:
@@ -80,8 +82,15 @@ class ResultCache:
             self.misses += 1
             return None
         except Exception:
-            # Truncated, unreadable, or mis-filed: drop it and recompute.
-            path.unlink(missing_ok=True)
+            # Truncated, unreadable, or mis-filed: quarantine the file so
+            # the evidence survives for post-mortem, then recompute.  The
+            # rename also vacates the key, so the recomputed result's
+            # ``put`` publishes cleanly.
+            try:
+                os.replace(path, path.with_name(path.name + ".corrupt"))
+            except OSError:
+                path.unlink(missing_ok=True)
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -126,4 +135,9 @@ class ResultCache:
         return removed
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }

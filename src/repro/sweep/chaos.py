@@ -1,0 +1,211 @@
+"""Env-gated chaos harness: inject worker faults into sweep tasks.
+
+The supervised sweep loop claims to survive worker exceptions, crashes,
+and hangs.  This module makes those events *injectable and
+deterministic* so tests, the ``sweep-chaos`` differential oracle, and
+the CI chaos job can prove the claim: a chaos-injected sweep must
+complete via retries with results bit-identical to a fault-free serial
+run.
+
+Gating and determinism:
+
+* chaos is off unless ``REPRO_SWEEP_CHAOS`` holds a JSON
+  :class:`ChaosPlan` — an environment variable, not a config field, so
+  fault injection can never enter a config key, a mission signature, or
+  a cached envelope, and forked pool workers inherit it for free;
+* every injection decision is a pure function of
+  ``(plan.seed, config_key, attempt)`` via SHA-256 — no RNG stream, no
+  wall clock — so the same plan faults the same attempts on every host;
+* decisions beyond ``max_faulty_attempts`` are always ``None``, which
+  bounds the faults any single task can see and guarantees a
+  sufficiently-budgeted :class:`~repro.sweep.resilience.RetryPolicy`
+  converges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError, ReproError
+
+#: Environment variable carrying the JSON chaos plan (empty/absent = off).
+CHAOS_ENV = "REPRO_SWEEP_CHAOS"
+
+#: Exit code used by injected worker crashes (visible in pool post-mortems).
+CRASH_EXIT_CODE = 13
+
+#: The fault kinds a plan can inject.
+KINDS = ("fail", "crash", "hang")
+
+
+class ChaosError(ReproError):
+    """The injected worker-side exception."""
+
+
+#: Per-process record of injected faults: ``(kind, key, attempt)``.
+#: Transient state — cleared by the pool initializer on every (re)spawn
+#: so a forked worker never inherits the parent's (or a previous pool
+#: generation's) injection history.
+_INJECTED: list[tuple[str, str, int]] = []
+
+
+def injected_faults() -> list[tuple[str, str, int]]:
+    """This process's injection log (workers log their own)."""
+    return list(_INJECTED)
+
+
+def reset_process_state() -> None:
+    """Clear per-process chaos bookkeeping (pool-initializer hook)."""
+    _INJECTED.clear()
+
+
+def _decision_unit(seed: int, key: str, attempt: int) -> float:
+    """Reproducible uniform sample in ``[0, 1)`` for one (task, attempt)."""
+    digest = hashlib.sha256(f"chaos:{seed}:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic worker-fault injection plan.
+
+    ``forced`` pins specific tasks to specific fault kinds by config-key
+    prefix — the tool tests and the differential oracle use it to
+    guarantee every kind is exercised without probabilistic flake; the
+    rate fields drive broad randomized campaigns.
+    """
+
+    fail_rate: float = 0.0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    seed: int = 0
+    #: Attempts beyond this are never faulted: convergence is guaranteed
+    #: whenever the retry budget exceeds it.
+    max_faulty_attempts: int = 2
+    #: How long an injected hang sleeps (the supervisor's timeout must
+    #: kill it first; this is just "longer than any sane timeout").
+    hang_seconds: float = 3600.0
+    #: ``(config_key_prefix, kind)`` pairs: a matching task is faulted
+    #: with that kind on every attempt up to ``max_faulty_attempts``.
+    forced: tuple[tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for name in ("fail_rate", "crash_rate", "hang_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.fail_rate + self.crash_rate + self.hang_rate > 1.0:
+            raise ConfigError("fault rates must sum to at most 1.0")
+        if self.max_faulty_attempts < 0:
+            raise ConfigError("max_faulty_attempts must be >= 0")
+        for pair in self.forced:
+            if len(pair) != 2 or pair[1] not in KINDS:
+                raise ConfigError(f"forced entries are (key_prefix, kind): {pair!r}")
+
+    # ------------------------------------------------------------------
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The fault to inject for (key, attempt), or ``None``.
+
+        Pure and reproducible: same plan, key, and attempt — same
+        verdict, on every host, in every process.
+        """
+        if attempt > self.max_faulty_attempts:
+            return None
+        for prefix, kind in self.forced:
+            if key.startswith(prefix):
+                return kind
+        unit = _decision_unit(self.seed, key, attempt)
+        if unit < self.crash_rate:
+            return "crash"
+        if unit < self.crash_rate + self.hang_rate:
+            return "hang"
+        if unit < self.crash_rate + self.hang_rate + self.fail_rate:
+            return "fail"
+        return None
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "fail_rate": self.fail_rate,
+            "crash_rate": self.crash_rate,
+            "hang_rate": self.hang_rate,
+            "seed": self.seed,
+            "max_faulty_attempts": self.max_faulty_attempts,
+            "hang_seconds": self.hang_seconds,
+            "forced": [list(pair) for pair in self.forced],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ConfigError(f"invalid chaos plan JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ConfigError("chaos plan must be a JSON object")
+        forced = tuple(
+            (str(prefix), str(kind)) for prefix, kind in payload.get("forced", [])
+        )
+        return cls(
+            fail_rate=float(payload.get("fail_rate", 0.0)),
+            crash_rate=float(payload.get("crash_rate", 0.0)),
+            hang_rate=float(payload.get("hang_rate", 0.0)),
+            seed=int(payload.get("seed", 0)),
+            max_faulty_attempts=int(payload.get("max_faulty_attempts", 2)),
+            hang_seconds=float(payload.get("hang_seconds", 3600.0)),
+            forced=forced,
+        )
+
+
+def load_chaos_plan(spec: str) -> ChaosPlan:
+    """Parse a chaos plan from an inline JSON object or a file path."""
+    spec = spec.strip()
+    if spec.startswith("{"):
+        return ChaosPlan.from_json(spec)
+    try:
+        with open(spec) as handle:
+            return ChaosPlan.from_json(handle.read())
+    except OSError as exc:
+        raise ConfigError(f"cannot read chaos plan file {spec!r}: {exc}") from exc
+
+
+def active_plan() -> Optional[ChaosPlan]:
+    """The plan in ``$REPRO_SWEEP_CHAOS``, or ``None`` when chaos is off.
+
+    Parsed on every call (it is one small JSON object) so tests can flip
+    the environment without cache invalidation ceremonies.
+    """
+    spec = os.environ.get(CHAOS_ENV, "").strip()
+    if not spec:
+        return None
+    return ChaosPlan.from_json(spec)
+
+
+def maybe_inject(key: str, attempt: int) -> None:
+    """Worker-side injection point, called before each mission attempt.
+
+    ``fail`` raises :class:`ChaosError`; ``crash`` hard-exits the worker
+    process the way a segfaulting simulator would (``os._exit``, no
+    cleanup, breaking the pool); ``hang`` sleeps far past any sane
+    per-task timeout so the supervisor must kill and respawn.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    kind = plan.decide(key, attempt)
+    if kind is None:
+        return
+    _INJECTED.append((kind, key, attempt))
+    if kind == "fail":
+        raise ChaosError(f"injected worker exception (key={key[:12]}, attempt={attempt})")
+    if kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    # "hang": simulate a wedged worker.  This sleep *is* the injected
+    # fault, not a wait — the supervisor's per-task timeout kills it.
+    time.sleep(plan.hang_seconds)  # repro: allow[RES002]

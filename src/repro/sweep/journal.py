@@ -1,0 +1,189 @@
+"""Append-only, crash-safe sweep journal (``rose-journal/1``).
+
+The :class:`~repro.sweep.cache.ResultCache` is the sweep's artifact
+store; the journal is its write-ahead log.  Every sweep writes one JSONL
+file under ``<cache root>/journal/`` named by the sweep's content
+identity (code fingerprint + ordered task list), and appends one record
+per completed task — ``ok``, ``from_cache``, or a terminal failure —
+flushed and fsync'd at the moment of completion.  A sweep killed
+mid-flight therefore leaves a journal whose replay says exactly which
+tasks finished; ``python -m repro sweep --resume`` recomputes only the
+rest and reassembles a report bit-identical to an uninterrupted run
+(results themselves come back from the cache).
+
+Crash-safety contract:
+
+* appends are a single ``write`` of one newline-terminated line,
+  followed by ``flush`` + ``os.fsync`` — a torn write can only truncate
+  the *final* line;
+* :meth:`SweepJournal.replay` tolerates a truncated or garbage trailing
+  line (it is ignored, its task simply recomputes);
+* the file is append-only across restarts: each run appends a ``begin``
+  record and replay only reads events after the last ``begin``, so a
+  non-resume re-run starts a fresh segment without destroying history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+JOURNAL_FORMAT = "rose-journal/1"
+
+
+def sweep_id(fingerprint: str, tasks: Sequence[tuple[str, str]]) -> str:
+    """Content identity of a sweep: code fingerprint + ordered task list.
+
+    ``tasks`` is the ordered ``(name, config_key)`` list.  Any change to
+    the code, the task set, or the task order yields a different journal
+    — the same invalidation philosophy as the result cache.
+    """
+    digest = hashlib.sha256()
+    digest.update(fingerprint.encode())
+    for name, key in tasks:
+        digest.update(b"\0")
+        digest.update(name.encode())
+        digest.update(b"\x01")
+        digest.update(key.encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplayEntry:
+    """One task's last recorded terminal event in the current segment."""
+
+    name: str
+    key: str
+    state: str
+    attempts: int
+
+
+class SweepJournal:
+    """One sweep's append-only JSONL event log."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_sweep(
+        cls,
+        root: str | Path,
+        fingerprint: str,
+        tasks: Sequence[tuple[str, str]],
+    ) -> "SweepJournal":
+        """The journal for this (fingerprint, task-list) under ``root``."""
+        identity = sweep_id(fingerprint, tasks)
+        return cls(Path(root) / "journal" / f"{identity[:16]}.jsonl")
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict[str, object]) -> None:
+        """Append one record: single write, then flush + fsync."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.appended += 1
+
+    def begin(
+        self,
+        fingerprint: str,
+        tasks: Sequence[tuple[str, str]],
+        policy: dict[str, object] | None = None,
+    ) -> None:
+        """Open a fresh segment: replay will only see events after this."""
+        self._append(
+            {
+                "format": JOURNAL_FORMAT,
+                "event": "begin",
+                "sweep": sweep_id(fingerprint, tasks),
+                "fingerprint": fingerprint,
+                "tasks": [{"name": name, "key": key} for name, key in tasks],
+                "policy": policy or {},
+            }
+        )
+
+    def resume(self, replayed: int) -> None:
+        """Mark a resume point (informational; does not reset the segment)."""
+        self._append({"event": "resume", "replayed": replayed})
+
+    def record_task(
+        self,
+        name: str,
+        key: str,
+        state: str,
+        attempts: int,
+        failure: dict[str, object] | None = None,
+    ) -> None:
+        """Record one task reaching a terminal state (fsync'd)."""
+        record: dict[str, object] = {
+            "event": "task",
+            "name": name,
+            "key": key,
+            "state": state,
+            "attempts": attempts,
+        }
+        if failure is not None:
+            record["failure"] = failure
+        self._append(record)
+
+    def end(self, summary: dict[str, object] | None = None) -> None:
+        """Mark a clean finish (absent after a crash — that is the point)."""
+        self._append({"event": "end", "summary": summary or {}})
+
+    # ------------------------------------------------------------------
+    def _records(self) -> Iterable[dict[str, object]]:
+        """Parsed records, skipping a torn/garbage trailing line."""
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        records: list[dict[str, object]] = []
+        lines = raw.split(b"\n")
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A torn append can only damage the final line; anything
+                # unparsable there is the crash artifact and is dropped.
+                # Garbage mid-file means the file is not a journal.
+                if index >= len(lines) - 2:
+                    continue
+                raise
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def replay(self) -> dict[str, ReplayEntry]:
+        """Task states from the latest segment, keyed by config key.
+
+        Returns the last terminal event per task after the most recent
+        ``begin`` record.  Missing file or empty segment replay to an
+        empty dict — the sweep simply runs from scratch.
+        """
+        entries: dict[str, ReplayEntry] = {}
+        for record in self._records():
+            event = record.get("event")
+            if event == "begin":
+                entries = {}
+            elif event == "task":
+                try:
+                    entry = ReplayEntry(
+                        name=str(record["name"]),
+                        key=str(record["key"]),
+                        state=str(record["state"]),
+                        attempts=int(record["attempts"]),  # type: ignore[call-overload]
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue  # damaged record: recompute that task
+                entries[entry.key] = entry
+        return entries

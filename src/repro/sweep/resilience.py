@@ -1,0 +1,180 @@
+"""Failure taxonomy and deterministic retry policy for resilient sweeps.
+
+A sweep is only as reliable as its worst task: one worker exception,
+hang, or pool crash used to abort the whole run.  This module defines
+the vocabulary the supervised execution loop speaks instead of raising:
+
+* :data:`OUTCOME_STATES` — the per-task terminal states a
+  :class:`~repro.sweep.runner.SweepOutcome` can carry;
+* :class:`TaskFailure` — one failed attempt (kind, message, attempt);
+* :class:`RetryPolicy` — bounded, capped exponential backoff whose
+  jitter is *seeded from the task's config key*, never from wall clock
+  or global RNG state, so retry schedules are reproducible and mission
+  signatures / cached envelopes stay bit-identical;
+* :func:`backoff_sleep` / :func:`wait_for` — the only blessed
+  ``time.sleep`` sites in ``repro.sweep`` (lint rule RES002): every
+  other sweep-side wait must route through the policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Terminal states a sweep task can end in.  ``ok`` / ``from_cache``
+#: carry a result; the failure states carry a :class:`TaskFailure`.
+OUTCOME_STATES: tuple[str, ...] = (
+    "ok",
+    "from_cache",
+    "failed",
+    "timed_out",
+    "crashed",
+    "quarantined",
+)
+
+#: States that mean "this outcome has a usable MissionResult".
+SUCCESS_STATES: frozenset[str] = frozenset({"ok", "from_cache"})
+
+#: Failure kinds observed by the supervisor, mapped to the terminal
+#: state used when the retry budget is a single attempt (with retries
+#: enabled, an exhausted task is ``quarantined`` instead — see
+#: :meth:`RetryPolicy.terminal_state`).
+FAILURE_KINDS: dict[str, str] = {
+    "exception": "failed",  # the worker raised; the exception crossed the pool
+    "timeout": "timed_out",  # the attempt exceeded the per-task deadline
+    "pool_crash": "crashed",  # the worker process died (BrokenProcessPool)
+}
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed attempt at a sweep task."""
+
+    kind: str  # "exception" | "timeout" | "pool_crash"
+    message: str
+    attempt: int  # 1-based attempt number that produced this failure
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ConfigError(
+                f"unknown failure kind {self.kind!r}; "
+                f"expected one of {sorted(FAILURE_KINDS)}"
+            )
+        if self.attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {self.attempt}")
+
+    def describe(self) -> str:
+        return f"attempt {self.attempt}: {self.kind} ({self.message})"
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "message": self.message, "attempt": self.attempt}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "TaskFailure":
+        return cls(
+            kind=str(payload["kind"]),
+            message=str(payload["message"]),
+            attempt=int(payload["attempt"]),  # type: ignore[call-overload]
+        )
+
+
+def _jitter_unit(key: str, attempt: int) -> float:
+    """A reproducible uniform sample in ``[0, 1)`` from (key, attempt).
+
+    Derived from a SHA-256 digest, not an RNG stream: there is no global
+    state to seed, no draw order to perturb, and the same (key, attempt)
+    pair yields the same jitter on every host and every run.
+    """
+    digest = hashlib.sha256(f"backoff:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped exponential backoff and seeded jitter.
+
+    ``delay(attempt) = min(max_delay, base_delay * multiplier**(attempt-1))``
+    scaled by a jitter factor in ``[1 - jitter, 1 + jitter]`` derived
+    from the task's config key — deterministic, per-task decorrelated,
+    and free of wall-clock reads in any signature-bearing path.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    # ------------------------------------------------------------------
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before re-dispatching ``key`` after ``attempt``."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base_delay * self.multiplier ** (attempt - 1)
+        capped = min(self.max_delay, raw)
+        unit = _jitter_unit(key, attempt)  # [0, 1)
+        return capped * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def allows_retry(self, attempt: int) -> bool:
+        """Whether a failure on ``attempt`` leaves budget for another try."""
+        return attempt < self.max_attempts
+
+    def terminal_state(self, kind: str) -> str:
+        """The outcome state for a task whose retry budget is exhausted.
+
+        With retries enabled the task is a poison task — it failed every
+        permitted attempt — and is ``quarantined``.  With a single-attempt
+        policy (retries disabled) the one failure keeps its own kind, so
+        failure taxonomies stay honest in no-retry sweeps.
+        """
+        if self.max_attempts > 1:
+            return "quarantined"
+        return FAILURE_KINDS[kind]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "multiplier": self.multiplier,
+            "jitter": self.jitter,
+        }
+
+
+def backoff_sleep(policy: RetryPolicy, key: str, attempt: int) -> float:
+    """Sleep out the policy's backoff for (key, attempt); returns seconds.
+
+    The shared backoff helper: the serial execution path calls this
+    between attempts.  Lint rule RES002 forbids ``time.sleep`` anywhere
+    else under ``repro/sweep`` so every wait is policy-shaped and
+    bounded.
+    """
+    delay = policy.backoff_delay(key, attempt)
+    if delay > 0:
+        time.sleep(delay)
+    return delay
+
+
+def wait_for(seconds: float) -> None:
+    """Sleep a supervisor-computed interval (pool backoff scheduling).
+
+    The supervised loop never blocks a worker slot on backoff — it folds
+    per-task ``ready_at`` times into its wait deadline and parks here
+    only when every slot is idle.  Lives in this module so RES002 keeps
+    a single auditable sleep site for the whole sweep package.
+    """
+    if seconds > 0:
+        time.sleep(seconds)

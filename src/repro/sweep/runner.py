@@ -1,4 +1,4 @@
-"""The sweep engine: fan missions over processes, reuse cached results.
+"""The sweep engine: fan missions over processes, survive partial failure.
 
 Execution discipline (the determinism contract):
 
@@ -10,9 +10,32 @@ Execution discipline (the determinism contract):
   remaining door — ambient global-RNG use — and makes worker placement
   irrelevant: serial, 2-worker and 8-worker sweeps are bit-identical.
 * Workers are forked (POSIX), so they inherit the parent's warmed
-  module-level memos (graphs, worlds, classifier profiles) for free.
+  module-level memos (graphs, worlds, classifier profiles) for free —
+  those memos are immutable-after-construction.  Mutable per-process
+  state (global RNG stream position, chaos bookkeeping) must *not* be
+  inherited: every pool (re)spawn runs :func:`_pool_initializer`, which
+  reseeds the globals and clears registered transient state.
 * Cache lookups happen in the parent before any fan-out; only misses are
   simulated, and their results are stored back as they arrive.
+
+Resilience discipline (the supervision contract):
+
+* A task attempt that raises, hangs past the per-task timeout, or kills
+  its worker process becomes a :class:`TaskFailure` on that task — never
+  a sweep-killing exception in the parent.
+* Failed attempts are retried under a deterministic
+  :class:`~repro.sweep.resilience.RetryPolicy` (capped exponential
+  backoff, jitter seeded from the config key); tasks that fail every
+  permitted attempt are *quarantined* and reported, and the rest of the
+  sweep completes.
+* A broken pool (``BrokenProcessPool``: some worker died mid-task) is
+  respawned and only the in-flight tasks are re-dispatched; completed
+  results are never recomputed.  Attribution under a pool break is
+  collective — every in-flight task is charged one attempt — so retry
+  budgets should exceed the worst expected crash count.
+* Every terminal outcome is appended to the crash-safe
+  :class:`~repro.sweep.journal.SweepJournal` (when one is attached), so
+  a killed sweep resumes instead of restarting.
 """
 
 from __future__ import annotations
@@ -20,20 +43,34 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing.context import BaseContext
 from time import perf_counter
-from typing import Iterable, Union
+from typing import Any, Callable, Iterable, Union
 
 import numpy as np
 
 from repro.core.config import CoSimConfig
 from repro.core.cosim import MissionResult, run_mission
 from repro.core.timing import merge_timings
+from repro.errors import ConfigError, SweepError
 from repro.obs.aggregate import merge_snapshots
+from repro.obs.declarations import sweep_registry
+from repro.obs.metrics import MetricsRegistry
+from repro.sweep import chaos
 from repro.sweep.cache import CACHE_DIR_ENV, ResultCache
-from repro.sweep.fingerprint import config_key
+from repro.sweep.fingerprint import code_fingerprint, config_key
+from repro.sweep.journal import SweepJournal
+from repro.sweep.resilience import (
+    SUCCESS_STATES,
+    RetryPolicy,
+    TaskFailure,
+    backoff_sleep,
+    wait_for,
+)
 
 #: Environment variable setting the default worker count (1 = serial).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
@@ -53,13 +90,25 @@ class SweepTask:
 
 @dataclass
 class SweepOutcome:
-    """One task's result plus how it was obtained."""
+    """One task's terminal state plus how it was reached.
+
+    ``state`` is one of :data:`~repro.sweep.resilience.OUTCOME_STATES`;
+    success states (``ok`` / ``from_cache``) carry a ``result``, failure
+    states carry the last attempt's ``failure`` and ``result is None``.
+    """
 
     name: str
     config: CoSimConfig
-    result: MissionResult
+    result: MissionResult | None
     wall_seconds: float
     from_cache: bool
+    state: str = "ok"
+    attempts: int = 1
+    failure: TaskFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.state in SUCCESS_STATES
 
 
 @dataclass
@@ -73,16 +122,51 @@ class SweepReport:
     cache_misses: int = 0
     cache_stores: int = 0
     fingerprint: str | None = field(repr=False, default=None)
+    # Resilience activity (also recorded as rose_sweep_* metrics).
+    retries: int = 0
+    timeouts: int = 0
+    pool_crashes: int = 0
+    quarantined: int = 0
+    journal_replays: int = 0
+    #: Sweep-level metrics snapshot (rose_sweep_* / rose_cache_*),
+    #: merged into :meth:`telemetry` alongside the mission snapshots.
+    sweep_metrics: dict[str, Any] | None = field(repr=False, default=None)
+
+    @property
+    def ok(self) -> bool:
+        """Every task reached a success state (result available)."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def failures(self) -> list[SweepOutcome]:
+        """Outcomes that ended in a failure state, in task order."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
 
     def results(self) -> list[MissionResult]:
-        return [outcome.result for outcome in self.outcomes]
+        """Every mission result, in task order.
+
+        Raises :class:`~repro.errors.SweepError` if any task failed —
+        callers that tolerate partial sweeps should walk ``outcomes``
+        (or ``failures()``) instead of this convenience view.
+        """
+        failed = self.failures()
+        if failed:
+            summary = "; ".join(
+                f"{o.name}: {o.state}"
+                + (f" ({o.failure.describe()})" if o.failure is not None else "")
+                for o in failed[:5]
+            )
+            raise SweepError(
+                f"{len(failed)} of {len(self.outcomes)} sweep task(s) failed "
+                f"after retries: {summary}"
+            )
+        return [outcome.result for outcome in self.outcomes if outcome.result]
 
     def stage_seconds(self) -> dict[str, float]:
         """Summed per-stage wall clock across executed (non-cached) missions."""
         return merge_timings(
             outcome.result.stage_timings
             for outcome in self.outcomes
-            if not outcome.from_cache
+            if outcome.result is not None and not outcome.from_cache
         )
 
     def telemetry(self) -> dict[str, object]:
@@ -90,15 +174,20 @@ class SweepReport:
 
         Merges every mission's flight-recorder snapshot — cache hits
         included, since their telemetry rides in the cached result —
-        into one registry-shaped dict.  The merge is associative and
-        commutative, so worker count and placement cannot change it:
-        a 2-worker sweep aggregates to exactly the serial run's value.
+        plus the sweep-level resilience snapshot into one
+        registry-shaped dict.  The merge is associative and commutative,
+        so worker count and placement cannot change it; on a fault-free
+        run the resilience series are empty and the merged snapshot is
+        exactly the serial run's value.
         """
-        return merge_snapshots(
+        snapshots = [
             outcome.result.obs.metrics
             for outcome in self.outcomes
-            if outcome.result.obs is not None
-        )
+            if outcome.result is not None and outcome.result.obs is not None
+        ]
+        if self.sweep_metrics is not None:
+            snapshots.append(self.sweep_metrics)
+        return merge_snapshots(snapshots)
 
 
 def _seed_worker(key: str) -> None:
@@ -108,13 +197,51 @@ def _seed_worker(key: str) -> None:
     np.random.seed(seed)
 
 
-def _execute_task(item: tuple[str, CoSimConfig]) -> tuple[str, MissionResult, float]:
-    """Run one mission (used identically by serial and pooled execution)."""
-    name, config = item
-    _seed_worker(config_key(config))
+def _execute_task(
+    item: tuple[str, CoSimConfig, int]
+) -> tuple[str, MissionResult, float]:
+    """Run one mission attempt (identical for serial and pooled execution).
+
+    The chaos hook fires *before* the mission and draws nothing from any
+    RNG stream, so an injected-and-retried task replays bit-identically.
+    """
+    name, config, attempt = item
+    key = config_key(config)
+    _seed_worker(key)
+    chaos.maybe_inject(key, attempt)
     t0 = perf_counter()
     result = run_mission(config)
     return name, result, perf_counter() - t0
+
+
+#: Per-process transient state cleared on every pool (re)spawn.  Modules
+#: with mutable process-scoped bookkeeping register a reset hook; the
+#: deterministic memo caches (worlds, graphs, profiles) are deliberately
+#: *not* here — inheriting them warm is the point of forking.
+_TRANSIENT_RESETS: list[Callable[[], None]] = [chaos.reset_process_state]
+
+
+def register_transient_reset(reset: Callable[[], None]) -> None:
+    """Register per-process transient state to clear in pool workers."""
+    _TRANSIENT_RESETS.append(reset)
+
+
+def _pool_initializer(generation: int) -> None:
+    """Fresh execution state for a newly (re)spawned pool worker.
+
+    Forked workers inherit everything the parent process had: the warmed
+    immutable memos we want, but also the parent's ambient global-RNG
+    stream position and any per-process transient bookkeeping (chaos
+    injection logs) we must not keep.  Reseed the globals from the pool
+    generation and clear registered transient state; per-task reseeding
+    in :func:`_execute_task` still runs afterwards — this closes the
+    window before the first task and after every pool respawn.
+    """
+    seed = (0x5EED ^ generation) % (2**32)
+    random.seed(seed)
+    np.random.seed(seed)
+    for reset in _TRANSIENT_RESETS:
+        reset()
 
 
 def _pool_context() -> BaseContext:
@@ -125,12 +252,48 @@ def _pool_context() -> BaseContext:
         return multiprocessing.get_context()
 
 
-class SweepRunner:
-    """Runs a list of sweep tasks, optionally parallel and/or cached."""
+@dataclass
+class _Pending:
+    """One task waiting to be (re)dispatched."""
 
-    def __init__(self, workers: int | None = None, cache: ResultCache | None = None):
+    index: int
+    task: SweepTask
+    key: str
+    attempt: int  # the attempt number the next dispatch will be (1-based)
+    ready_at: float  # perf_counter time before which it must not dispatch
+    failures: list[TaskFailure] = field(default_factory=list)
+
+
+@dataclass
+class _Flight:
+    """One dispatched attempt: its pending record plus its deadline."""
+
+    pending: _Pending
+    deadline: float | None
+
+
+class SweepRunner:
+    """Runs a list of sweep tasks: parallel, cached, supervised, journaled."""
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        retry: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        journal: SweepJournal | None = None,
+        resume: bool = False,
+    ):
         self.workers = max(1, int(workers or 1))
         self.cache = cache
+        self.retry = retry or RetryPolicy()
+        if task_timeout is not None and task_timeout <= 0:
+            raise ConfigError(f"task_timeout must be positive, got {task_timeout}")
+        self.task_timeout = task_timeout
+        self.journal = journal
+        if resume and journal is None:
+            raise ConfigError("resume=True requires a journal to replay")
+        self.resume = resume
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -150,60 +313,417 @@ class SweepRunner:
     def run(self, tasks: Iterable[TaskLike]) -> SweepReport:
         """Execute ``tasks`` (SweepTasks, configs, or ``(name, config)``).
 
-        Outcomes preserve task order regardless of worker scheduling.
+        Outcomes preserve task order regardless of worker scheduling,
+        retries, or pool respawns.
         """
         sweep_t0 = perf_counter()
         normalized = self._normalize(tasks)
+        keys = [config_key(task.config) for task in normalized]
         outcomes: list[SweepOutcome | None] = [None] * len(normalized)
+        registry = sweep_registry()
+
+        replayed = self._journal_open(normalized, keys)
 
         # Cache pass: resolve hits in the parent, collect misses to run.
-        misses: list[tuple[int, SweepTask]] = []
+        misses: list[_Pending] = []
         for index, task in enumerate(normalized):
             cached = self.cache.get(task.config) if self.cache is not None else None
             if cached is not None:
+                entry = replayed.get(keys[index])
+                if entry is not None and entry.state in SUCCESS_STATES:
+                    registry.inc("rose_sweep_journal_replays_total")
                 outcomes[index] = SweepOutcome(
                     name=task.name,
                     config=task.config,
                     result=cached,
                     wall_seconds=0.0,
                     from_cache=True,
+                    state="from_cache",
                 )
+                if entry is None:
+                    self._journal_task(task.name, keys[index], "from_cache", 1, None)
             else:
-                misses.append((index, task))
+                misses.append(
+                    _Pending(
+                        index=index,
+                        task=task,
+                        key=keys[index],
+                        attempt=1,
+                        ready_at=0.0,
+                    )
+                )
 
-        # Execution pass over the misses only.
-        items = [(task.name, task.config) for _, task in misses]
-        workers = min(self.workers, max(1, len(items)))
-        if items:
+        workers = min(self.workers, max(1, len(misses)))
+        if misses:
             if workers <= 1:
-                executed = [_execute_task(item) for item in items]
+                self._run_serial(misses, outcomes, registry)
             else:
-                with ProcessPoolExecutor(
-                    max_workers=workers, mp_context=_pool_context()
-                ) as pool:
-                    executed = list(pool.map(_execute_task, items))
-            for (index, task), (name, result, seconds) in zip(misses, executed):
-                outcomes[index] = SweepOutcome(
-                    name=name,
-                    config=task.config,
-                    result=result,
-                    wall_seconds=seconds,
-                    from_cache=False,
-                )
-                if self.cache is not None:
-                    self.cache.put(task.config, result)
+                self._run_pool(misses, outcomes, registry, workers)
 
+        if self.cache is not None and self.cache.corrupt:
+            registry.advance_to("rose_cache_corrupt_total", self.cache.corrupt)
+
+        final = [outcome for outcome in outcomes if outcome is not None]
         report = SweepReport(
-            outcomes=[outcome for outcome in outcomes if outcome is not None],
+            outcomes=final,
             wall_seconds=perf_counter() - sweep_t0,
-            workers=workers if items else 0,
+            workers=workers if misses else 0,
+            retries=int(registry.total("rose_sweep_retries_total")),
+            timeouts=int(registry.total("rose_sweep_timeouts_total")),
+            pool_crashes=int(registry.total("rose_sweep_crashes_total")),
+            quarantined=int(registry.total("rose_sweep_quarantined_total")),
+            journal_replays=int(registry.total("rose_sweep_journal_replays_total")),
+            sweep_metrics=registry.snapshot(),
         )
         if self.cache is not None:
             report.cache_hits = self.cache.hits
             report.cache_misses = self.cache.misses
             report.cache_stores = self.cache.stores
             report.fingerprint = self.cache.fingerprint
+        if self.journal is not None:
+            self.journal.end(
+                {
+                    "ok": sum(1 for o in final if o.ok),
+                    "failed": sum(1 for o in final if not o.ok),
+                    "retries": report.retries,
+                }
+            )
         return report
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def _journal_open(
+        self, tasks: list[SweepTask], keys: list[str]
+    ) -> dict[str, Any]:
+        """Begin (or resume) the journal; returns the replayed entries."""
+        if self.journal is None:
+            return {}
+        fingerprint = (
+            self.cache.fingerprint if self.cache is not None else code_fingerprint()
+        )
+        pairs = [(task.name, key) for task, key in zip(tasks, keys)]
+        if self.resume:
+            replayed = self.journal.replay()
+            done = sum(
+                1 for entry in replayed.values() if entry.state in SUCCESS_STATES
+            )
+            self.journal.resume(done)
+            return replayed
+        self.journal.begin(fingerprint, pairs, self.retry.to_dict())
+        return {}
+
+    def _journal_task(
+        self,
+        name: str,
+        key: str,
+        state: str,
+        attempts: int,
+        failure: TaskFailure | None,
+    ) -> None:
+        if self.journal is None:
+            return
+        self.journal.record_task(
+            name,
+            key,
+            state,
+            attempts,
+            failure.to_dict() if failure is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Outcome bookkeeping shared by the serial and pooled paths
+    # ------------------------------------------------------------------
+    def _complete(
+        self,
+        pending: _Pending,
+        result: MissionResult,
+        seconds: float,
+        outcomes: list[SweepOutcome | None],
+    ) -> None:
+        outcomes[pending.index] = SweepOutcome(
+            name=pending.task.name,
+            config=pending.task.config,
+            result=result,
+            wall_seconds=seconds,
+            from_cache=False,
+            state="ok",
+            attempts=pending.attempt,
+        )
+        if self.cache is not None:
+            self.cache.put(pending.task.config, result)
+        self._journal_task(pending.task.name, pending.key, "ok", pending.attempt, None)
+
+    def _charge(
+        self,
+        pending: _Pending,
+        kind: str,
+        message: str,
+        registry: MetricsRegistry,
+        outcomes: list[SweepOutcome | None],
+        now: float,
+    ) -> _Pending | None:
+        """Record a failed attempt; returns the retry record or ``None``.
+
+        ``None`` means the task is terminal: its outcome slot is filled
+        with the failure state and the journal gets the terminal event.
+        """
+        failure = TaskFailure(kind=kind, message=message, attempt=pending.attempt)
+        pending.failures.append(failure)
+        if kind == "timeout":
+            registry.inc("rose_sweep_timeouts_total")
+        if self.retry.allows_retry(pending.attempt):
+            registry.inc("rose_sweep_retries_total")
+            delay = self.retry.backoff_delay(pending.key, pending.attempt)
+            return _Pending(
+                index=pending.index,
+                task=pending.task,
+                key=pending.key,
+                attempt=pending.attempt + 1,
+                ready_at=now + delay,
+                failures=pending.failures,
+            )
+        state = self.retry.terminal_state(kind)
+        if state == "quarantined":
+            registry.inc("rose_sweep_quarantined_total")
+        outcomes[pending.index] = SweepOutcome(
+            name=pending.task.name,
+            config=pending.task.config,
+            result=None,
+            wall_seconds=0.0,
+            from_cache=False,
+            state=state,
+            attempts=pending.attempt,
+            failure=failure,
+        )
+        self._journal_task(
+            pending.task.name, pending.key, state, pending.attempt, failure
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # Serial execution (in-process, retries with blocking backoff)
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        misses: list[_Pending],
+        outcomes: list[SweepOutcome | None],
+        registry: MetricsRegistry,
+    ) -> None:
+        """In-process execution with retries.
+
+        Worker exceptions are supervised exactly like the pooled path;
+        crash and hang protection need process isolation, so chaos plans
+        that inject those belong on the pooled path only.
+        """
+        for pending in misses:
+            current: _Pending | None = pending
+            while current is not None:
+                item = (current.task.name, current.task.config, current.attempt)
+                try:
+                    _, result, seconds = _execute_task(item)
+                except Exception as exc:  # noqa: BLE001 - taxonomy, not policy
+                    retry = self._charge(
+                        current,
+                        "exception",
+                        f"{type(exc).__name__}: {exc}",
+                        registry,
+                        outcomes,
+                        perf_counter(),
+                    )
+                    if retry is not None:
+                        backoff_sleep(self.retry, current.key, current.attempt)
+                    current = retry
+                else:
+                    self._complete(current, result, seconds, outcomes)
+                    current = None
+
+    # ------------------------------------------------------------------
+    # Supervised pool execution
+    # ------------------------------------------------------------------
+    def _new_pool(self, workers: int, generation: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_pool_initializer,
+            initargs=(generation,),
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down even if a worker is wedged mid-task.
+
+        ``shutdown`` alone would join the hung worker forever, so the
+        worker processes are killed first.  ``_processes`` is CPython
+        executor internals — there is no public "abandon this worker"
+        API — accessed defensively so a layout change degrades to a
+        plain shutdown rather than an error.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, ValueError):  # pragma: no cover - already dead
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_pool(
+        self,
+        misses: list[_Pending],
+        outcomes: list[SweepOutcome | None],
+        registry: MetricsRegistry,
+        workers: int,
+    ) -> None:
+        queue: list[_Pending] = list(misses)
+        generation = 0
+        pool = self._new_pool(workers, generation)
+        inflight: dict[Future[tuple[str, MissionResult, float]], _Flight] = {}
+
+        def respawn() -> None:
+            nonlocal generation, pool
+            self._kill_pool(pool)
+            generation += 1
+            pool = self._new_pool(workers, generation)
+
+        def requeue_inflight(charge_kind: str | None, now: float) -> None:
+            """Drain in-flight tasks back onto the queue.
+
+            With a ``charge_kind`` each drained task is charged one
+            failed attempt (pool crash: attribution is collective);
+            without one they are innocent victims of a sibling's
+            timeout kill and re-dispatch at their current attempt.
+            """
+            for flight in list(inflight.values()):
+                if charge_kind is None:
+                    flight.pending.ready_at = now
+                    queue.append(flight.pending)
+                else:
+                    retry = self._charge(
+                        flight.pending,
+                        charge_kind,
+                        "worker pool broke while this task was in flight",
+                        registry,
+                        outcomes,
+                        now,
+                    )
+                    if retry is not None:
+                        queue.append(retry)
+            inflight.clear()
+
+        try:
+            while queue or inflight:
+                now = perf_counter()
+                queue.sort(key=lambda p: (p.ready_at, p.index))
+
+                # Dispatch every ready task into a free slot.
+                while queue and len(inflight) < workers and queue[0].ready_at <= now:
+                    pending = queue.pop(0)
+                    item = (pending.task.name, pending.task.config, pending.attempt)
+                    try:
+                        future = pool.submit(_execute_task, item)
+                    except BrokenProcessPool:
+                        # The pool died between waits: charge the flights,
+                        # respawn, and let the main loop redispatch.
+                        queue.append(pending)
+                        registry.inc("rose_sweep_crashes_total")
+                        requeue_inflight("pool_crash", now)
+                        respawn()
+                        break
+                    deadline = (
+                        now + self.task_timeout
+                        if self.task_timeout is not None
+                        else None
+                    )
+                    inflight[future] = _Flight(pending, deadline)
+
+                if not inflight:
+                    if queue:
+                        # Every slot idle, nothing ready: park until the
+                        # earliest backoff expires (blessed sleep site).
+                        wait_for(max(0.0, queue[0].ready_at - perf_counter()))
+                    continue
+
+                # Wait for a completion, the next deadline, or the next
+                # backoff expiry — whichever comes first.
+                wake_times = [
+                    flight.deadline
+                    for flight in inflight.values()
+                    if flight.deadline is not None
+                ]
+                if queue and len(inflight) < workers:
+                    wake_times.append(queue[0].ready_at)
+                timeout = (
+                    max(0.0, min(wake_times) - perf_counter()) if wake_times else None
+                )
+                done, _ = futures_wait(
+                    set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+
+                now = perf_counter()
+                broken = False
+                for future in done:
+                    flight = inflight.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        _, result, seconds = future.result()
+                        self._complete(flight.pending, result, seconds, outcomes)
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = True
+                        retry = self._charge(
+                            flight.pending,
+                            "pool_crash",
+                            str(exc) or "worker process died mid-task",
+                            registry,
+                            outcomes,
+                            now,
+                        )
+                        if retry is not None:
+                            queue.append(retry)
+                    else:
+                        retry = self._charge(
+                            flight.pending,
+                            "exception",
+                            f"{type(exc).__name__}: {exc}",
+                            registry,
+                            outcomes,
+                            now,
+                        )
+                        if retry is not None:
+                            queue.append(retry)
+
+                if broken:
+                    # Every surviving flight is doomed with the pool.
+                    registry.inc("rose_sweep_crashes_total")
+                    requeue_inflight("pool_crash", now)
+                    respawn()
+                    continue
+
+                # Deadline pass: kill hung attempts, spare the innocent.
+                expired = [
+                    future
+                    for future, flight in inflight.items()
+                    if flight.deadline is not None and now >= flight.deadline
+                ]
+                if expired:
+                    for future in expired:
+                        flight = inflight.pop(future)
+                        retry = self._charge(
+                            flight.pending,
+                            "timeout",
+                            f"attempt exceeded task_timeout={self.task_timeout}s",
+                            registry,
+                            outcomes,
+                            now,
+                        )
+                        if retry is not None:
+                            queue.append(retry)
+                    # A hung worker cannot be reclaimed individually:
+                    # recycle the pool; untimed-out flights re-dispatch
+                    # without an attempt charge.
+                    requeue_inflight(None, now)
+                    respawn()
+        finally:
+            self._kill_pool(pool)
 
 
 def sweep_missions(
@@ -217,6 +737,9 @@ def sweep_missions(
     no arguments the knobs come from the environment: ``REPRO_SWEEP_WORKERS``
     (default 1 = serial) and ``REPRO_SWEEP_CACHE_DIR`` (caching stays off
     unless the directory is set — library callers opt in explicitly).
+    Transient failures are retried under the default
+    :class:`~repro.sweep.resilience.RetryPolicy`; a task that still
+    fails raises :class:`~repro.errors.SweepError` from ``results()``.
     """
     if workers is None:
         workers = int(os.environ.get(WORKERS_ENV, "1") or "1")

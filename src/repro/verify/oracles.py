@@ -380,6 +380,84 @@ def _oracle_sweep_parallel() -> list[Divergence]:
 
 
 @oracle(
+    "sweep-chaos",
+    "sweep with injected worker faults (exception + crash + hang) vs. "
+    "fault-free serial reference runs: retries must converge to "
+    "bit-identical signatures",
+)
+def _oracle_sweep_chaos() -> list[Divergence]:
+    # Imported here so chaos machinery stays out of fault-free oracles.
+    import os
+
+    from repro.sweep.chaos import CHAOS_ENV, ChaosPlan
+    from repro.sweep.fingerprint import config_key
+    from repro.sweep.resilience import RetryPolicy
+
+    configs = [_tiny_config(seed=s) for s in (0, 1, 2)]
+    want = [run_mission(cfg) for cfg in configs]  # fault-free serial reference
+
+    # Force one fault of each kind onto a distinct task (deterministic
+    # coverage, no probabilistic flake); max_faulty_attempts bounds the
+    # faults below the retry budget so convergence is guaranteed.
+    keys = [config_key(cfg) for cfg in configs]
+    plan = ChaosPlan(
+        forced=(
+            (keys[0][:16], "fail"),
+            (keys[1][:16], "crash"),
+            (keys[2][:16], "hang"),
+        ),
+        max_faulty_attempts=1,
+        hang_seconds=120.0,
+    )
+    runner = SweepRunner(
+        workers=2,
+        retry=RetryPolicy(max_attempts=5, base_delay=0.01, max_delay=0.05),
+        task_timeout=8.0,
+    )
+    previous = os.environ.get(CHAOS_ENV)
+    os.environ[CHAOS_ENV] = plan.to_json()
+    try:
+        report = runner.run([(f"seed{cfg.seed}", cfg) for cfg in configs])
+    finally:
+        if previous is None:
+            os.environ.pop(CHAOS_ENV, None)
+        else:
+            os.environ[CHAOS_ENV] = previous
+
+    out: list[Divergence] = []
+    for cfg, reference, outcome in zip(configs, want, report.outcomes):
+        if not outcome.ok or outcome.result is None:
+            out.append(
+                Divergence(
+                    site=f"sweep-chaos[seed={cfg.seed}]",
+                    field="state",
+                    expected="ok (recovered via retries)",
+                    actual=outcome.state,
+                )
+            )
+            continue
+        if mission_signature(reference) == mission_signature(outcome.result):
+            continue
+        hit = mission_divergence(
+            canonical_payload(reference),
+            canonical_payload(outcome.result),
+            f"sweep-chaos[seed={cfg.seed}]",
+        )
+        if hit is not None:
+            out.append(hit)
+    if report.retries == 0:
+        out.append(
+            Divergence(
+                site="sweep-chaos",
+                field="retries",
+                expected="> 0 (faults were injected)",
+                actual=0,
+            )
+        )
+    return out
+
+
+@oracle(
     "transport-tcp",
     "TCP transport mission vs. the in-process reference transport "
     "(bit-identical behaviour)",

@@ -48,7 +48,7 @@ def active_rules(report) -> list[str]:
 class TestRegistry:
     def test_all_families_registered(self):
         families = {r.family for r in all_rules().values()}
-        assert {"DET", "NUM", "PROTO", "CFG", "OBS"} <= families
+        assert {"DET", "NUM", "PROTO", "CFG", "OBS", "RES"} <= families
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -581,6 +581,143 @@ class TestObs001DeclaredMetrics:
         rerun = run_lint(tmp_path, rules=["OBS001"], baseline=baseline)
         assert rerun.active == []
         assert [d.rule for d in rerun.diagnostics if d.baselined] == ["OBS001"]
+
+
+# ---------------------------------------------------------------------------
+# RES: resilience rules
+# ---------------------------------------------------------------------------
+class TestRes001BoundedRetryLoops:
+    def test_flags_while_true_without_exit(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/poller.py": """
+                def spin(task):
+                    while True:
+                        task.try_once()
+            """,
+        })
+        report = run_lint(tmp_path, rules=["RES001"])
+        assert active_rules(report) == ["RES001"]
+
+    def test_own_break_is_bounded(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/poller.py": """
+                def spin(task):
+                    while True:
+                        if task.try_once():
+                            break
+            """,
+        })
+        assert run_lint(tmp_path, rules=["RES001"]).active == []
+
+    def test_nested_loop_break_does_not_count(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/poller.py": """
+                def spin(tasks):
+                    while True:
+                        for task in tasks:
+                            if task.try_once():
+                                break
+            """,
+        })
+        report = run_lint(tmp_path, rules=["RES001"])
+        assert active_rules(report) == ["RES001"]
+
+    def test_raise_and_return_are_exits(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/poller.py": """
+                def spin_raise(task):
+                    while True:
+                        if task.done():
+                            raise RuntimeError("poison")
+
+                def spin_return(task):
+                    while True:
+                        if task.done():
+                            return task
+            """,
+        })
+        assert run_lint(tmp_path, rules=["RES001"]).active == []
+
+    def test_condition_bounded_loop_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/poller.py": """
+                def drain(queue, inflight):
+                    while queue or inflight:
+                        queue.pop()
+            """,
+        })
+        assert run_lint(tmp_path, rules=["RES001"]).active == []
+
+    def test_outside_sweep_is_out_of_scope(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/app/controller.py": """
+                def spin(task):
+                    while True:
+                        task.try_once()
+            """,
+        })
+        assert run_lint(tmp_path, rules=["RES001"]).active == []
+
+
+class TestRes002BareSleep:
+    def test_flags_time_sleep_in_sweep(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/runner.py": """
+                import time
+
+                def retry(task):
+                    time.sleep(0.5)
+            """,
+        })
+        report = run_lint(tmp_path, rules=["RES002"])
+        assert active_rules(report) == ["RES002"]
+        assert "backoff_sleep" in report.active[0].hint
+
+    def test_flags_from_import_alias(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/runner.py": """
+                from time import sleep
+
+                def retry(task):
+                    sleep(0.5)
+            """,
+        })
+        assert active_rules(run_lint(tmp_path, rules=["RES002"])) == ["RES002"]
+
+    def test_resilience_module_is_blessed(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/resilience.py": """
+                import time
+
+                def backoff_sleep(policy, key, attempt):
+                    time.sleep(policy.backoff_delay(key, attempt))
+            """,
+        })
+        assert run_lint(tmp_path, rules=["RES002"]).active == []
+
+    def test_inline_waiver(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/chaos.py": """
+                import time
+
+                def hang(seconds):
+                    time.sleep(seconds)  # repro: allow[RES002]
+            """,
+        })
+        report = run_lint(tmp_path, rules=["RES002"])
+        assert report.active == []
+        assert [d.rule for d in report.diagnostics if d.waived] == ["RES002"]
+
+    def test_outside_sweep_is_out_of_scope(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/env/simulator.py": """
+                import time
+
+                def pace():
+                    time.sleep(0.1)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["RES002"]).active == []
 
 
 # ---------------------------------------------------------------------------

@@ -222,9 +222,25 @@ class TestRegistry:
 # Declarations catalog
 # ---------------------------------------------------------------------------
 class TestDeclarations:
-    def test_mission_registry_covers_catalog(self):
+    def test_mission_registry_covers_mission_catalog(self):
+        from repro.obs import MISSION_METRICS
+
         reg = mission_registry()
-        assert set(reg.names()) == {spec.name for spec in DECLARED_METRICS}
+        assert set(reg.names()) == {spec.name for spec in MISSION_METRICS}
+
+    def test_sweep_registry_covers_sweep_catalog(self):
+        from repro.obs import SWEEP_METRICS, sweep_registry
+
+        reg = sweep_registry()
+        assert set(reg.names()) == {spec.name for spec in SWEEP_METRICS}
+        # Disjoint catalogs: a sweep metric can never leak into a mission
+        # snapshot (which the golden corpus hashes byte-for-byte).
+        assert not set(reg.names()) & set(mission_registry().names())
+
+    def test_declared_is_mission_plus_sweep(self):
+        from repro.obs import MISSION_METRICS, SWEEP_METRICS
+
+        assert DECLARED_METRICS == MISSION_METRICS + SWEEP_METRICS
 
     def test_spec_for(self):
         assert spec_for("rose_sync_steps_total") is not None
@@ -571,11 +587,18 @@ class TestSweepTelemetry:
         assert second.telemetry() == first.telemetry()
 
     def test_telemetry_matches_manual_merge(self):
+        from repro.obs import sweep_registry
+
         report = SweepRunner(workers=1).run(self.configs())
-        manual = merge_snapshots(
-            o.result.obs.metrics for o in report.outcomes
-        )
+        mission_part = [o.result.obs.metrics for o in report.outcomes]
+        # telemetry() additionally folds in the sweep-supervisor snapshot;
+        # on a fault-free run that snapshot is all empty series, so the
+        # merge equals the mission merge plus a fresh sweep registry.
+        manual = merge_snapshots(mission_part + [sweep_registry().snapshot()])
         assert report.telemetry() == manual
+        mission_only = merge_snapshots(mission_part)
+        for name, entry in mission_only.items():
+            assert report.telemetry()[name] == entry
 
 
 # ---------------------------------------------------------------------------

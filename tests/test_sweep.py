@@ -104,7 +104,7 @@ class TestResultCache:
         again = cache.get(config)
         assert again is not None
         assert mission_signature(again) == mission_signature(result)
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0}
 
     def test_entries_scoped_by_fingerprint(self, tmp_path):
         config = _tiny_config(0)
@@ -113,15 +113,23 @@ class TestResultCache:
         other = ResultCache(tmp_path, fingerprint="b" * 64)
         assert other.get(config) is None
 
-    def test_corrupt_entry_recomputed(self, tmp_path):
+    def test_corrupt_entry_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         config = _tiny_config(0)
         path = cache.put(config, run_mission(config))
         path.write_bytes(b"not a pickle")
         assert cache.get(config) is None
-        assert not path.exists()  # corrupt entry removed
+        assert not path.exists()  # key vacated for the recompute
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.is_file()  # evidence preserved, not deleted
+        assert quarantined.read_bytes() == b"not a pickle"
+        assert cache.corrupt == 1
+        assert cache.stats()["corrupt"] == 1
         report = SweepRunner(workers=1, cache=cache).run([config])
         assert not report.outcomes[0].from_cache
+        metrics = report.sweep_metrics or {}
+        series = metrics.get("rose_cache_corrupt_total", {}).get("series", [])
+        assert sum(row["value"] for row in series) == 1
 
     def test_prune_removes_other_fingerprints(self, tmp_path):
         config = _tiny_config(0)
@@ -210,7 +218,7 @@ class TestSweepResume:
 
         resumed = SweepRunner(workers=1, cache=cache).run(configs)
         assert [o.from_cache for o in resumed.outcomes] == [False, True]
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 1}
         # The re-executed mission is bit-identical to the original run.
         assert [mission_signature(r) for r in resumed.results()] == baseline
         # And the repaired entry now serves warm.

@@ -21,7 +21,13 @@ from repro.verify.oracles import (
 )
 
 KERNEL_ORACLES = ("im2col-col2im", "dnn-forward", "dnn-backward")
-SYSTEM_ORACLES = ("sweep-parallel", "transport-tcp", "fault-noop", "cache-roundtrip")
+SYSTEM_ORACLES = (
+    "sweep-parallel",
+    "sweep-chaos",
+    "transport-tcp",
+    "fault-noop",
+    "cache-roundtrip",
+)
 
 
 class TestRegistry:
