@@ -23,6 +23,8 @@ Rule families (see the modules for the catalog):
 * **OBS** (:mod:`.rules_obs`) — observability: metric names and
   :class:`MetricSpec` declarations single-sourced in
   :mod:`repro.obs.declarations`;
+* **PERF** (:mod:`.rules_perf`) — batched-engine vectorization: no
+  Python-level loops under :mod:`repro.batch` without a waived reason;
 * **RES** (:mod:`.rules_res`) — resilience: retry loops in the sweep
   engine must be bounded, and every sweep-side wait must route through
   the shared backoff helper in :mod:`repro.sweep.resilience`.
@@ -44,6 +46,7 @@ from repro.analysis.lint import (  # noqa: E402  (registration side effect)
     rules_det,  # noqa: F401
     rules_num,  # noqa: F401
     rules_obs,  # noqa: F401
+    rules_perf,  # noqa: F401
     rules_proto,  # noqa: F401
     rules_res,  # noqa: F401
 )

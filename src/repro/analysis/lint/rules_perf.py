@@ -1,0 +1,61 @@
+"""PERF rules: the batched engine must stay vectorized.
+
+The batched mission engine (:mod:`repro.batch`) earns its throughput by
+advancing every lane with numpy kernels — one interpreter dispatch per
+*operation*, not per *lane*.  A Python-level ``for``/``while`` loop in
+that package is the exact regression the subsystem exists to remove: it
+reintroduces per-lane interpreter cost on the hottest path in the sweep
+engine, and it does so silently (the differential oracle still passes —
+the result is merely slow).
+
+PERF001 therefore flags every ``for``/``while`` *statement* under
+``repro/batch/``.  Loops that are genuinely required — per-lane scalar
+math with no bit-identical vector form (``math.hypot``, ``math.atan2``),
+fixed cache-block loops, rare-event handling, per-lane object
+bookkeeping — carry an inline waiver naming the reason::
+
+    for lane in active:  # repro: allow[PERF001] per-lane packet inspection
+
+Comprehensions are not flagged: the ones in the package build small
+per-round index lists, and flagging them would drown the signal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import Module, ProjectModel
+from repro.analysis.lint.registry import rule
+
+
+@rule(
+    "PERF001",
+    "no Python-level loops in the batched engine",
+    "a for/while statement under repro/batch/ iterates in the interpreter "
+    "what the batched engine exists to vectorize; hoist the body into a "
+    "numpy kernel over the batch axis, or waive inline with the reason the "
+    "loop must stay serial (no bit-identical vector form, fixed "
+    "cache-block loop, rare-event handling)",
+    paths=("repro/batch/",),
+)
+def perf001_batch_loops(module: Module, project: ProjectModel) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for node in module.walk():
+        if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            continue
+        kind = "while" if isinstance(node, ast.While) else "for"
+        out.append(
+            Diagnostic(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="PERF001",
+                message=f"Python-level {kind} loop in batched-engine code",
+                hint="vectorize over the batch axis with a kernel in "
+                "repro/batch/kernels.py, or add "
+                "`# repro: allow[PERF001] <reason>` stating why the loop "
+                "cannot be a numpy operation",
+            )
+        )
+    return out

@@ -1,0 +1,27 @@
+"""Batched mission engine: vectorized lockstep execution of N missions.
+
+Public surface:
+
+* :func:`run_missions_batched` — run a list of configurations, batching
+  the eligible ones (results bit-identical to serial for the default
+  behavioural perception).
+* :class:`BatchEngine` / :func:`run_batch` — one lockstep group.
+* :func:`batch_eligible` / :func:`batch_group_key` — the screening the
+  sweep runner and CLI use to decide what batches together.
+* :class:`BatchedCnnPerception` — primable CNN perception whose forward
+  passes are shared across the batch (the engine's one tolerance site).
+"""
+
+from repro.batch.eligibility import BatchIneligible, batch_eligible, batch_group_key
+from repro.batch.engine import BatchEngine, run_batch, run_missions_batched
+from repro.batch.infer import BatchedCnnPerception
+
+__all__ = [
+    "BatchEngine",
+    "BatchIneligible",
+    "BatchedCnnPerception",
+    "batch_eligible",
+    "batch_group_key",
+    "run_batch",
+    "run_missions_batched",
+]

@@ -1,0 +1,579 @@
+"""Loop-free numpy kernels for the batched mission engine.
+
+Every function here advances *all* lanes of a mission batch with one
+vectorized expression per arithmetic step — there are no Python-level
+loops over the batch axis in this module (lint rule PERF001 enforces
+that for the whole ``repro.batch`` package).
+
+Bit-exactness contract
+----------------------
+Each kernel replicates the serial arithmetic of its counterpart —
+:mod:`repro.env.physics`, :mod:`repro.env.flightctl`,
+:mod:`repro.env.geometry`, :mod:`repro.env.camera` — operation for
+operation, in the same order, so a lane of the batch produces bit-for-bit
+the floats the serial simulator produces.  This relies on elementwise
+numpy ufuncs (``np.cos``/``np.sin``/``np.sqrt``/``np.fmod``, arithmetic,
+compare/select) computing the same IEEE-754 result as the scalar
+``math.*`` / Python-float expression; that holds on this code path and is
+pinned by the batched-vs-serial oracle.  The operations that do *not*
+vectorize bit-identically (``math.hypot``, ``math.atan2``, the 2-vector
+BLAS dot in :meth:`Polyline.project <repro.env.geometry.Polyline.project>`)
+stay as per-lane scalar loops in :mod:`repro.batch.engine`, each marked
+with an explicit PERF001 waiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.camera import FpvCamera
+from repro.env.physics import QuadrotorParams
+from repro.env.worlds import World
+
+_EPS = 1e-12  # mirrors repro.env.geometry._EPS
+
+
+def wrap_angles(theta: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.env.geometry.wrap_angle` — wrap to (-pi, pi].
+
+    ``np.fmod`` matches ``math.fmod`` bit-for-bit (both defer to the C
+    library ``fmod``), and ``np.pi == math.pi``.
+    """
+    wrapped = np.fmod(theta + np.pi, 2.0 * np.pi)
+    wrapped = np.where(wrapped <= 0.0, wrapped + 2.0 * np.pi, wrapped)
+    return wrapped - np.pi
+
+
+# ----------------------------------------------------------------------
+# Flight control (repro.env.flightctl)
+# ----------------------------------------------------------------------
+@dataclass
+class PidLanes:
+    """One scalar :class:`~repro.env.flightctl.Pid` channel across K lanes."""
+
+    kp: float
+    ki: float
+    kd: float
+    integral_limit: float
+    output_limit: float
+    integral: np.ndarray  # (K,)
+    last_error: np.ndarray  # (K,); 0.0 until has_last
+    has_last: np.ndarray  # (K,) bool
+
+    @staticmethod
+    def zeros(gains, k: int) -> "PidLanes":
+        """Fresh channel state for ``k`` lanes (matches ``Pid.__init__``)."""
+        return PidLanes(
+            kp=gains.kp,
+            ki=gains.ki,
+            kd=gains.kd,
+            integral_limit=gains.integral_limit,
+            output_limit=gains.output_limit,
+            integral=np.zeros(k),
+            last_error=np.zeros(k),
+            has_last=np.zeros(k, dtype=bool),
+        )
+
+    def update(self, error: np.ndarray, dt: float) -> np.ndarray:
+        """Vectorized ``Pid.update``: same clamp/derivative/output order.
+
+        ``last_error`` is initialized to 0.0, so the masked-out derivative
+        branch divides finite numbers and ``np.where`` discards it —
+        exactly the value the serial ``if`` would have skipped.
+        """
+        self.integral[:] = np.minimum(
+            np.maximum(self.integral + error * dt, -self.integral_limit),
+            self.integral_limit,
+        )
+        derivative = np.where(
+            self.has_last, (error - self.last_error) / dt, 0.0
+        )
+        self.last_error[:] = error
+        self.has_last[:] = True
+        out = self.kp * error + self.ki * self.integral + self.kd * derivative
+        return np.minimum(np.maximum(out, -self.output_limit), self.output_limit)
+
+    def gather(self, idx: np.ndarray) -> "PidLanes":
+        """Compact working copy for the active lanes ``idx``."""
+        return PidLanes(
+            kp=self.kp,
+            ki=self.ki,
+            kd=self.kd,
+            integral_limit=self.integral_limit,
+            output_limit=self.output_limit,
+            integral=self.integral[idx],
+            last_error=self.last_error[idx],
+            has_last=self.has_last[idx],
+        )
+
+    def scatter(self, idx: np.ndarray, working: "PidLanes") -> None:
+        """Write a working copy back into the full lane arrays."""
+        self.integral[idx] = working.integral
+        self.last_error[idx] = working.last_error
+        self.has_last[idx] = working.has_last
+
+
+def vertical_errors(altitude: np.ndarray, z: np.ndarray, vz: np.ndarray) -> np.ndarray:
+    """The altitude-hold error term of ``SimpleFlightController.update``."""
+    return np.minimum(np.maximum(altitude - z, -1.0), 1.0) * 1.5 - vz
+
+
+# ----------------------------------------------------------------------
+# Quadrotor dynamics (repro.env.physics)
+# ----------------------------------------------------------------------
+@dataclass
+class DynamicsLanes:
+    """Kinematic + actuator state of K lanes (``QuadrotorDynamics``)."""
+
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    yaw: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    vz: np.ndarray
+    r: np.ndarray
+    ap_forward: np.ndarray  # first-order actuator state (_applied)
+    ap_lateral: np.ndarray
+    ap_vertical: np.ndarray
+    ap_yaw: np.ndarray
+    recovery_until: np.ndarray
+
+    _FIELDS = (
+        "x", "y", "z", "yaw", "u", "v", "vz", "r",
+        "ap_forward", "ap_lateral", "ap_vertical", "ap_yaw", "recovery_until",
+    )
+
+    @staticmethod
+    def zeros(k: int) -> "DynamicsLanes":
+        lanes = DynamicsLanes(*(np.zeros(k) for _ in DynamicsLanes._FIELDS))
+        lanes.recovery_until[:] = -1.0  # QuadrotorDynamics._recovery_until
+        return lanes
+
+    def gather(self, idx: np.ndarray) -> "DynamicsLanes":
+        return DynamicsLanes(
+            *(getattr(self, name)[idx] for name in DynamicsLanes._FIELDS)
+        )
+
+    def scatter(self, idx: np.ndarray, working: "DynamicsLanes") -> None:
+        self.x[idx] = working.x
+        self.y[idx] = working.y
+        self.z[idx] = working.z
+        self.yaw[idx] = working.yaw
+        self.u[idx] = working.u
+        self.v[idx] = working.v
+        self.vz[idx] = working.vz
+        self.r[idx] = working.r
+        self.ap_forward[idx] = working.ap_forward
+        self.ap_lateral[idx] = working.ap_lateral
+        self.ap_vertical[idx] = working.ap_vertical
+        self.ap_yaw[idx] = working.ap_yaw
+        self.recovery_until[idx] = working.recovery_until
+
+
+def applied_commands(
+    lanes: DynamicsLanes,
+    time: float,
+    cmd_forward: np.ndarray,
+    cmd_lateral: np.ndarray,
+    cmd_vertical: np.ndarray,
+    cmd_yaw: np.ndarray,
+    dt: float,
+    p: QuadrotorParams,
+) -> None:
+    """Recovery override + clamp + first-order actuator lag, in place.
+
+    Mirrors the first half of ``QuadrotorDynamics.step``: lanes still in
+    post-collision recovery ignore the controller and brake to hover.
+    """
+    recovering = time < lanes.recovery_until
+    denom = max(p.recovery_time * 0.5, dt)
+    cmd_forward = np.where(recovering, -lanes.u / denom, cmd_forward)
+    cmd_lateral = np.where(recovering, -lanes.v / denom, cmd_lateral)
+    cmd_vertical = np.where(recovering, -lanes.vz / denom, cmd_vertical)
+    cmd_yaw = np.where(recovering, -lanes.r / denom, cmd_yaw)
+
+    cmd_forward = np.minimum(np.maximum(cmd_forward, -p.max_linear_accel), p.max_linear_accel)
+    cmd_lateral = np.minimum(np.maximum(cmd_lateral, -p.max_linear_accel), p.max_linear_accel)
+    cmd_vertical = np.minimum(np.maximum(cmd_vertical, -p.max_vertical_accel), p.max_vertical_accel)
+    cmd_yaw = np.minimum(np.maximum(cmd_yaw, -p.max_yaw_accel), p.max_yaw_accel)
+
+    alpha = dt / (p.actuator_tau + dt)
+    lanes.ap_forward += alpha * (cmd_forward - lanes.ap_forward)
+    lanes.ap_lateral += alpha * (cmd_lateral - lanes.ap_lateral)
+    lanes.ap_vertical += alpha * (cmd_vertical - lanes.ap_vertical)
+    lanes.ap_yaw += alpha * (cmd_yaw - lanes.ap_yaw)
+
+
+def integrate_velocities(lanes: DynamicsLanes, dt: float, p: QuadrotorParams) -> None:
+    """Body-frame velocity integration with drag, in place."""
+    lanes.u += (lanes.ap_forward - p.linear_drag * lanes.u) * dt
+    lanes.v += (lanes.ap_lateral - p.linear_drag * lanes.v) * dt
+    lanes.vz += (lanes.ap_vertical - p.linear_drag * lanes.vz) * dt
+    lanes.r += (lanes.ap_yaw - p.yaw_drag * lanes.r) * dt
+
+
+def limit_speed(lanes: DynamicsLanes, speed: np.ndarray, p: QuadrotorParams) -> None:
+    """Clamp planar speed to ``max_speed``, in place.
+
+    ``speed`` is the per-lane ``math.hypot(u, v)`` (computed by the engine;
+    ``np.hypot`` is not bit-identical).  Non-exceeding lanes multiply by
+    exactly 1.0 — a bitwise identity — so only the lanes the serial code
+    would have scaled change.
+    """
+    exceeding = speed > p.max_speed
+    scale = np.where(
+        exceeding, p.max_speed / np.where(exceeding, speed, 1.0), 1.0
+    )
+    lanes.u *= scale
+    lanes.v *= scale
+
+
+def integrate_pose(
+    lanes: DynamicsLanes, dt: float, p: QuadrotorParams
+) -> tuple[np.ndarray, np.ndarray]:
+    """Yaw-rate clamp, yaw wrap, and position integration.
+
+    Returns the *candidate* ``(new_x, new_y)`` — the engine applies the
+    collision test before committing them (``z`` commits unconditionally,
+    as in serial).
+    """
+    lanes.r = np.minimum(np.maximum(lanes.r, -p.max_yaw_rate), p.max_yaw_rate)
+    lanes.yaw = wrap_angles(lanes.yaw + lanes.r * dt)
+    c = np.cos(lanes.yaw)
+    s = np.sin(lanes.yaw)
+    new_x = lanes.x + (lanes.u * c - lanes.v * s) * dt
+    new_y = lanes.y + (lanes.u * s + lanes.v * c) * dt
+    lanes.z += lanes.vz * dt
+    return new_x, new_y
+
+
+# ----------------------------------------------------------------------
+# World geometry (repro.env.geometry / repro.env.worlds)
+# ----------------------------------------------------------------------
+def wall_distances(px_: np.ndarray, py_: np.ndarray, world: World) -> np.ndarray:
+    """Per-lane distance to the nearest wall segment.
+
+    Row ``k`` replicates ``SegmentSoup.min_distance`` exactly: identical
+    elementwise pairings, then ``sqrt(min(...))``.
+    """
+    walls = world.walls
+    ax, ay = walls._ax, walls._ay
+    dx, dy = walls._dx, walls._dy
+    rx = px_[:, None] - ax[None, :]
+    ry = py_[:, None] - ay[None, :]
+    denom = dx * dx + dy * dy
+    denom = np.where(denom < _EPS, 1.0, denom)
+    t = np.clip((rx * dx[None, :] + ry * dy[None, :]) / denom[None, :], 0.0, 1.0)
+    cx = rx - t * dx[None, :]
+    cy = ry - t * dy[None, :]
+    return np.sqrt(np.min(cx * cx + cy * cy, axis=1))
+
+
+def project_lanes(
+    points: np.ndarray, world: World
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched ``Polyline.project`` over (K, 2) ``points``.
+
+    Returns ``(s, idx, diff)``: arclength per lane, the argmin segment
+    index, and the ``point - closest`` residual rows.  The signed lateral
+    offset ``d`` is *not* computed here — serial ``project`` forms it with
+    a 2-vector BLAS dot whose rounding differs from any expanded sum, so
+    the engine finishes it with the identical per-lane ``diff @ normal``.
+    """
+    arrays = world.centerline_arrays
+    starts, lens, units = arrays.starts, arrays.lens, arrays.units
+    sx, sy = starts[:, 0], starts[:, 1]
+    ux, uy = units[:, 0], units[:, 1]
+    px, py = points[:, 0], points[:, 1]
+    # Coordinates kept in separate contiguous (K, S) planes: a 2-element
+    # ``.sum(axis=2)`` is the ordered add ``a + b``, so every pairing
+    # below restates the interleaved form bit-for-bit.
+    relx = px[:, None] - sx[None, :]
+    rely = py[:, None] - sy[None, :]
+    t = relx * ux[None, :] + rely * uy[None, :]
+    t = np.clip(t, 0.0, lens[None, :])
+    diffx = px[:, None] - (sx[None, :] + t * ux[None, :])
+    diffy = py[:, None] - (sy[None, :] + t * uy[None, :])
+    d2 = diffx * diffx + diffy * diffy
+    idx = np.argmin(d2, axis=1)
+    rows = np.arange(points.shape[0])
+    s = world.centerline._cum[idx] + t[rows, idx]
+    return s, idx, np.column_stack([diffx[rows, idx], diffy[rows, idx]])
+
+
+#: Lanes per cast block.  The (lanes, W, S) intermediate planes are the
+#: whole cost of the ray solve; two lanes' worth (~250 KB at W=48,
+#: S=322) stays cache-resident, while the full 16-lane batch spills to
+#: DRAM and measures >2x slower.
+_CAST_LANE_CHUNK = 2
+
+
+def cast_rays_lanes(
+    origins_x: np.ndarray,
+    origins_y: np.ndarray,
+    angles: np.ndarray,
+    world: World,
+    max_range: float,
+) -> np.ndarray:
+    """Batched ``SegmentSoup.cast_rays``: (K,) origins x (K, W) angles.
+
+    Each (lane, ray, segment) scalar pairing matches the serial solve, so
+    every returned distance is bit-identical.  Lanes are processed in
+    cache-sized blocks; each lane's arithmetic is independent, so the
+    blocking cannot change any bit.
+    """
+    n_lanes = origins_x.shape[0]
+    if n_lanes <= _CAST_LANE_CHUNK:
+        return _cast_rays_block(origins_x, origins_y, angles, world, max_range)
+    out = np.empty_like(angles)
+    for lo in range(0, n_lanes, _CAST_LANE_CHUNK):  # repro: allow[PERF001] fixed cache-block loop
+        hi = min(lo + _CAST_LANE_CHUNK, n_lanes)
+        out[lo:hi] = _cast_rays_block(
+            origins_x[lo:hi], origins_y[lo:hi], angles[lo:hi], world, max_range
+        )
+    return out
+
+
+def _cast_rays_block(
+    origins_x: np.ndarray,
+    origins_y: np.ndarray,
+    angles: np.ndarray,
+    world: World,
+    max_range: float,
+) -> np.ndarray:
+    """One cache-sized block of the batched ray solve."""
+    walls = world.walls
+    ax, ay = walls._ax, walls._ay
+    dx, dy = walls._dx, walls._dy
+    rdx = np.cos(angles)[:, :, None]  # (K, W, 1)
+    rdy = np.sin(angles)[:, :, None]
+    sx = ax[None, None, :] - origins_x[:, None, None]  # (K, 1, S)
+    sy = ay[None, None, :] - origins_y[:, None, None]
+    # The (K, W, S) planes dominate this kernel's cost, so the serial
+    # expressions are restated as in-place updates over four reusable
+    # buffers — every elementwise pairing (and result bit) is unchanged.
+    denom = rdx * dy[None, None, :]
+    t = rdy * dx[None, None, :]
+    denom -= t
+    safe = np.abs(denom) > _EPS
+    denom[~safe] = 1.0  # np.where(safe, denom, 1.0)
+    t_num = sx * dy[None, None, :] - sy * dx[None, None, :]  # (K, 1, S)
+    np.divide(t_num, denom, out=t)
+    u = sx * rdy
+    scratch = sy * rdx
+    u -= scratch
+    u /= denom
+    valid = safe
+    valid &= t >= 0.0
+    valid &= u >= 0.0
+    valid &= u <= 1.0
+    np.logical_not(valid, out=valid)
+    t[valid] = max_range  # np.where(valid, t, max_range)
+    return np.minimum(t.min(axis=2), max_range)
+
+
+# ----------------------------------------------------------------------
+# FPV camera (repro.env.camera)
+# ----------------------------------------------------------------------
+def render_lanes(
+    camera: FpvCamera,
+    world: World,
+    x: np.ndarray,
+    y: np.ndarray,
+    yaw: np.ndarray,
+) -> np.ndarray:
+    """Batched noise-free ``FpvCamera.render`` for K poses → (K, H, W).
+
+    ``camera`` supplies the (shared, pose-independent) projection
+    constants; per-lane texture noise is added by the engine afterwards,
+    drawn from each lane's own camera RNG in serial order.
+    """
+    p = camera.params
+    angles = yaw[:, None] + camera._col_angles[None, :]  # (K, W)
+    depths = cast_rays_lanes(x, y, angles, world, p.max_depth)
+    depths = np.maximum(depths, 0.2)
+    perp = depths * camera._cos_col[None, :]
+    perp = np.maximum(perp, 0.2)
+
+    horizon = (p.height - 1) / 2.0
+    wall_top = horizon - (p.wall_height - p.camera_height) * camera._focal / perp
+    wall_bottom = horizon + p.camera_height * camera._focal / perp
+
+    image = np.zeros((x.shape[0], p.height, p.width), dtype=np.float32)
+    rows = camera._rows_f[None, :, :]  # (1, H, 1)
+    in_wall = (rows >= wall_top[:, None, :]) & (rows < wall_bottom[:, None, :])
+    shade = 0.75 / (1.0 + 0.10 * depths)
+    image += in_wall * shade[:, None, :]
+    image += (rows < wall_top[:, None, :]) * 0.08
+
+    below = rows > wall_bottom[:, None, :]
+    if np.any(below):
+        cos_a = np.cos(angles)[:, None, :]  # (K, 1, W)
+        sin_a = np.sin(angles)[:, None, :]
+        gx = x[:, None, None] + camera._ground_dist[None, :, :] * cos_a
+        gy = y[:, None, None] + camera._ground_dist[None, :, :] * sin_a
+        offsets = floor_offsets(world, gx[below], gy[below])
+        floor_shade = np.full(offsets.shape, 0.22, dtype=np.float32)
+        floor_shade[np.abs(offsets) <= p.trail_half_width] = 0.95
+        image[below] = floor_shade
+    return image
+
+
+#: Candidate segments the float32 prefilter keeps per floor point.
+#: Six covers the exact minimum plus every same-endpoint near-tie even on
+#: worlds with sub-meter segments.
+_FLOOR_CANDIDATES = 6
+
+#: Index offsets of the candidate window around the float32-nearest
+#: segment (len == _FLOOR_CANDIDATES).
+_WINDOW_OFFSETS = np.arange(_FLOOR_CANDIDATES) - _FLOOR_CANDIDATES // 2
+
+#: Pixel rows per prefilter block; (chunk, S) float32 planes stay in L2.
+_FLOOR_CHUNK = 256
+
+
+def floor_offsets(world: World, px_: np.ndarray, py_: np.ndarray) -> np.ndarray:
+    """Signed centerline offsets of flat ``(P,)`` floor points.
+
+    Bit-exact replacement for
+    :meth:`FpvCamera._centerline_offsets <repro.env.camera.FpvCamera>` —
+    the batched renderer's dominant cost.  Large inputs take a two-stage
+    path: a cheap float32 distance pass (two skinny sgemms plus a few
+    elementwise planes) finds each point's approximately nearest segment,
+    and a window of :data:`_FLOOR_CANDIDATES` consecutive segments around
+    it — near-ties come from neighbours sharing an endpoint — is refined
+    with the exact serial float64 arithmetic.  A conservative error bound
+    proves, per point, that every excluded segment is strictly farther
+    than the refined minimum — any point that cannot be proven falls the
+    whole call back to :func:`_floor_offsets_exact`, so the prefilter can
+    only ever cost time, never exactness.
+    """
+    arrays = world.centerline_arrays
+    n_seg = arrays.starts.shape[0]
+    n_pts = px_.shape[0]
+    if n_seg <= _FLOOR_CANDIDATES + 2 or n_pts * n_seg <= 20000:
+        return _floor_offsets_exact(world, px_, py_)
+
+    sx, sy = arrays.starts[:, 0], arrays.starts[:, 1]
+    ux, uy = arrays.units[:, 0], arrays.units[:, 1]
+    lens = arrays.lens
+
+    # -- float32 prefilter ---------------------------------------------
+    # One (P, 3) point matrix against two (3, S) segment matrices; the
+    # affine terms (segment self-projection, |s|^2, the -2 factor) are
+    # folded into the gemm operands so no whole-plane pass re-applies
+    # them.  |p|^2 is a per-row constant — it shifts neither the row
+    # argmin nor which segment attains the excluded minimum, so it is
+    # added back in float64 on the extracted threshold only.
+    A = np.empty((n_pts, 3), dtype=np.float32)
+    A[:, 0] = px_
+    A[:, 1] = py_
+    A[:, 2] = 1.0
+    B_q = np.empty((3, n_seg), dtype=np.float32)
+    B_q[0] = ux
+    B_q[1] = uy
+    B_q[2] = -(sx * ux + sy * uy)  # segment self-projections
+    B_d = np.empty((3, n_seg), dtype=np.float32)
+    B_d[0] = -2.0 * sx
+    B_d[1] = -2.0 * sy
+    B_d[2] = sx * sx + sy * sy
+    lens32 = lens.astype(np.float32)[None, :]
+
+    nearest = np.empty(n_pts, dtype=np.intp)
+    thresh = np.empty(n_pts, dtype=np.float32)
+    q = np.empty((_FLOOR_CHUNK, n_seg), dtype=np.float32)
+    d2_32 = np.empty((_FLOOR_CHUNK, n_seg), dtype=np.float32)
+    t32 = np.empty((_FLOOR_CHUNK, n_seg), dtype=np.float32)
+    chunk_rows = np.arange(_FLOOR_CHUNK)[:, None]
+    # Cache blocking over the *pixel* axis (not the lane axis): every
+    # pass below touches the same ~(chunk, S) float32 block, which stays
+    # resident in L2 instead of streaming multi-megabyte planes.
+    for lo in range(0, n_pts, _FLOOR_CHUNK):  # repro: allow[PERF001] fixed cache-block loop
+        hi = min(lo + _FLOOR_CHUNK, n_pts)
+        m = hi - lo
+        qm, d2m, tm = q[:m], d2_32[:m], t32[:m]
+        np.matmul(A[lo:hi], B_q, out=qm)  # projections onto segments
+        np.matmul(A[lo:hi], B_d, out=d2m)
+        np.minimum(qm, lens32, out=tm)
+        np.maximum(tm, 0.0, out=tm)
+        # |p-(s+t u)|^2 - |p|^2 = -2 p.s + |s|^2 - t (2 q - t)
+        qm += qm
+        qm -= tm
+        qm *= tm  # q := t (2 q - t)
+        d2m -= qm
+        nr = d2m.argmin(axis=1)
+        nearest[lo:hi] = nr
+        # Candidate window: the float32-nearest segment plus its index
+        # neighbours, clipped at the course ends (duplicates are harmless
+        # — argmin keeps the first, i.e. lowest-index, occurrence).
+        # Minimum float32 distance over the *excluded* segments is a
+        # lower bound (minus the error margin below) on their exact
+        # distances; the scatter masks candidates in place.
+        d2m[chunk_rows[:m], np.clip(nr[:, None] + _WINDOW_OFFSETS[None, :], 0, n_seg - 1)] = (
+            np.float32(np.inf)
+        )
+        thresh[lo:hi] = d2m.min(axis=1)
+
+    point_rows = np.arange(n_pts)
+    # Window indices ascend, so the refined argmin tie-breaks like the
+    # serial global one.
+    cand = np.clip(nearest[:, None] + _WINDOW_OFFSETS[None, :], 0, n_seg - 1)
+    p2 = px_ * px_ + py_ * py_  # restore the dropped |p|^2, in float64
+    thresh = thresh.astype(np.float64) + p2
+
+    # -- exact serial arithmetic on the candidates ---------------------
+    c_sx, c_sy = sx[cand], sy[cand]  # (P, C)
+    c_ux, c_uy = ux[cand], uy[cand]
+    relx = px_[:, None] - c_sx
+    rely = py_[:, None] - c_sy
+    t = np.clip(relx * c_ux + rely * c_uy, 0.0, lens[cand])
+    # Serial forms ``closest`` then ``point - closest``; keep that order.
+    diffx = px_[:, None] - (c_sx + t * c_ux)
+    diffy = py_[:, None] - (c_sy + t * c_uy)
+    d2 = diffx * diffx + diffy * diffy
+    best = np.argmin(d2, axis=1)
+
+    # -- soundness guard -----------------------------------------------
+    # Bound the float32 pass's absolute error by ~10 ulps at the squared
+    # magnitude of the inputs, with a 6x safety factor.  The guard must
+    # hold for every point, else the call reruns exactly.
+    scale = max(
+        float(np.abs(px_).max(initial=1.0)),
+        float(np.abs(py_).max(initial=1.0)),
+        float(np.abs(arrays.starts).max(initial=1.0)),
+        float(lens.max(initial=1.0)),
+    )
+    margin = 64.0 * float(np.finfo(np.float32).eps) * (scale * scale + 1.0)
+    if bool((d2[point_rows, best] >= thresh - margin).any()):
+        return _floor_offsets_exact(world, px_, py_)
+
+    idx = cand[point_rows, best]
+    return (
+        diffx[point_rows, best] * (-uy[idx]) + diffy[point_rows, best] * ux[idx]
+    )
+
+
+def _floor_offsets_exact(world: World, px_: np.ndarray, py_: np.ndarray) -> np.ndarray:
+    """Split-coordinate restatement of the serial floor shader.
+
+    Every ``(P, S)`` intermediate is a single coordinate plane instead of
+    the stacked ``(P, S, 2)`` arrays, halving the memory traffic.
+    Bit-exact with ``FpvCamera._centerline_offsets``: a ``.sum(axis=2)``
+    over two elements is the plain ordered ``x + y`` these expressions
+    write out, and every other operation pairs identically.
+    """
+    arrays = world.centerline_arrays
+    sx, sy = arrays.starts[:, 0], arrays.starts[:, 1]
+    ux, uy = arrays.units[:, 0], arrays.units[:, 1]
+    relx = px_[:, None] - sx[None, :]  # (P, S)
+    rely = py_[:, None] - sy[None, :]
+    t = np.clip(relx * ux[None, :] + rely * uy[None, :], 0.0, arrays.lens[None, :])
+    # Serial forms ``closest`` then ``point - closest``; keep that order.
+    diffx = px_[:, None] - (sx[None, :] + t * ux[None, :])
+    diffy = py_[:, None] - (sy[None, :] + t * uy[None, :])
+    idx = np.argmin(diffx * diffx + diffy * diffy, axis=1)
+    rows = np.arange(px_.shape[0])
+    return diffx[rows, idx] * (-uy[idx]) + diffy[rows, idx] * ux[idx]

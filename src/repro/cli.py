@@ -153,6 +153,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         journal=journal,
         resume=args.resume,
+        batch_size=args.batch,
     )
     report = runner.run(list(configs.items()))
     failures = 0
@@ -177,6 +178,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({report.workers or 'no'} worker(s); cache: {report.cache_hits} hit(s), "
         f"{report.cache_misses} miss(es), {report.cache_stores} store(s))"
     )
+    if report.batched_missions:
+        print(
+            f"batched: {report.batched_missions} mission(s) in "
+            f"{report.batch_chunks} lockstep chunk(s)"
+        )
     resilience_active = (
         report.retries
         or report.timeouts
@@ -201,6 +207,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "hits": report.cache_hits,
                 "misses": report.cache_misses,
                 "stores": report.cache_stores,
+            },
+            "batch": {
+                "missions": report.batched_missions,
+                "chunks": report.batch_chunks,
             },
             "resilience": {
                 "retries": report.retries,
@@ -558,6 +568,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("manifest", help="path to a manifest (see repro.core.manifest)")
     sweep.add_argument(
         "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run lockstep-compatible cache misses on the batched engine, "
+        "up to N missions per engine (bit-identical to serial; default: "
+        "$REPRO_SWEEP_BATCH or 1 = no batching)",
     )
     sweep.add_argument(
         "--cache-dir",

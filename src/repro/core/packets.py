@@ -105,6 +105,15 @@ _PAYLOAD_FORMATS: dict[PacketType, str] = {
 }
 
 
+#: (payload size, field count) per fixed-layout type — lets
+#: ``payload_bytes`` answer without serializing.  The raw-carrying
+#: responses add their variable tail on top of the metadata size.
+_PAYLOAD_SIZES: dict[PacketType, tuple[int, int]] = {
+    ptype: (struct.calcsize(fmt), len(struct.unpack(fmt, bytes(struct.calcsize(fmt)))))
+    for ptype, fmt in _PAYLOAD_FORMATS.items()
+}
+
+
 @dataclass(frozen=True)
 class DataPacket:
     """A decoded packet: type plus either typed fields or raw payload."""
@@ -115,6 +124,20 @@ class DataPacket:
 
     @property
     def payload_bytes(self) -> int:
+        # Size from the layout table when the shape is well-formed (the
+        # overwhelmingly common case) — a full encode just to measure a
+        # packet is pure overhead on the SoC's MMIO cost path.  Anything
+        # irregular falls through to encode_packet for its exact error.
+        layout = _PAYLOAD_SIZES.get(self.ptype)
+        if layout is not None and len(self.values) == layout[1]:
+            if self.ptype is PacketType.CAMERA_RESP:
+                if len(self.raw) == int(self.values[0]) * int(self.values[1]):
+                    return layout[0] + len(self.raw)
+            elif self.ptype is PacketType.LIDAR_RESP:
+                if len(self.raw) == int(self.values[0]) * 4:
+                    return layout[0] + len(self.raw)
+            elif not self.raw:
+                return layout[0]
         return len(encode_packet(self)) - HEADER_SIZE
 
 

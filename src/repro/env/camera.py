@@ -61,6 +61,15 @@ class FpvCamera:
         # clockwise (negative) angle.
         self._col_angles = -np.arctan2(cols, self._focal)
         self._rows = np.arange(p.height)
+        # Per-frame constants and the reusable frame buffer: ``render`` runs
+        # once per camera request, and these allocations dominated its
+        # non-raycast cost.  The buffer never escapes — the returned image
+        # is the fresh array ``np.clip`` produces.
+        self._rows_f = self._rows[:, None].astype(float)  # (H, 1)
+        self._cos_col = np.cos(self._col_angles)
+        self._drop = np.maximum(self._rows_f - (p.height - 1) / 2.0, 0.75)
+        self._ground_dist = p.camera_height * self._focal / self._drop  # (H, 1)
+        self._image = np.empty((p.height, p.width), dtype=np.float32)
 
     def reset(self, seed: int | None = None) -> None:
         if seed is not None:
@@ -73,16 +82,17 @@ class FpvCamera:
         depths = world.panorama(pose, self._col_angles, max_range=p.max_depth)
         depths = np.maximum(depths, 0.2)
         # Correct fisheye: perpendicular distance for projection height.
-        perp = depths * np.cos(self._col_angles)
+        perp = depths * self._cos_col
         perp = np.maximum(perp, 0.2)
 
         horizon = (p.height - 1) / 2.0
         wall_top = horizon - (p.wall_height - p.camera_height) * self._focal / perp
         wall_bottom = horizon + p.camera_height * self._focal / perp
 
-        image = np.zeros((p.height, p.width), dtype=np.float32)
+        image = self._image
+        image.fill(0.0)
 
-        rows = self._rows[:, None].astype(float)  # (H, 1)
+        rows = self._rows_f  # (H, 1)
         in_wall = (rows >= wall_top[None, :]) & (rows < wall_bottom[None, :])
         shade = 0.75 / (1.0 + 0.10 * depths)  # distance-attenuated wall shade
         image += in_wall * shade[None, :]
@@ -95,16 +105,14 @@ class FpvCamera:
         # the ground plane and test proximity to the course centerline.
         below = rows > wall_bottom[None, :]
         if np.any(below):
-            drop = np.maximum(rows - horizon, 0.75)  # rows below horizon
-            ground_dist = p.camera_height * self._focal / drop  # (H, 1)
             # World-frame point hit by (row, col) ray on the floor.
             gx = (
                 pose.x
-                + ground_dist * np.cos(pose.yaw + self._col_angles)[None, :]
+                + self._ground_dist * np.cos(pose.yaw + self._col_angles)[None, :]
             )
             gy = (
                 pose.y
-                + ground_dist * np.sin(pose.yaw + self._col_angles)[None, :]
+                + self._ground_dist * np.sin(pose.yaw + self._col_angles)[None, :]
             )
             floor_pts = np.stack([gx, gy], axis=-1)  # (H, W, 2)
             offsets = self._centerline_offsets(world, floor_pts[below])

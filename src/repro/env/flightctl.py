@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.env.physics import AccelCommand, DroneState
 
 
@@ -64,15 +62,17 @@ class Pid:
 
     def update(self, error: float, dt: float) -> float:
         g = self.gains
-        self._integral = float(
-            np.clip(self._integral + error * dt, -g.integral_limit, g.integral_limit)
+        # Builtin min/max matches np.clip bit-for-bit on scalars and keeps
+        # the per-frame control path allocation-free.
+        self._integral = min(
+            max(self._integral + error * dt, -g.integral_limit), g.integral_limit
         )
         derivative = 0.0
         if self._last_error is not None and dt > 0:
             derivative = (error - self._last_error) / dt
         self._last_error = error
         out = g.kp * error + g.ki * self._integral + g.kd * derivative
-        return float(np.clip(out, -g.output_limit, g.output_limit))
+        return min(max(out, -g.output_limit), g.output_limit)
 
 
 @dataclass
@@ -131,7 +131,7 @@ class SimpleFlightController:
             a_forward=self._fwd.update(t.v_forward - state.u, dt),
             a_lateral=self._lat.update(t.v_lateral - state.v, dt),
             a_vertical=self._vert.update(
-                np.clip(t.altitude - state.z, -1.0, 1.0) * 1.5 - state.vz, dt
+                min(max(t.altitude - state.z, -1.0), 1.0) * 1.5 - state.vz, dt
             ),
             yaw_accel=self._yaw.update(t.yaw_rate - state.r, dt),
         )

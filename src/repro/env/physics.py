@@ -121,6 +121,9 @@ class QuadrotorDynamics:
         self._recovery_until = -1.0
         # First-order actuator state (the accelerations actually realized).
         self._applied = AccelCommand()
+        # Scratch buffer for the per-frame collision test; the world never
+        # retains the array it is probed with.
+        self._collision_probe = np.empty(2, dtype=float)
 
     @property
     def recovering(self) -> bool:
@@ -157,11 +160,13 @@ class QuadrotorDynamics:
                 yaw_accel=-st.r / max(p.recovery_time * 0.5, dt),
             )
 
+        # Scalar clamps: builtin min/max round identically to np.clip on
+        # floats but allocate nothing.
         clipped = AccelCommand(
-            a_forward=float(np.clip(command.a_forward, -p.max_linear_accel, p.max_linear_accel)),
-            a_lateral=float(np.clip(command.a_lateral, -p.max_linear_accel, p.max_linear_accel)),
-            a_vertical=float(np.clip(command.a_vertical, -p.max_vertical_accel, p.max_vertical_accel)),
-            yaw_accel=float(np.clip(command.yaw_accel, -p.max_yaw_accel, p.max_yaw_accel)),
+            a_forward=min(max(command.a_forward, -p.max_linear_accel), p.max_linear_accel),
+            a_lateral=min(max(command.a_lateral, -p.max_linear_accel), p.max_linear_accel),
+            a_vertical=min(max(command.a_vertical, -p.max_vertical_accel), p.max_vertical_accel),
+            yaw_accel=min(max(command.yaw_accel, -p.max_yaw_accel), p.max_yaw_accel),
         )
 
         # First-order actuator lag: attitude (hence lateral force) cannot
@@ -184,16 +189,21 @@ class QuadrotorDynamics:
             scale = p.max_speed / speed
             st.u *= scale
             st.v *= scale
-        st.r = float(np.clip(st.r, -p.max_yaw_rate, p.max_yaw_rate))
+        st.r = min(max(st.r, -p.max_yaw_rate), p.max_yaw_rate)
 
-        # Integrate pose.
+        # Integrate pose.  The world-frame velocity rotation is inlined
+        # (identical arithmetic to ``DroneState.world_velocity``) so the
+        # per-frame hot path allocates no intermediate array.
         st.yaw = wrap_angle(st.yaw + st.r * dt)
-        vel = st.world_velocity
-        new_x = st.x + float(vel[0]) * dt
-        new_y = st.y + float(vel[1]) * dt
+        c, s = math.cos(st.yaw), math.sin(st.yaw)
+        new_x = st.x + (st.u * c - st.v * s) * dt
+        new_y = st.y + (st.u * s + st.v * c) * dt
         st.z += st.vz * dt
 
-        if self.world.in_collision(np.array([new_x, new_y]), p.collision_radius):
+        pos = self._collision_probe
+        pos[0] = new_x
+        pos[1] = new_y
+        if self.world.in_collision(pos, p.collision_radius):
             if not self.recovering:
                 self._handle_collision(new_x, new_y)
             # While recovering against the wall, hold position.

@@ -18,6 +18,7 @@ deployment model a hook to account per-call RPC latency.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -73,36 +74,120 @@ class RpcServer:
 
     def call(self, method: str, *args: Any) -> Any:
         """Marshal and dispatch one RPC."""
-        if method not in self._handlers:
-            raise SimulationError(f"unknown RPC method {method!r}")
-        # Round-trip the arguments through JSON: anything that cannot be
-        # marshalled must fail here, at the boundary, not deep inside.
         try:
-            encoded = json.dumps(args)
-        except TypeError as exc:
-            raise SimulationError(
-                f"RPC arguments for {method!r} are not serializable: {exc}"
-            ) from exc
-        self.stats.calls += 1
-        self.stats.bytes_out += len(encoded)
-        result = self._handlers[method](*json.loads(encoded))
+            handler = self._handlers[method]
+        except KeyError:
+            raise SimulationError(f"unknown RPC method {method!r}") from None
+        if not args:
+            # Fast path for the (most common) argument-less call: the JSON
+            # round-trip of ``()`` is always the 2-byte ``[]``.
+            self.stats.calls += 1
+            self.stats.bytes_out += 2
+            result = handler()
+        elif (size := RpcServer._simple_args_size(args)) >= 0:
+            # All-scalar argument tuples round-trip through JSON as the
+            # identity (repr round-trips finite floats exactly), so the
+            # dumps/loads pair is skipped and only its byte count kept.
+            self.stats.calls += 1
+            self.stats.bytes_out += size
+            result = handler(*args)
+        else:
+            # Round-trip the arguments through JSON: anything that cannot
+            # be marshalled must fail here, at the boundary, not deep
+            # inside.
+            try:
+                encoded = json.dumps(args)
+            except TypeError as exc:
+                raise SimulationError(
+                    f"RPC arguments for {method!r} are not serializable: {exc}"
+                ) from exc
+            self.stats.calls += 1
+            self.stats.bytes_out += len(encoded)
+            result = handler(*json.loads(encoded))
         self.stats.bytes_in += self._payload_size(result)
         return result
 
     @staticmethod
     def _payload_size(result: Any) -> int:
+        # Scalar fast paths, each sized exactly as ``len(json.dumps(x))``
+        # would report (bools before ints: bool subclasses int).
+        if result is None:
+            return 4
+        if result is True:
+            return 4
+        if result is False:
+            return 5
         if isinstance(result, (bytes, bytearray)):
             return len(result)
-        if isinstance(result, dict) and any(
-            isinstance(v, (bytes, bytearray)) for v in result.values()
-        ):
-            return 32 + sum(
-                len(v) for v in result.values() if isinstance(v, (bytes, bytearray))
-            )
+        if isinstance(result, float):
+            if math.isfinite(result):
+                return len(repr(result))  # json floats use float.__repr__
+        elif isinstance(result, int):
+            return len(repr(result))
+        elif isinstance(result, dict):
+            size = RpcServer._simple_dict_size(result)
+            if size >= 0:
+                return size
+            if any(isinstance(v, (bytes, bytearray)) for v in result.values()):
+                return 32 + sum(
+                    len(v)
+                    for v in result.values()
+                    if isinstance(v, (bytes, bytearray))
+                )
         try:
             return len(json.dumps(result))
         except TypeError:
             return 0
+
+    @staticmethod
+    def _simple_args_size(args: tuple) -> int:
+        """``len(json.dumps(args))`` for all-scalar argument tuples,
+        without rendering the JSON.  Returns -1 when any argument needs
+        the real marshalling path (containers, strings, non-finite
+        floats); sizes otherwise match ``json.dumps`` exactly.
+        """
+        size = 2 * len(args)  # brackets + ", " separators
+        for v in args:
+            if v is True or v is None:
+                size += 4
+            elif v is False:
+                size += 5
+            elif isinstance(v, float):
+                if not math.isfinite(v):
+                    return -1
+                size += len(repr(v))
+            elif isinstance(v, int) and type(v) is int:
+                size += len(repr(v))
+            else:
+                return -1
+        return size
+
+    @staticmethod
+    def _simple_dict_size(result: dict) -> int:
+        """``len(json.dumps(result))`` for flat scalar dicts, without
+        rendering the JSON (these dominate the RPC traffic).  Returns -1
+        when any key/value falls outside the fast cases; sizes otherwise
+        match ``json.dumps`` exactly — ASCII identifier keys need no
+        escaping, and JSON renders floats with ``repr``.
+        """
+        size = 2 + 2 * (len(result) - 1) if result else 2
+        for k, v in result.items():
+            if not (isinstance(k, str) and k.isascii() and k.isidentifier()):
+                return -1
+            if v is True or v is None:
+                value_len = 4
+            elif v is False:
+                value_len = 5
+            elif isinstance(v, float):
+                if not math.isfinite(v):
+                    return -1
+                value_len = len(repr(v))
+            elif isinstance(v, int) and type(v) is int:
+                value_len = len(repr(v))
+            else:
+                return -1
+            size += len(k) + 4 + value_len  # quotes + ": "
+        return size
 
     # -- handlers ------------------------------------------------------
     def _reset(self) -> bool:

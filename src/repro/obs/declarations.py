@@ -43,6 +43,8 @@ COVERAGE_EXEMPT: frozenset[str] = frozenset(
         "rose_sweep_quarantined_total",
         "rose_sweep_journal_replays_total",
         "rose_cache_corrupt_total",
+        "rose_sweep_batched_missions_total",
+        "rose_sweep_batch_chunks_total",
     }
 )
 
@@ -297,6 +299,18 @@ SWEEP_METRICS: tuple[MetricSpec, ...] = (
         "rose_cache_corrupt_total",
         "counter",
         "Corrupt result-cache entries quarantined to <key>.pkl.corrupt.",
+    ),
+    MetricSpec(
+        "rose_sweep_batched_missions_total",
+        "counter",
+        "Cache-missed missions executed on the batched lockstep engine "
+        "instead of one-process-per-mission.",
+    ),
+    MetricSpec(
+        "rose_sweep_batch_chunks_total",
+        "counter",
+        "Lockstep engine invocations (groups of compatible missions "
+        "advanced together) during sweep execution.",
     ),
 )
 

@@ -138,11 +138,26 @@ class MetricsRegistry:
         return sorted(self._specs)
 
     def _key(self, spec: MetricSpec, labels: dict[str, str]) -> _LabelKey:
-        if set(labels) != set(spec.labels):
-            raise ConfigError(
-                f"{spec.name} takes labels {list(spec.labels)}, got {sorted(labels)}"
-            )
-        return tuple(str(labels[label]) for label in spec.labels)
+        declared = spec.labels
+        if not labels and not declared:
+            return ()  # fast path: unlabelled series dominate the hot loop
+        n = len(labels)
+        if n == len(declared):
+            # Equal-length dicts with every declared label present carry
+            # exactly the declared label set — no set comparison needed.
+            # One- and two-label metrics cover the hot writers, so they
+            # skip the generator machinery.
+            try:
+                if n == 1:
+                    return (str(labels[declared[0]]),)
+                if n == 2:
+                    return (str(labels[declared[0]]), str(labels[declared[1]]))
+                return tuple(str(labels[label]) for label in declared)
+            except KeyError:
+                pass
+        raise ConfigError(
+            f"{spec.name} takes labels {list(spec.labels)}, got {sorted(labels)}"
+        )
 
     def _expect(self, name: str, kind: str) -> MetricSpec:
         spec = self.spec(name)

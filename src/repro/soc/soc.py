@@ -236,6 +236,11 @@ class Soc:
     def _next_ready(self) -> TargetTask | None:
         """Round-robin pick of a ready task."""
         n = len(self.tasks)
+        if n == 1:
+            # Fast path: single-program SoCs (no background tenants) are
+            # the common case, and round-robin over one task is identity.
+            task = self.tasks[0]
+            return task if task.ready(self.cycle) else None
         for offset in range(n):
             task = self.tasks[(self._rr_index + offset) % n]
             if task.ready(self.cycle):

@@ -32,6 +32,7 @@ from repro.sweep.resilience import (
     backoff_sleep,
 )
 from repro.sweep.runner import (
+    BATCH_ENV,
     SweepOutcome,
     SweepReport,
     SweepRunner,
@@ -41,6 +42,7 @@ from repro.sweep.runner import (
 from repro.sweep.signature import canonical_payload, mission_signature
 
 __all__ = [
+    "BATCH_ENV",
     "CHAOS_ENV",
     "ChaosError",
     "ChaosPlan",

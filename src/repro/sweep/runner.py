@@ -53,6 +53,8 @@ from typing import Any, Callable, Iterable, Union
 
 import numpy as np
 
+from repro.batch.eligibility import batch_eligible, batch_group_key
+from repro.batch.engine import run_batch
 from repro.core.config import CoSimConfig
 from repro.core.cosim import MissionResult, run_mission
 from repro.core.timing import merge_timings
@@ -74,6 +76,9 @@ from repro.sweep.resilience import (
 
 #: Environment variable setting the default worker count (1 = serial).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Environment variable setting the default batch size (1 = no batching).
+BATCH_ENV = "REPRO_SWEEP_BATCH"
 
 #: What :meth:`SweepRunner.run` accepts per task: an explicit
 #: :class:`SweepTask`, a bare config (auto-named), or a (name, config) pair.
@@ -128,6 +133,9 @@ class SweepReport:
     pool_crashes: int = 0
     quarantined: int = 0
     journal_replays: int = 0
+    #: Batched-engine activity (cache misses run in lockstep groups).
+    batched_missions: int = 0
+    batch_chunks: int = 0
     #: Sweep-level metrics snapshot (rose_sweep_* / rose_cache_*),
     #: merged into :meth:`telemetry` alongside the mission snapshots.
     sweep_metrics: dict[str, Any] | None = field(repr=False, default=None)
@@ -214,6 +222,23 @@ def _execute_task(
     return name, result, perf_counter() - t0
 
 
+def _execute_batch(
+    configs: list[CoSimConfig], keys: list[str]
+) -> tuple[list[MissionResult], float]:
+    """Run one lockstep-compatible chunk on the batched engine.
+
+    Mirrors :func:`_execute_task`'s discipline: the ambient global RNGs
+    are reseeded deterministically (from the first lane's key — the
+    simulation stack itself draws only from explicitly-seeded
+    generators, so this closes the same door the serial path closes).
+    Returns the per-lane results plus the chunk's wall time.
+    """
+    _seed_worker(keys[0])
+    t0 = perf_counter()
+    results = run_batch(configs)
+    return results, perf_counter() - t0
+
+
 #: Per-process transient state cleared on every pool (re)spawn.  Modules
 #: with mutable process-scoped bookkeeping register a reset hook; the
 #: deterministic memo caches (worlds, graphs, profiles) are deliberately
@@ -283,8 +308,12 @@ class SweepRunner:
         task_timeout: float | None = None,
         journal: SweepJournal | None = None,
         resume: bool = False,
+        batch_size: int | None = None,
     ):
         self.workers = max(1, int(workers or 1))
+        if batch_size is None:
+            batch_size = int(os.environ.get(BATCH_ENV, "1") or "1")
+        self.batch_size = max(1, int(batch_size))
         self.cache = cache
         self.retry = retry or RetryPolicy()
         if task_timeout is not None and task_timeout <= 0:
@@ -353,6 +382,15 @@ class SweepRunner:
                     )
                 )
 
+        # Batch pre-pass: lockstep-compatible groups of cache misses run
+        # on the batched engine in the parent; whatever it does not take
+        # (ineligible, unpaired, or failed-over) continues to the normal
+        # serial/pooled path below.  Under an active chaos plan every
+        # task must pass through the per-attempt injection point, so
+        # batching is disabled.
+        if misses and self.batch_size > 1 and chaos.active_plan() is None:
+            misses = self._run_batched(misses, outcomes, registry)
+
         workers = min(self.workers, max(1, len(misses)))
         if misses:
             if workers <= 1:
@@ -373,6 +411,10 @@ class SweepRunner:
             pool_crashes=int(registry.total("rose_sweep_crashes_total")),
             quarantined=int(registry.total("rose_sweep_quarantined_total")),
             journal_replays=int(registry.total("rose_sweep_journal_replays_total")),
+            batched_missions=int(
+                registry.total("rose_sweep_batched_missions_total")
+            ),
+            batch_chunks=int(registry.total("rose_sweep_batch_chunks_total")),
             sweep_metrics=registry.snapshot(),
         )
         if self.cache is not None:
@@ -500,6 +542,59 @@ class SweepRunner:
             pending.task.name, pending.key, state, pending.attempt, failure
         )
         return None
+
+    # ------------------------------------------------------------------
+    # Batched execution (lockstep engine, parent process)
+    # ------------------------------------------------------------------
+    def _run_batched(
+        self,
+        misses: list[_Pending],
+        outcomes: list[SweepOutcome | None],
+        registry: MetricsRegistry,
+    ) -> list[_Pending]:
+        """Run lockstep-compatible chunks of ``misses`` batched.
+
+        Returns the tasks still pending for the serial/pooled path.  The
+        batched engine is bit-identical to serial execution (enforced by
+        the ``batch_vs_serial`` oracle), so completed lanes reuse the
+        ordinary completion path — same cache writes, same journal
+        events, same outcome shape.  A chunk that errors is *not*
+        charged a failed attempt: its tasks simply fall through to the
+        supervised path, which owns retry bookkeeping.
+        """
+        remaining: list[_Pending] = []
+        groups: dict[str, list[_Pending]] = {}
+        for pending in misses:
+            eligible, _reason = batch_eligible(pending.task.config)
+            if eligible:
+                groups.setdefault(
+                    batch_group_key(pending.task.config), []
+                ).append(pending)
+            else:
+                remaining.append(pending)
+        for key in sorted(groups):
+            group = groups[key]
+            for lo in range(0, len(group), self.batch_size):
+                chunk = group[lo : lo + self.batch_size]
+                if len(chunk) < 2:
+                    # A lone lane gains nothing from lockstep; let the
+                    # normal path run it.
+                    remaining.extend(chunk)
+                    continue
+                try:
+                    results, seconds = _execute_batch(
+                        [p.task.config for p in chunk], [p.key for p in chunk]
+                    )
+                except Exception:  # noqa: BLE001 - fall back, path owns retries
+                    remaining.extend(chunk)
+                    continue
+                registry.inc("rose_sweep_batch_chunks_total")
+                registry.inc("rose_sweep_batched_missions_total", len(chunk))
+                share = seconds / len(chunk)
+                for pending, result in zip(chunk, results):
+                    self._complete(pending, result, share, outcomes)
+        remaining.sort(key=lambda p: p.index)
+        return remaining
 
     # ------------------------------------------------------------------
     # Serial execution (in-process, retries with blocking backoff)
@@ -730,13 +825,15 @@ def sweep_missions(
     configs: Iterable[TaskLike],
     workers: int | None = None,
     cache: ResultCache | None = None,
+    batch_size: int | None = None,
 ) -> list[MissionResult]:
     """Run configs through the sweep engine; results in input order.
 
     Drop-in replacement for ``[run_mission(c) for c in configs]``.  With
     no arguments the knobs come from the environment: ``REPRO_SWEEP_WORKERS``
-    (default 1 = serial) and ``REPRO_SWEEP_CACHE_DIR`` (caching stays off
-    unless the directory is set — library callers opt in explicitly).
+    (default 1 = serial), ``REPRO_SWEEP_BATCH`` (default 1 = no
+    batching) and ``REPRO_SWEEP_CACHE_DIR`` (caching stays off unless
+    the directory is set — library callers opt in explicitly).
     Transient failures are retried under the default
     :class:`~repro.sweep.resilience.RetryPolicy`; a task that still
     fails raises :class:`~repro.errors.SweepError` from ``results()``.
@@ -745,4 +842,8 @@ def sweep_missions(
         workers = int(os.environ.get(WORKERS_ENV, "1") or "1")
     if cache is None and os.environ.get(CACHE_DIR_ENV):
         cache = ResultCache(os.environ[CACHE_DIR_ENV])
-    return SweepRunner(workers=workers, cache=cache).run(configs).results()
+    return (
+        SweepRunner(workers=workers, cache=cache, batch_size=batch_size)
+        .run(configs)
+        .results()
+    )

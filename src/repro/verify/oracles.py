@@ -380,6 +380,70 @@ def _oracle_sweep_parallel() -> list[Divergence]:
 
 
 @oracle(
+    "batch-vs-serial",
+    "lockstep batched engine vs. per-mission serial runs over a mixed "
+    "group (seeds, models, mission lengths): bit-identical signatures",
+)
+def _oracle_batch_vs_serial() -> list[Divergence]:
+    from repro.batch.engine import run_missions_batched
+
+    # A deliberately ragged group: different seeds, different DNNs, and
+    # one mission that terminates early — plus an ineligible (MPC) lane
+    # that must route through the serial fallback unchanged.
+    configs = [
+        _tiny_config(seed=0, model="resnet6"),
+        _tiny_config(seed=1, model="resnet11"),
+        _tiny_config(seed=2, model="resnet6", max_sim_time=0.5),
+        _tiny_config(seed=3, controller="mpc"),
+    ]
+    want = [run_mission(cfg) for cfg in configs]  # serial reference
+    got = run_missions_batched(configs, batch_size=len(configs))
+    out: list[Divergence] = []
+    for cfg, reference, batched in zip(configs, want, got):
+        if mission_signature(reference) == mission_signature(batched):
+            continue
+        hit = mission_divergence(
+            canonical_payload(reference),
+            canonical_payload(batched),
+            f"batch-vs-serial[seed={cfg.seed}]",
+        )
+        if hit is not None:
+            out.append(hit)
+    return out
+
+
+@oracle(
+    "batch-cnn-forward",
+    "one batched CNN forward over N frames vs. N single-frame forwards "
+    "(the only tolerance site in the batched engine: the batch GEMM "
+    "reassociates the float32 reduction)",
+)
+def _oracle_batch_cnn_forward() -> list[Divergence]:
+    from repro.dnn.resnet import build_trainable_trailnet
+
+    model = build_trainable_trailnet(seed=7)
+    model.eval()
+    frames = _rng(11).random((6, 1, 32, 48), dtype=np.float32)
+    batched_ang, batched_lat = model.predict_probs(frames)
+    out: list[Divergence] = []
+    for i in range(frames.shape[0]):
+        single_ang, single_lat = model.predict_probs(frames[i : i + 1])
+        for channel, batched, single in (
+            ("angular", batched_ang[i], single_ang[0]),
+            ("lateral", batched_lat[i], single_lat[0]),
+        ):
+            hit = array_divergence(
+                f"batch-cnn-forward[frame={i}]",
+                single,
+                batched,
+                layer=channel,
+            )
+            if hit is not None:
+                out.append(hit)
+    return out
+
+
+@oracle(
     "sweep-chaos",
     "sweep with injected worker faults (exception + crash + hang) vs. "
     "fault-free serial reference runs: retries must converge to "

@@ -1,0 +1,130 @@
+"""Batched mission engine: edge-case correctness.
+
+Everything here pins bit-identity between the lockstep engine and the
+serial runner on the paths the throughput benchmark does not exercise:
+single-lane batches, ragged termination, ineligible-lane fallback, and
+cache-entry sharing through the sweep runner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import (
+    batch_eligible,
+    batch_group_key,
+    run_batch,
+    run_missions_batched,
+)
+from repro.core.config import CoSimConfig
+from repro.core.cosim import run_mission
+from repro.core.faults import FaultPlan
+from repro.sweep import ResultCache, SweepRunner, mission_signature
+
+
+def _cfg(**overrides) -> CoSimConfig:
+    base = dict(
+        world="tunnel",
+        soc="A",
+        model="resnet6",
+        max_sim_time=1.0,
+        check_invariants=True,
+    )
+    base.update(overrides)
+    return CoSimConfig(**base)
+
+
+class TestEligibility:
+    def test_default_dnn_quadrotor_is_eligible(self):
+        eligible, reason = batch_eligible(_cfg())
+        assert eligible and reason == ""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"controller": "mpc"},
+            {"vehicle": "car"},
+            {"faults": FaultPlan()},
+            {"transport": "tcp"},
+        ],
+        ids=["mpc", "car", "faults", "tcp"],
+    )
+    def test_unvectorized_features_are_ineligible(self, overrides):
+        eligible, reason = batch_eligible(_cfg(**overrides))
+        assert not eligible and reason
+
+    def test_group_key_ignores_per_lane_fields(self):
+        # Seed, model and mission length vary per lane within a group.
+        key = batch_group_key(_cfg())
+        assert batch_group_key(_cfg(seed=7, model="resnet18", max_sim_time=2.0)) == key
+
+    def test_group_key_splits_on_world(self):
+        assert batch_group_key(_cfg()) != batch_group_key(_cfg(world="s-shape"))
+
+
+class TestBatchBitIdentity:
+    def test_batch_of_one_equals_serial(self):
+        config = _cfg(seed=3)
+        serial = run_mission(config)
+        (batched,) = run_batch([config])
+        assert mission_signature(batched) == mission_signature(serial)
+
+    def test_ragged_termination_matches_serial(self):
+        # The middle lane exits earliest; the survivors must advance
+        # exactly as if the finished lane had never shared their batch.
+        configs = [
+            _cfg(seed=0, max_sim_time=1.0),
+            _cfg(seed=1, max_sim_time=0.4),
+            _cfg(seed=2, max_sim_time=1.2),
+        ]
+        serial = [mission_signature(run_mission(c)) for c in configs]
+        batched = [mission_signature(r) for r in run_batch(configs)]
+        assert batched == serial
+
+    def test_mid_batch_fault_plan_runs_serial(self):
+        # An ineligible (fault-injected) config between two eligible ones:
+        # it must route through the serial runner, the rest still batch,
+        # and the result order must follow the input order.
+        configs = [
+            _cfg(seed=0),
+            _cfg(seed=1, faults=FaultPlan()),
+            _cfg(seed=2),
+        ]
+        assert not batch_eligible(configs[1])[0]
+        serial = [mission_signature(run_mission(c)) for c in configs]
+        batched = [mission_signature(r) for r in run_missions_batched(configs)]
+        assert batched == serial
+
+    def test_mixed_models_match_serial(self):
+        configs = [_cfg(seed=0, model="resnet6"), _cfg(seed=1, model="resnet11")]
+        serial = [mission_signature(run_mission(c)) for c in configs]
+        batched = [mission_signature(r) for r in run_batch(configs)]
+        assert batched == serial
+
+
+class TestSweepIntegration:
+    def test_batched_sweep_shares_cache_with_serial(self, tmp_path):
+        # Cold batched sweep populates the cache; a serial re-run must hit
+        # every entry — batching cannot leak into the cache key.
+        configs = [_cfg(seed=s) for s in range(3)]
+        cold = SweepRunner(
+            workers=1, cache=ResultCache(tmp_path), batch_size=4
+        ).run(configs)
+        assert cold.batched_missions == len(configs)
+        assert cold.batch_chunks == 1
+
+        warm = SweepRunner(workers=1, cache=ResultCache(tmp_path)).run(configs)
+        assert all(outcome.from_cache for outcome in warm.outcomes)
+        assert [mission_signature(r) for r in warm.results()] == [
+            mission_signature(r) for r in cold.results()
+        ]
+
+    def test_single_lane_chunks_stay_serial(self, tmp_path):
+        # A group of one never pays batch-engine setup under the runner.
+        report = SweepRunner(
+            workers=1, cache=ResultCache(tmp_path), batch_size=8
+        ).run([_cfg(seed=0)])
+        assert report.batched_missions == 0
+        assert report.batch_chunks == 0
+        serial = run_mission(_cfg(seed=0))
+        assert mission_signature(report.results()[0]) == mission_signature(serial)

@@ -48,7 +48,7 @@ def active_rules(report) -> list[str]:
 class TestRegistry:
     def test_all_families_registered(self):
         families = {r.family for r in all_rules().values()}
-        assert {"DET", "NUM", "PROTO", "CFG", "OBS", "RES"} <= families
+        assert {"DET", "NUM", "PROTO", "CFG", "OBS", "RES", "PERF"} <= families
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -718,6 +718,70 @@ class TestRes002BareSleep:
             """,
         })
         assert run_lint(tmp_path, rules=["RES002"]).active == []
+
+
+# ---------------------------------------------------------------------------
+# PERF: batched-engine vectorization
+# ---------------------------------------------------------------------------
+class TestPerf001BatchLoops:
+    def test_flags_for_and_while_in_batch_package(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/batch/engine.py": """
+                def advance(lanes):
+                    total = 0
+                    for lane in lanes:
+                        total += lane
+                    while total > 0:
+                        total -= 1
+                    return total
+            """,
+        })
+        report = run_lint(tmp_path, rules=["PERF001"])
+        assert active_rules(report) == ["PERF001", "PERF001"]
+        messages = [d.message for d in report.active]
+        assert any("for loop" in m for m in messages)
+        assert any("while loop" in m for m in messages)
+
+    def test_waived_loop_with_reason_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/batch/kernels.py": """
+                def floor(points):
+                    out = []
+                    for lo in range(0, len(points), 256):  # repro: allow[PERF001] fixed cache-block loop
+                        out.append(points[lo])
+                    return out
+            """,
+        })
+        report = run_lint(tmp_path, rules=["PERF001"])
+        assert report.active == []
+        assert [d.rule for d in report.diagnostics if d.waived] == ["PERF001"]
+
+    def test_comprehensions_are_not_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/batch/engine.py": """
+                def indices(lanes):
+                    return [lane.index for lane in lanes if lane.alive]
+            """,
+        })
+        assert run_lint(tmp_path, rules=["PERF001"]).active == []
+
+    def test_outside_batch_package_is_out_of_scope(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/env/simulator.py": """
+                def step(frames):
+                    for _ in range(frames):
+                        pass
+            """,
+        })
+        assert run_lint(tmp_path, rules=["PERF001"]).active == []
+
+    def test_shipped_batch_package_is_loop_clean(self):
+        # The real repro/batch/ tree must carry a waiver (with a reason)
+        # on every serial loop it keeps.
+        root = Path(__file__).resolve().parent.parent / "src"
+        report = run_lint(root, rules=["PERF001"])
+        assert active_rules(report) == []
+        assert all(d.path.startswith("repro/batch/") for d in report.diagnostics)
 
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,8 @@ from repro.verify.oracles import (
 KERNEL_ORACLES = ("im2col-col2im", "dnn-forward", "dnn-backward")
 SYSTEM_ORACLES = (
     "sweep-parallel",
+    "batch-vs-serial",
+    "batch-cnn-forward",
     "sweep-chaos",
     "transport-tcp",
     "fault-noop",
