@@ -27,7 +27,10 @@ Rule families (see the modules for the catalog):
   Python-level loops under :mod:`repro.batch` without a waived reason;
 * **RES** (:mod:`.rules_res`) — resilience: retry loops in the sweep
   engine must be bounded, and every sweep-side wait must route through
-  the shared backoff helper in :mod:`repro.sweep.resilience`.
+  the shared backoff helper in :mod:`repro.sweep.resilience`;
+* **SRV** (:mod:`.rules_srv`) — serve determinism: the sweep service
+  reads time only through the injected :class:`~repro.serve.clock.Clock`
+  seam, keeping the end-to-end service harness fake-clock drivable.
 
 Diagnostics are suppressed either inline (``# repro: allow[RULE]`` on
 the flagged line or the line above) or through a committed baseline file
@@ -49,6 +52,7 @@ from repro.analysis.lint import (  # noqa: E402  (registration side effect)
     rules_perf,  # noqa: F401
     rules_proto,  # noqa: F401
     rules_res,  # noqa: F401
+    rules_srv,  # noqa: F401
 )
 
 __all__ = [

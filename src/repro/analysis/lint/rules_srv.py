@@ -1,0 +1,67 @@
+"""SRV rules: clock-injection discipline in the serve layer.
+
+The sweep service's end-to-end test harness is deterministic only
+because every serve-side component reads time through an injected
+:class:`~repro.serve.clock.Clock` — a :class:`FakeClock` under test, the
+real monotonic clock in production.  One stray ``time.monotonic()`` or
+``time.sleep()`` re-couples lease expiry, heartbeat staleness, or tick
+cadence to wall time and turns the kill-a-shard/steal-its-work scenario
+back into a flaky, sleep-calibrated test.  This rule pins the seam.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import Module, ProjectModel
+from repro.analysis.lint.registry import rule
+
+#: The one module under ``repro/serve`` allowed to touch ``time.*``:
+#: :class:`repro.serve.clock.SystemClock` wraps the real clock behind
+#: the injectable :class:`~repro.serve.clock.Clock` protocol.
+BLESSED_CLOCK_MODULE = "repro/serve/clock.py"
+
+#: ``time`` attributes whose direct use defeats clock injection.
+_FORBIDDEN_TIME_CALLS = frozenset(
+    {
+        "time.time",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.sleep",
+    }
+)
+
+
+@rule(
+    "SRV001",
+    "serve code must read time through an injected Clock",
+    "the serve layer's determinism (fake-clock harness, hand-driven lease "
+    "expiry, reproducible steal scenarios) depends on every time read and "
+    "every wait going through the Clock protocol from repro.serve.clock; "
+    "a direct time.* call re-couples the scheduler to wall time and makes "
+    "the end-to-end service tests timing-dependent",
+    paths=("repro/serve/",),
+    exclude=(BLESSED_CLOCK_MODULE,),
+)
+def srv001_direct_time(module: Module, project: ProjectModel) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for node in module.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        if module.call_name(node) in _FORBIDDEN_TIME_CALLS:
+            out.append(
+                Diagnostic(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="SRV001",
+                    message="direct time.* call in the serve layer",
+                    hint="accept a repro.serve.clock.Clock at construction and "
+                    "use clock.now() / clock.sleep(); only SystemClock (in "
+                    "repro/serve/clock.py) may touch the time module",
+                )
+            )
+    return out

@@ -19,6 +19,12 @@ flags, ``run-all.sh``) with three subcommands:
 * ``lint``   — static analysis for determinism/protocol/cache-key
   soundness (``repro.analysis.lint``): DET/NUM/PROTO/CFG/OBS rule
   families, inline ``# repro: allow[RULE]`` waivers, committed baseline;
+* ``serve``  — boot the sweep service: a JSON-over-HTTP API in front of
+  the lease/steal shard scheduler (``repro.serve``), journaled crash-safe
+  and bit-identical to serial sweeps;
+* ``submit`` / ``status`` — thin HTTP clients for a running service:
+  submit a manifest as a job (``--wait`` to block), inspect job status,
+  fetch assembled reports and merged telemetry;
 * ``table3`` — print the modeled DNN latency/accuracy table.
 """
 
@@ -33,6 +39,7 @@ from repro.analysis.figures import table3_rows
 from repro.analysis.plot import trajectory_plot
 from repro.analysis.render import format_table
 from repro.core.config import CoSimConfig, SyncConfig
+from repro.errors import ConfigError, ServeError
 from repro.core.cosim import run_mission
 from repro.core.faults import load_fault_plan
 from repro.core.manifest import load_manifest
@@ -135,7 +142,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.chaos:
         # Validate eagerly (a bad plan should fail the command, not the
         # first worker) and export for forked workers to inherit.
-        os.environ[CHAOS_ENV] = load_chaos_plan(args.chaos).to_json()
+        try:
+            os.environ[CHAOS_ENV] = load_chaos_plan(args.chaos).to_json()
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     retry = RetryPolicy(max_attempts=max(1, args.max_attempts))
     journal = None
@@ -529,6 +540,105 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so mission commands never pay for the serve stack.
+    from repro.serve import ServiceServer, SweepService
+
+    service = SweepService(
+        args.root,
+        shards=args.shards,
+        poll_seconds=args.poll,
+        tick_seconds=args.tick,
+    )
+    service.start()
+    server = ServiceServer(service, host=args.host, port=args.port)
+    print(f"sweep service at {server.address} (root={args.root}, "
+          f"shards={args.shards}); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _job_params_from_args(args: argparse.Namespace) -> "object":
+    from repro.serve import JobParams
+
+    return JobParams(
+        shards=args.shards,
+        slice_size=args.slice,
+        workers=args.workers,
+        batch_size=args.batch,
+        task_timeout=args.task_timeout,
+        max_attempts=max(1, args.max_attempts),
+        lease_seconds=args.lease,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    # Imported here so mission commands never pay for the serve stack.
+    from repro.serve import ServiceClient
+
+    try:
+        with open(args.manifest) as handle:
+            configs = load_manifest(handle.read())
+        client = ServiceClient(args.url)
+        submitted = client.submit(
+            args.name or os.path.basename(args.manifest),
+            list(configs.items()),
+            _job_params_from_args(args),
+        )
+        print(f"job {submitted['job']}: {submitted['disposition']} "
+              f"(state {submitted['state']})")
+        if not args.wait:
+            return 0
+        status = client.wait(submitted["job"], timeout=args.timeout)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"job {status['job']}: {status['state']} "
+          f"({status['tasks']['ok']}/{status['tasks']['total']} ok; "
+          f"owners {status['owners']}; {status['steals']} stolen)")
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    # Imported here so mission commands never pay for the serve stack.
+    from repro.serve import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job is None:
+            for status in client.jobs():
+                print(f"{status['job']}  {status['state']:<9} "
+                      f"{status['tasks']['completed']}/{status['tasks']['total']} "
+                      f"{status['name']}")
+            return 0
+        status = client.status(args.job)
+        payload: dict = {"status": status}
+        if args.report:
+            payload["report"] = client.report(args.job)
+        if args.telemetry:
+            payload["telemetry"] = client.job_telemetry(args.job)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote status to {args.json}")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    report = payload.get("report")
+    if report is not None:
+        return 0 if report["ok"] else 1
+    return 0 if status["state"] in ("queued", "running", "done") else 1
+
+
 def _cmd_table3(_args: argparse.Namespace) -> int:
     rows = table3_rows()
     print(format_table(
@@ -760,6 +870,107 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the sweep service: HTTP API + shard workers",
+        description="Boot a sweep-as-a-service instance over a root "
+        "directory (crash-safe rose-jobq/1 job store + content-addressed "
+        "result cache).  Jobs are sharded across lease/steal workers and "
+        "their reports are bit-identical to serial single-host sweeps "
+        "(pinned by the service_vs_serial oracle).  Restarting over the "
+        "same root resumes every unfinished job.",
+    )
+    serve.add_argument("root", help="service data directory (job store + cache)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2, help="shard worker threads"
+    )
+    serve.add_argument(
+        "--poll",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="idle worker poll interval",
+    )
+    serve.add_argument(
+        "--tick",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="lease-expiry scheduler tick interval",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit a manifest to a running sweep service"
+    )
+    submit.add_argument("manifest", help="path to a manifest (see repro.core.manifest)")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="service base URL"
+    )
+    submit.add_argument("--name", default=None, help="job name (default: manifest)")
+    submit.add_argument(
+        "--shards", type=int, default=2, help="shard width for this job"
+    )
+    submit.add_argument(
+        "--slice",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tasks per lease (default: ceil(tasks/shards))",
+    )
+    submit.add_argument(
+        "--workers", type=int, default=1, help="processes per shard's sweep runner"
+    )
+    submit.add_argument(
+        "--batch", type=int, default=1, metavar="N", help="shard-side batch size"
+    )
+    submit.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS"
+    )
+    submit.add_argument("--max-attempts", type=int, default=3, metavar="N")
+    submit.add_argument(
+        "--lease",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="lease duration before un-heartbeated work is stolen",
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the job settles"
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="--wait deadline",
+    )
+    submit.set_defaults(handler=_cmd_submit)
+
+    status = commands.add_parser(
+        "status", help="query a sweep service: job status, report, telemetry"
+    )
+    status.add_argument(
+        "job", nargs="?", default=None, help="job id (omit to list all jobs)"
+    )
+    status.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="service base URL"
+    )
+    status.add_argument(
+        "--report",
+        action="store_true",
+        help="fetch the assembled report (exit 1 if any task failed)",
+    )
+    status.add_argument(
+        "--telemetry", action="store_true", help="fetch merged mission telemetry"
+    )
+    status.add_argument("--json", metavar="PATH", help="write the payload to PATH")
+    status.set_defaults(handler=_cmd_status)
 
     table3 = commands.add_parser("table3", help="print the DNN latency table")
     table3.set_defaults(handler=_cmd_table3)

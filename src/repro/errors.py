@@ -56,6 +56,19 @@ class SweepError(ReproError):
     should inspect ``SweepReport.outcomes`` instead."""
 
 
+class ServeError(ReproError):
+    """The sweep service rejected a request or a client call failed.
+
+    Carries the HTTP-ish status code the serve API maps it to (400 bad
+    request, 404 unknown job, 409 wrong job state, 502 transport
+    failure) so the CLI clients can translate failures into exit codes
+    without string matching."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
 class SimulationError(ReproError):
     """The environment simulator was driven incorrectly (e.g. stepping a
     vehicle that has not taken off, out-of-world query)."""

@@ -9,8 +9,10 @@ from repro.obs.declarations import (
     COVERAGE_EXEMPT,
     DECLARED_METRICS,
     MISSION_METRICS,
+    SERVE_METRICS,
     SWEEP_METRICS,
     mission_registry,
+    serve_registry,
     spec_for,
     sweep_registry,
 )
@@ -28,10 +30,12 @@ __all__ = [
     "MetricsRegistry",
     "OBS_FORMAT",
     "OBS_SCHEMA",
+    "SERVE_METRICS",
     "SWEEP_METRICS",
     "exercised_metrics",
     "merge_snapshots",
     "mission_registry",
+    "serve_registry",
     "sweep_registry",
     "parse_prometheus",
     "spec_for",

@@ -34,6 +34,11 @@ LATENCY_CYCLE_BUCKETS: tuple[float, ...] = (
 #: move under injected faults or cache corruption, which single demo
 #: missions never produce — the chaos tests and the CI chaos job
 #: exercise them instead.
+#: The ``rose_serve_*`` series live in the *serve* registry and record
+#: sweep-service control-plane activity (job submissions, shard leases,
+#: work steals, API requests): only a running service moves them, which
+#: single demo missions never do — the serve test harness and the CI
+#: serve job exercise them instead.
 COVERAGE_EXEMPT: frozenset[str] = frozenset(
     {
         "rose_app_held_commands_total",
@@ -45,6 +50,13 @@ COVERAGE_EXEMPT: frozenset[str] = frozenset(
         "rose_cache_corrupt_total",
         "rose_sweep_batched_missions_total",
         "rose_sweep_batch_chunks_total",
+        "rose_serve_jobs_submitted_total",
+        "rose_serve_jobs_finished_total",
+        "rose_serve_leases_granted_total",
+        "rose_serve_leases_expired_total",
+        "rose_serve_tasks_completed_total",
+        "rose_serve_tasks_stolen_total",
+        "rose_serve_requests_total",
     }
 )
 
@@ -314,8 +326,61 @@ SWEEP_METRICS: tuple[MetricSpec, ...] = (
     ),
 )
 
+#: Sweep-service control-plane metrics.  Recorded by the *serve* layer
+#: (scheduler, API front-end) in its own registry: they describe the
+#: service's operational behaviour — queueing, leasing, stealing — and
+#: must never leak into mission snapshots or sweep reports, whose
+#: deterministic views are compared bit-for-bit against serial runs.
+SERVE_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec(
+        "rose_serve_jobs_submitted_total",
+        "counter",
+        "Sweep submissions accepted by the service, split by outcome "
+        "(submitted = new job, deduplicated = content-addressed hit on an "
+        "existing job, requeued = terminal failed/cancelled job reopened).",
+        labels=("result",),
+    ),
+    MetricSpec(
+        "rose_serve_jobs_finished_total",
+        "counter",
+        "Jobs reaching a terminal state, by state (done/failed/cancelled).",
+        labels=("state",),
+    ),
+    MetricSpec(
+        "rose_serve_leases_granted_total",
+        "counter",
+        "Task-slice leases handed to shard workers.",
+    ),
+    MetricSpec(
+        "rose_serve_leases_expired_total",
+        "counter",
+        "Leases revoked because the owning shard missed its heartbeat "
+        "deadline (the dead-shard detection edge of the steal protocol).",
+    ),
+    MetricSpec(
+        "rose_serve_tasks_completed_total",
+        "counter",
+        "Task completions recorded by the scheduler, by terminal state.",
+        labels=("state",),
+    ),
+    MetricSpec(
+        "rose_serve_tasks_stolen_total",
+        "counter",
+        "Tasks re-leased to a different shard after their original "
+        "owner's lease expired (work-stealing).",
+    ),
+    MetricSpec(
+        "rose_serve_requests_total",
+        "counter",
+        "Serve API requests, by route and response status.",
+        labels=("route", "status"),
+    ),
+)
+
 #: The full declared catalog (lint rule OBS001's source of truth).
-DECLARED_METRICS: tuple[MetricSpec, ...] = MISSION_METRICS + SWEEP_METRICS
+DECLARED_METRICS: tuple[MetricSpec, ...] = (
+    MISSION_METRICS + SWEEP_METRICS + SERVE_METRICS
+)
 
 
 def mission_registry() -> MetricsRegistry:
@@ -326,6 +391,11 @@ def mission_registry() -> MetricsRegistry:
 def sweep_registry() -> MetricsRegistry:
     """A fresh registry for sweep-supervisor resilience metrics."""
     return MetricsRegistry(SWEEP_METRICS)
+
+
+def serve_registry() -> MetricsRegistry:
+    """A fresh registry for sweep-service control-plane metrics."""
+    return MetricsRegistry(SERVE_METRICS)
 
 
 def spec_for(name: str) -> MetricSpec | None:

@@ -1,0 +1,56 @@
+"""repro.serve — sweep-as-a-service: scheduler, shards, HTTP API.
+
+The serve layer turns the single-host sweep engine into a long-running
+service: jobs are submitted over a JSON API (or in-process), sharded
+across workers under a lease/steal scheduler, journaled crash-safe in
+the ``rose-jobq/1`` store, and reported **bit-identically** to a serial
+single-host run (the ``service_vs_serial`` oracle pins this).
+
+See DESIGN.md §12 for the architecture and the determinism argument.
+"""
+
+from repro.serve.api import ServiceServer, dispatch
+from repro.serve.client import ServiceClient
+from repro.serve.clock import Clock, FakeClock, SystemClock
+from repro.serve.jobs import (
+    JOB_STATES,
+    JOBQ_FORMAT,
+    TERMINAL_JOB_STATES,
+    Job,
+    JobParams,
+    JobStore,
+    TaskRecord,
+    job_id_for,
+)
+from repro.serve.scheduler import Assignment, Claim, Scheduler
+from repro.serve.service import (
+    SweepService,
+    report_signature,
+    run_job_to_completion,
+)
+from repro.serve.workers import ShardWorker, ThreadedWorkerHost
+
+__all__ = [
+    "Assignment",
+    "Claim",
+    "Clock",
+    "FakeClock",
+    "JOBQ_FORMAT",
+    "JOB_STATES",
+    "Job",
+    "JobParams",
+    "JobStore",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceServer",
+    "ShardWorker",
+    "SweepService",
+    "SystemClock",
+    "TERMINAL_JOB_STATES",
+    "TaskRecord",
+    "ThreadedWorkerHost",
+    "dispatch",
+    "job_id_for",
+    "report_signature",
+    "run_job_to_completion",
+]

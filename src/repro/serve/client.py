@@ -1,0 +1,122 @@
+"""Stdlib HTTP client for the sweep service (used by the CLI).
+
+Thin by design: every method is one request against the JSON routes in
+:mod:`repro.serve.api`, decoded and returned as plain dicts.  Error
+responses round-trip back into :class:`~repro.errors.ServeError` with
+the server's status code, so CLI exit-code mapping and library callers
+see the same taxonomy whether the service is in-process or remote.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.core.config import CoSimConfig
+from repro.core.manifest import config_to_dict
+from repro.errors import ServeError
+from repro.serve.clock import Clock, SystemClock
+from repro.serve.jobs import TERMINAL_JOB_STATES, JobParams
+
+
+class ServiceClient:
+    """Talk to a running sweep service at ``base_url``."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        clock: Clock | None = None,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.clock: Clock = clock if clock is not None else SystemClock()
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode()).get("error", str(exc))
+            except (ValueError, AttributeError):
+                detail = str(exc)
+            raise ServeError(str(detail), status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach service at {self.base_url}: {exc.reason}", status=502
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServeError(
+                f"service returned a non-object payload for {path}", status=502
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        name: str,
+        tasks: list[tuple[str, CoSimConfig]],
+        params: JobParams | None = None,
+    ) -> dict[str, Any]:
+        body = {
+            "name": name,
+            "tasks": [
+                {"name": task_name, "config": config_to_dict(config)}
+                for task_name, config in tasks
+            ],
+            "params": (params or JobParams()).to_dict(),
+        }
+        return self._request("POST", "/v1/jobs", body)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        payload = self._request("GET", "/v1/jobs")
+        jobs = payload.get("jobs", [])
+        return jobs if isinstance(jobs, list) else []
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def report(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/report")
+
+    def job_telemetry(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/telemetry")
+
+    def telemetry(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/telemetry")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_seconds: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll until the job settles; returns its final status."""
+        deadline = self.clock.now() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in TERMINAL_JOB_STATES:
+                return status
+            if self.clock.now() >= deadline:
+                raise ServeError(
+                    f"job {job_id!r} still {status.get('state')} after {timeout}s",
+                    status=409,
+                )
+            self.clock.sleep(poll_seconds)

@@ -1,0 +1,463 @@
+"""The async job scheduler: leases, heartbeats, expiry, work-stealing.
+
+The scheduler is the service's control plane.  It owns the job table
+(journaled through the :class:`~repro.serve.jobs.JobStore`), hands out
+*claims* — leased slices of a job's pending tasks — to shard workers,
+and revokes claims whose owner stops heartbeating.  Execution itself
+lives elsewhere (:mod:`repro.serve.workers`): the scheduler never runs a
+mission, it only does deterministic accounting, which is why the whole
+protocol can be driven by a :class:`~repro.serve.clock.FakeClock` in the
+end-to-end harness.
+
+The shard lease / steal protocol:
+
+* ``lease(worker)`` pops up to one *slice* (``ceil(tasks/shards)`` by
+  default) off a job's pending deque and grants it to the worker with a
+  deadline of ``now + lease_seconds``;
+* the worker heartbeats between tasks (``heartbeat``) and reports each
+  terminal outcome (``complete``), which also renews the lease;
+* ``tick(now)`` expires overdue claims: their unfinished tasks return to
+  the *front* of the pending deque tagged with the dead owner, so the
+  next ``lease`` call — typically from a surviving shard that drained
+  its own slice — **steals** them;
+* completions are recorded last-event-wins into ``Job.records`` (a map
+  keyed by config key), so a stolen task double-executed during a lease
+  race still completes exactly once — and double execution is harmless
+  anyway, because results land in the content-addressed
+  :class:`~repro.sweep.cache.ResultCache` under the same key.
+
+Every mutation appends to the job store first-class, so a fresh
+scheduler built over the same store replays to the same state
+(:meth:`JobStore.replay` is last-event-wins; in-flight leases do not
+survive — a restart is indistinguishable from every shard dying at
+once, and the steal path picks up the pieces).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Union
+
+from repro.core.config import CoSimConfig
+from repro.errors import ServeError
+from repro.obs.declarations import serve_registry
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.clock import Clock, SystemClock
+from repro.serve.jobs import Job, JobParams, JobStore, TaskRecord, job_id_for
+from repro.sweep.fingerprint import code_fingerprint, config_key
+
+#: What ``submit`` accepts: an ordered mapping or (name, config) pairs.
+SubmitTasks = Union[
+    Mapping[str, CoSimConfig], Iterable[tuple[str, CoSimConfig]]
+]
+
+
+@dataclass
+class Claim:
+    """One granted lease: a worker's exclusive slice of a job's tasks."""
+
+    claim_id: int
+    job_id: str
+    worker: str
+    indices: list[int]  # task indices still unfinished under this claim
+    expires: float
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """What a worker gets back from ``lease``: tasks plus lease metadata."""
+
+    job_id: str
+    claim_id: int
+    worker: str
+    tasks: list[tuple[str, CoSimConfig]]
+    keys: list[str]
+    params: JobParams
+    deadline: float
+    #: Comma-joined prior owners when any of these tasks were stolen
+    #: from an expired lease; ``None`` for first-hand work.
+    stolen_from: str | None
+
+
+class Scheduler:
+    """Deterministic lease/steal accounting over a journaled job table."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        clock: Clock | None = None,
+        registry: MetricsRegistry | None = None,
+        fingerprint: str | None = None,
+    ):
+        self.store = store
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.registry = registry if registry is not None else serve_registry()
+        self.fingerprint = fingerprint or code_fingerprint()
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._pending: dict[str, deque[int]] = {}
+        self._index: dict[str, dict[str, int]] = {}
+        self._claims: dict[int, Claim] = {}
+        self._stolen_from: dict[str, dict[int, str]] = {}
+        self._steals: dict[str, int] = {}
+        self._next_claim = 1
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Boot-time replay
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the job store: completed work stays done, leases die."""
+        for job_id, job in self.store.replay().items():
+            self._install(job)
+
+    def _install(self, job: Job) -> None:
+        self._jobs[job.job_id] = job
+        if job.job_id not in self._order:
+            self._order.append(job.job_id)
+        self._index[job.job_id] = {key: i for i, key in enumerate(job.keys)}
+        self._stolen_from.setdefault(job.job_id, {})
+        self._steals.setdefault(job.job_id, 0)
+        if job.terminal:
+            self._pending[job.job_id] = deque()
+        else:
+            self._pending[job.job_id] = deque(
+                i for i, key in enumerate(job.keys) if key not in job.records
+            )
+
+    # ------------------------------------------------------------------
+    # Submission (content-addressed, idempotent)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(tasks: SubmitTasks) -> list[tuple[str, CoSimConfig]]:
+        if isinstance(tasks, Mapping):
+            pairs = [(str(name), config) for name, config in tasks.items()]
+        else:
+            pairs = [(str(name), config) for name, config in tasks]
+        if not pairs:
+            raise ServeError("a job needs at least one task", status=400)
+        names = [name for name, _ in pairs]
+        if len(set(names)) != len(names):
+            raise ServeError("duplicate task names in submission", status=400)
+        return pairs
+
+    def submit(
+        self,
+        name: str,
+        tasks: SubmitTasks,
+        params: JobParams | None = None,
+    ) -> tuple[Job, str]:
+        """Register a sweep; returns ``(job, disposition)``.
+
+        Disposition is ``"submitted"`` (new job), ``"deduplicated"``
+        (content-addressed hit on a live or completed job), or
+        ``"requeued"`` (an existing job in a terminal *failure* state —
+        failed or cancelled — reopened: successful records are kept,
+        failures go back to pending).
+        """
+        pairs = self._normalize(tasks)
+        keys = [config_key(config) for _, config in pairs]
+        job_id = job_id_for(self.fingerprint, [(n, k) for (n, _), k in zip(pairs, keys)])
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                if existing.state in ("failed", "cancelled"):
+                    disposition = "requeued"
+                    existing.records = {
+                        key: record
+                        for key, record in existing.records.items()
+                        if record.ok
+                    }
+                    existing.state = "queued"
+                    existing.finished_at = None
+                    self._stolen_from[job_id] = {}
+                    self._install(existing)
+                    self.store.record_job_state(job_id, "queued")
+                else:
+                    disposition = "deduplicated"
+                self.registry.inc(
+                    "rose_serve_jobs_submitted_total", result=disposition
+                )
+                return existing, disposition
+            job = Job(
+                job_id=job_id,
+                name=name,
+                tasks=pairs,
+                keys=keys,
+                params=params if params is not None else JobParams(),
+                submitted_at=self.clock.now(),
+            )
+            self._install(job)
+            self.store.record_submit(job)
+            self.registry.inc("rose_serve_jobs_submitted_total", result="submitted")
+            return job, "submitted"
+
+    # ------------------------------------------------------------------
+    # Leasing and stealing
+    # ------------------------------------------------------------------
+    def lease(self, worker: str) -> Assignment | None:
+        """Grant the next pending slice to ``worker`` (or ``None``).
+
+        Jobs are served in submission order; within a job, pending tasks
+        leave in deque order — stolen tasks sit at the front, so a
+        surviving shard picks up a dead shard's work before anything
+        else.
+        """
+        with self._lock:
+            now = self.clock.now()
+            self._expire_locked(now)
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.terminal:
+                    continue
+                pending = self._pending[job_id]
+                if not pending:
+                    continue
+                if job.state == "queued":
+                    job.state = "running"
+                    self.store.record_job_state(job_id, "running")
+                take = min(job.params.slice_for(len(job.tasks)), len(pending))
+                indices = [pending.popleft() for _ in range(take)]
+                provenance = self._stolen_from[job_id]
+                prior_owners = [
+                    provenance.pop(index)
+                    for index in indices
+                    if index in provenance
+                ]
+                if prior_owners:
+                    self._steals[job_id] += len(prior_owners)
+                    self.registry.inc(
+                        "rose_serve_tasks_stolen_total", len(prior_owners)
+                    )
+                stolen_from = (
+                    ",".join(sorted(set(prior_owners))) if prior_owners else None
+                )
+                claim = Claim(
+                    claim_id=self._next_claim,
+                    job_id=job_id,
+                    worker=worker,
+                    indices=list(indices),
+                    expires=now + job.params.lease_seconds,
+                )
+                self._next_claim += 1
+                self._claims[claim.claim_id] = claim
+                keys = [job.keys[i] for i in indices]
+                self.store.record_lease(
+                    job_id, claim.claim_id, worker, keys, claim.expires, stolen_from
+                )
+                self.registry.inc("rose_serve_leases_granted_total")
+                return Assignment(
+                    job_id=job_id,
+                    claim_id=claim.claim_id,
+                    worker=worker,
+                    tasks=[job.tasks[i] for i in indices],
+                    keys=keys,
+                    params=job.params,
+                    deadline=claim.expires,
+                    stolen_from=stolen_from,
+                )
+        return None
+
+    def owns(self, job_id: str, claim_id: int, worker: str) -> bool:
+        """Whether ``worker`` still holds this claim (lease not revoked)."""
+        with self._lock:
+            claim = self._claims.get(claim_id)
+            if claim is None or claim.worker != worker or claim.job_id != job_id:
+                return False
+            job = self._jobs.get(job_id)
+            return job is not None and not job.terminal
+
+    def heartbeat(self, worker: str, claim_id: int) -> bool:
+        """Renew a claim's lease; ``False`` means the lease is gone."""
+        with self._lock:
+            claim = self._claims.get(claim_id)
+            if claim is None or claim.worker != worker:
+                return False
+            job = self._jobs.get(claim.job_id)
+            if job is None or job.terminal:
+                return False
+            claim.expires = self.clock.now() + job.params.lease_seconds
+            return True
+
+    def tick(self) -> int:
+        """Expire overdue leases; returns how many were revoked."""
+        with self._lock:
+            return self._expire_locked(self.clock.now())
+
+    def _expire_locked(self, now: float) -> int:
+        expired = 0
+        for claim_id in sorted(self._claims):
+            claim = self._claims[claim_id]
+            if claim.expires > now:
+                continue
+            del self._claims[claim_id]
+            expired += 1
+            job = self._jobs.get(claim.job_id)
+            if job is None or job.terminal:
+                continue
+            pending = self._pending[claim.job_id]
+            provenance = self._stolen_from[claim.job_id]
+            orphaned = [
+                index
+                for index in sorted(claim.indices)
+                if job.keys[index] not in job.records
+            ]
+            # Front of the deque, ascending: stolen work runs next, in
+            # task order, regardless of which worker asks.
+            for index in reversed(orphaned):
+                pending.appendleft(index)
+                provenance[index] = claim.worker
+            self.store.record_expire(
+                claim.job_id,
+                claim.claim_id,
+                claim.worker,
+                [job.keys[i] for i in orphaned],
+            )
+            self.registry.inc("rose_serve_leases_expired_total")
+        return expired
+
+    # ------------------------------------------------------------------
+    # Completion (exactly-once accounting, last-event-wins records)
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        worker: str,
+        job_id: str,
+        claim_id: int,
+        name: str,
+        key: str,
+        state: str,
+        attempts: int,
+        failure: dict[str, Any] | None = None,
+    ) -> bool:
+        """Record one task's terminal outcome.
+
+        Returns ``False`` when the job is already terminal (a zombie
+        worker reporting after cancellation or completion): the event is
+        dropped so settled jobs never reopen.  Otherwise the record is
+        written last-event-wins, the claim (if still live) shrinks, the
+        lease renews, and the job finalizes once every task has a
+        record.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServeError(f"unknown job {job_id!r}", status=404)
+            if job.terminal:
+                return False
+            index = self._index[job_id].get(key)
+            if index is None:
+                raise ServeError(
+                    f"job {job_id!r} has no task with key {key[:12]}…", status=400
+                )
+            record = TaskRecord(
+                name=name,
+                key=key,
+                state=state,
+                attempts=attempts,
+                owner=worker,
+                failure=failure,
+            )
+            job.records[key] = record
+            self.store.record_task(job_id, record)
+            self.registry.inc("rose_serve_tasks_completed_total", state=state)
+            # The task is done for *everyone*: drop it from whichever
+            # claim holds it and from the pending pool, whoever reported.
+            for claim in list(self._claims.values()):
+                if claim.job_id == job_id and index in claim.indices:
+                    claim.indices.remove(index)
+                    if not claim.indices:
+                        del self._claims[claim.claim_id]
+            pending = self._pending[job_id]
+            if index in pending:
+                pending.remove(index)
+            self._stolen_from[job_id].pop(index, None)
+            claim = self._claims.get(claim_id)
+            if claim is not None and claim.worker == worker:
+                claim.expires = self.clock.now() + job.params.lease_seconds
+            if len(job.records) == len(job.tasks):
+                self._finalize_locked(job)
+            return True
+
+    def _finalize_locked(self, job: Job) -> None:
+        all_ok = all(record.ok for record in job.records.values())
+        job.state = "done" if all_ok else "failed"
+        job.finished_at = self.clock.now()
+        self._release_job_locked(job.job_id)
+        self.store.record_job_state(job.job_id, job.state)
+        self.registry.inc("rose_serve_jobs_finished_total", state=job.state)
+
+    def _release_job_locked(self, job_id: str) -> None:
+        self._pending[job_id] = deque()
+        self._stolen_from[job_id] = {}
+        for claim_id in sorted(self._claims):
+            if self._claims[claim_id].job_id == job_id:
+                del self._claims[claim_id]
+
+    # ------------------------------------------------------------------
+    # Cancellation and introspection
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a live job; ``False`` if it already reached a terminal
+        state (terminal jobs are immutable — resubmit to requeue)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServeError(f"unknown job {job_id!r}", status=404)
+            if job.terminal:
+                return False
+            job.state = "cancelled"
+            job.finished_at = self.clock.now()
+            self._release_job_locked(job_id)
+            self.store.record_cancel(job_id)
+            self.store.record_job_state(job_id, "cancelled")
+            self.registry.inc("rose_serve_jobs_finished_total", state="cancelled")
+            return True
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ServeError(f"unknown job {job_id!r}", status=404)
+            return job
+
+    def job_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._order)
+
+    def has_live_jobs(self) -> bool:
+        with self._lock:
+            return any(not self._jobs[job_id].terminal for job_id in self._order)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """A JSON-safe snapshot of one job's progress and leases."""
+        with self._lock:
+            job = self.job(job_id)
+            leases = [
+                {
+                    "claim": claim.claim_id,
+                    "worker": claim.worker,
+                    "remaining": len(claim.indices),
+                    "expires": claim.expires,
+                }
+                for claim_id in sorted(self._claims)
+                if (claim := self._claims[claim_id]).job_id == job_id
+            ]
+            return {
+                "job": job.job_id,
+                "name": job.name,
+                "state": job.state,
+                "tasks": job.counts(),
+                "pending": len(self._pending[job_id]),
+                "owners": job.owners(),
+                "steals": self._steals.get(job_id, 0),
+                "leases": leases,
+                "params": job.params.to_dict(),
+            }
+
+    def statuses(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [self.status(job_id) for job_id in self._order]

@@ -149,18 +149,22 @@ class ChaosPlan:
             raise ConfigError(f"invalid chaos plan JSON: {exc}") from None
         if not isinstance(payload, dict):
             raise ConfigError("chaos plan must be a JSON object")
-        forced = tuple(
-            (str(prefix), str(kind)) for prefix, kind in payload.get("forced", [])
-        )
-        return cls(
-            fail_rate=float(payload.get("fail_rate", 0.0)),
-            crash_rate=float(payload.get("crash_rate", 0.0)),
-            hang_rate=float(payload.get("hang_rate", 0.0)),
-            seed=int(payload.get("seed", 0)),
-            max_faulty_attempts=int(payload.get("max_faulty_attempts", 2)),
-            hang_seconds=float(payload.get("hang_seconds", 3600.0)),
-            forced=forced,
-        )
+        try:
+            forced = tuple(
+                (str(prefix), str(kind))
+                for prefix, kind in payload.get("forced", [])
+            )
+            return cls(
+                fail_rate=float(payload.get("fail_rate", 0.0)),
+                crash_rate=float(payload.get("crash_rate", 0.0)),
+                hang_rate=float(payload.get("hang_rate", 0.0)),
+                seed=int(payload.get("seed", 0)),
+                max_faulty_attempts=int(payload.get("max_faulty_attempts", 2)),
+                hang_seconds=float(payload.get("hang_seconds", 3600.0)),
+                forced=forced,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"invalid chaos plan field: {exc}") from exc
 
 
 def load_chaos_plan(spec: str) -> ChaosPlan:

@@ -35,6 +35,53 @@ from typing import Iterable, Sequence
 JOURNAL_FORMAT = "rose-journal/1"
 
 
+def append_jsonl(path: Path, record: dict[str, object]) -> None:
+    """Append one record to a crash-safe JSONL log.
+
+    The shared append discipline behind every durable log in this
+    repository (the sweep journal here, the serve job store in
+    :mod:`repro.serve.jobs`): one ``write`` of a single
+    newline-terminated line, then ``flush`` + ``os.fsync``, so a torn
+    write can only truncate the final line.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_jsonl(path: Path) -> list[dict[str, object]]:
+    """Parsed records from an append-only JSONL log.
+
+    Tolerates a truncated or garbage *trailing* line (the crash artifact
+    :func:`append_jsonl` can leave behind); unparsable content anywhere
+    else means the file is not such a log, and the error propagates.
+    """
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return []
+    records: list[dict[str, object]] = []
+    lines = raw.split(b"\n")
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            # A torn append can only damage the final line; anything
+            # unparsable there is the crash artifact and is dropped.
+            # Garbage mid-file means the file is not a journal.
+            if index >= len(lines) - 2:
+                continue
+            raise
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
 def sweep_id(fingerprint: str, tasks: Sequence[tuple[str, str]]) -> str:
     """Content identity of a sweep: code fingerprint + ordered task list.
 
@@ -84,12 +131,7 @@ class SweepJournal:
     # ------------------------------------------------------------------
     def _append(self, record: dict[str, object]) -> None:
         """Append one record: single write, then flush + fsync."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+        append_jsonl(self.path, record)
         self.appended += 1
 
     def begin(
@@ -121,8 +163,13 @@ class SweepJournal:
         state: str,
         attempts: int,
         failure: dict[str, object] | None = None,
+        owner: str | None = None,
     ) -> None:
-        """Record one task reaching a terminal state (fsync'd)."""
+        """Record one task reaching a terminal state (fsync'd).
+
+        ``owner`` attributes the completion to the shard/worker that
+        produced it (informational: replay keys on the config key).
+        """
         record: dict[str, object] = {
             "event": "task",
             "name": name,
@@ -132,6 +179,8 @@ class SweepJournal:
         }
         if failure is not None:
             record["failure"] = failure
+        if owner is not None:
+            record["owner"] = owner
         self._append(record)
 
     def end(self, summary: dict[str, object] | None = None) -> None:
@@ -141,27 +190,7 @@ class SweepJournal:
     # ------------------------------------------------------------------
     def _records(self) -> Iterable[dict[str, object]]:
         """Parsed records, skipping a torn/garbage trailing line."""
-        try:
-            raw = self.path.read_bytes()
-        except FileNotFoundError:
-            return []
-        records: list[dict[str, object]] = []
-        lines = raw.split(b"\n")
-        for index, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                # A torn append can only damage the final line; anything
-                # unparsable there is the crash artifact and is dropped.
-                # Garbage mid-file means the file is not a journal.
-                if index >= len(lines) - 2:
-                    continue
-                raise
-            if isinstance(record, dict):
-                records.append(record)
-        return records
+        return read_jsonl(self.path)
 
     def replay(self) -> dict[str, ReplayEntry]:
         """Task states from the latest segment, keyed by config key.

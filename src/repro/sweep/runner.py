@@ -110,6 +110,11 @@ class SweepOutcome:
     state: str = "ok"
     attempts: int = 1
     failure: TaskFailure | None = None
+    #: Shard/worker attribution: which executor produced this terminal
+    #: state.  ``None`` for anonymous single-host runs; the serve layer
+    #: stamps its shard-worker id so a quarantined poison task names the
+    #: worker that gave up on it.
+    owner: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -160,6 +165,7 @@ class SweepReport:
         if failed:
             summary = "; ".join(
                 f"{o.name}: {o.state}"
+                + (f" [owner {o.owner}]" if o.owner is not None else "")
                 + (f" ({o.failure.describe()})" if o.failure is not None else "")
                 for o in failed[:5]
             )
@@ -309,6 +315,7 @@ class SweepRunner:
         journal: SweepJournal | None = None,
         resume: bool = False,
         batch_size: int | None = None,
+        owner: str | None = None,
     ):
         self.workers = max(1, int(workers or 1))
         if batch_size is None:
@@ -323,6 +330,10 @@ class SweepRunner:
         if resume and journal is None:
             raise ConfigError("resume=True requires a journal to replay")
         self.resume = resume
+        #: Attribution label stamped on every outcome (and journaled with
+        #: each task event).  The serve layer sets this to its shard
+        #: worker id; plain single-host sweeps leave it ``None``.
+        self.owner = owner
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -368,6 +379,7 @@ class SweepRunner:
                     wall_seconds=0.0,
                     from_cache=True,
                     state="from_cache",
+                    owner=self.owner,
                 )
                 if entry is None:
                     self._journal_task(task.name, keys[index], "from_cache", 1, None)
@@ -471,6 +483,7 @@ class SweepRunner:
             state,
             attempts,
             failure.to_dict() if failure is not None else None,
+            owner=self.owner,
         )
 
     # ------------------------------------------------------------------
@@ -491,6 +504,7 @@ class SweepRunner:
             from_cache=False,
             state="ok",
             attempts=pending.attempt,
+            owner=self.owner,
         )
         if self.cache is not None:
             self.cache.put(pending.task.config, result)
@@ -537,6 +551,7 @@ class SweepRunner:
             state=state,
             attempts=pending.attempt,
             failure=failure,
+            owner=self.owner,
         )
         self._journal_task(
             pending.task.name, pending.key, state, pending.attempt, failure

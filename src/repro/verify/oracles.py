@@ -522,6 +522,93 @@ def _oracle_sweep_chaos() -> list[Divergence]:
 
 
 @oracle(
+    "service-vs-serial",
+    "fig11-style sweep through the serve API (2 shards, one killed "
+    "mid-sweep and its work stolen) vs. the serial single-host sweep: "
+    "bit-identical report signatures",
+)
+def _oracle_service_vs_serial() -> list[Divergence]:
+    # Imported here so fault-free oracles never pay for the serve stack.
+    from repro.core.manifest import config_to_dict
+    from repro.serve import FakeClock, SweepService, dispatch
+    from repro.serve.service import report_signature
+
+    tasks = [(f"seed{s}", _tiny_config(seed=s)) for s in (0, 1, 2, 3)]
+    serial = SweepRunner().run(tasks)  # serial single-host reference
+    want = report_signature(serial)
+
+    out: list[Divergence] = []
+    with tempfile.TemporaryDirectory(prefix="repro-oracle-serve-") as root:
+        clock = FakeClock()
+        service = SweepService(Path(root), clock=clock)
+        status, payload = dispatch(
+            service,
+            "POST",
+            "/v1/jobs",
+            {
+                "name": "service-vs-serial",
+                "tasks": [
+                    {"name": name, "config": config_to_dict(config)}
+                    for name, config in tasks
+                ],
+                "params": {"shards": 2, "lease_seconds": 30.0},
+            },
+        )
+        if status != 202:
+            return [
+                Divergence(
+                    site="service-vs-serial",
+                    field="submit",
+                    expected="HTTP 202 (new job accepted)",
+                    actual=f"HTTP {status}: {payload}",
+                )
+            ]
+        job_id = payload["job"]
+        # Shard 0 leases its slice and dies without reporting; shard 1
+        # finishes its own slice, then steals the dead shard's work once
+        # the lease expires.
+        dead = service.worker("shard-0", abort=lambda: True)
+        alive = service.worker("shard-1")
+        dead.step()
+        alive.drain()
+        clock.advance(31.0)
+        service.scheduler.tick()
+        alive.drain()
+
+        final = service.status(job_id)
+        if final["state"] != "done":
+            out.append(
+                Divergence(
+                    site="service-vs-serial",
+                    field="state",
+                    expected="done",
+                    actual=final["state"],
+                )
+            )
+        if final["steals"] == 0:
+            out.append(
+                Divergence(
+                    site="service-vs-serial",
+                    field="steals",
+                    expected="> 0 (shard-0's slice must be stolen)",
+                    actual=0,
+                )
+            )
+        if final["state"] in ("done", "failed"):
+            got = report_signature(service.report(job_id))
+            if got != want:
+                out.append(
+                    Divergence(
+                        site="service-vs-serial",
+                        field="report_signature",
+                        expected=want,
+                        actual=got,
+                    )
+                )
+    return out
+
+
+@oracle(
     "transport-tcp",
     "TCP transport mission vs. the in-process reference transport "
     "(bit-identical behaviour)",

@@ -89,6 +89,65 @@ class TestRunCommand:
         assert main(["run", str(manifest)]) == 1
 
 
+class TestSweepCommand:
+    @pytest.fixture
+    def manifest(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(
+            dump_manifest(
+                {
+                    f"seed{s}": CoSimConfig(
+                        world="tunnel", target_velocity=3.0,
+                        max_sim_time=30.0, seed=s,
+                    )
+                    for s in range(2)
+                }
+            )
+        )
+        return str(path)
+
+    def test_chaos_plan_json_parse_error_exits_two(self, manifest, tmp_path,
+                                                   capsys):
+        plan = tmp_path / "chaos.json"
+        plan.write_text("{not valid json")
+        code = main([
+            "sweep", manifest, "--no-cache", "--chaos", str(plan),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_plan_bad_shape_exits_two(self, manifest, tmp_path, capsys):
+        plan = tmp_path / "chaos.json"
+        plan.write_text(json.dumps({"fail_rate": "not-a-number"}))
+        assert main([
+            "sweep", manifest, "--no-cache", "--chaos", str(plan),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_requires_a_journal(self, manifest, capsys):
+        assert main(["sweep", manifest, "--no-cache", "--resume"]) == 2
+        assert "--resume needs a journal" in capsys.readouterr().out
+
+    def test_resume_with_batch_replays_from_cache(self, manifest, tmp_path,
+                                                  capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "sweep", manifest, "--cache-dir", cache_dir, "--batch", "2",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "batched:" in first
+        assert "journal:" in first
+        # Resuming the same sweep with batching on: every mission is
+        # journal-replayed/cache-resolved, none re-executed.
+        assert main([
+            "sweep", manifest, "--cache-dir", cache_dir, "--batch", "2",
+            "--resume",
+        ]) == 0
+        second = capsys.readouterr().out
+        assert "(cache)" in second
+        assert "2 hit(s)" in second
+
+
 class TestTable3Command:
     def test_prints_all_models(self, capsys):
         assert main(["table3"]) == 0

@@ -48,7 +48,9 @@ def active_rules(report) -> list[str]:
 class TestRegistry:
     def test_all_families_registered(self):
         families = {r.family for r in all_rules().values()}
-        assert {"DET", "NUM", "PROTO", "CFG", "OBS", "RES", "PERF"} <= families
+        assert {
+            "DET", "NUM", "PROTO", "CFG", "OBS", "RES", "PERF", "SRV",
+        } <= families
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -782,6 +784,87 @@ class TestPerf001BatchLoops:
         report = run_lint(root, rules=["PERF001"])
         assert active_rules(report) == []
         assert all(d.path.startswith("repro/batch/") for d in report.diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# SRV: serve-layer clock injection
+# ---------------------------------------------------------------------------
+class TestSrv001DirectTime:
+    def test_flags_direct_time_calls_in_serve(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/serve/scheduler.py": """
+                import time
+
+                def lease_deadline(seconds):
+                    return time.monotonic() + seconds
+
+                def park():
+                    time.sleep(0.1)
+            """,
+        })
+        report = run_lint(tmp_path, rules=["SRV001"])
+        assert active_rules(report) == ["SRV001", "SRV001"]
+        assert "Clock" in report.active[0].hint
+
+    def test_clock_module_is_blessed(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/serve/clock.py": """
+                import time
+
+                class SystemClock:
+                    def now(self):
+                        return time.monotonic()
+
+                    def sleep(self, seconds):
+                        time.sleep(seconds)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["SRV001"]).active == []
+
+    def test_injected_clock_calls_are_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/serve/scheduler.py": """
+                def lease_deadline(clock, seconds):
+                    return clock.now() + seconds
+            """,
+        })
+        assert run_lint(tmp_path, rules=["SRV001"]).active == []
+
+    def test_inline_waiver(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/serve/workers.py": """
+                import time
+
+                def profile_step(worker):
+                    start = time.perf_counter()  # repro: allow[SRV001] local profiling only
+                    worker.step()
+                    return time.perf_counter() - start  # repro: allow[SRV001] local profiling only
+            """,
+        })
+        report = run_lint(tmp_path, rules=["SRV001"])
+        assert report.active == []
+        assert [d.rule for d in report.diagnostics if d.waived] == [
+            "SRV001", "SRV001",
+        ]
+
+    def test_outside_serve_is_out_of_scope(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/cache.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        assert run_lint(tmp_path, rules=["SRV001"]).active == []
+
+    def test_shipped_serve_tree_is_clock_clean(self):
+        root = Path(__file__).resolve().parent.parent / "src"
+        report = run_lint(root, rules=["SRV001"])
+        assert active_rules(report) == []
+        # Every time.* call under repro/serve/ lives in the blessed
+        # clock module, which the rule excludes entirely.
+        assert report.diagnostics == []
 
 
 # ---------------------------------------------------------------------------

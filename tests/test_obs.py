@@ -237,10 +237,19 @@ class TestDeclarations:
         # snapshot (which the golden corpus hashes byte-for-byte).
         assert not set(reg.names()) & set(mission_registry().names())
 
-    def test_declared_is_mission_plus_sweep(self):
-        from repro.obs import MISSION_METRICS, SWEEP_METRICS
+    def test_declared_is_mission_plus_sweep_plus_serve(self):
+        from repro.obs import MISSION_METRICS, SERVE_METRICS, SWEEP_METRICS
 
-        assert DECLARED_METRICS == MISSION_METRICS + SWEEP_METRICS
+        assert DECLARED_METRICS == MISSION_METRICS + SWEEP_METRICS + SERVE_METRICS
+
+    def test_serve_registry_covers_serve_catalog(self):
+        from repro.obs import SERVE_METRICS, serve_registry
+
+        reg = serve_registry()
+        assert set(reg.names()) == {spec.name for spec in SERVE_METRICS}
+        # Same disjointness contract as sweep metrics: service ops series
+        # must never leak into mission or sweep snapshots.
+        assert not set(reg.names()) & set(mission_registry().names())
 
     def test_spec_for(self):
         assert spec_for("rose_sync_steps_total") is not None

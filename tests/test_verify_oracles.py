@@ -26,6 +26,7 @@ SYSTEM_ORACLES = (
     "batch-vs-serial",
     "batch-cnn-forward",
     "sweep-chaos",
+    "service-vs-serial",
     "transport-tcp",
     "fault-noop",
     "cache-roundtrip",
