@@ -1,0 +1,181 @@
+"""Interprocedural call graph over the project symbol table.
+
+Resolution is static and deliberately conservative, in four tiers:
+
+1. **direct** — the callee's dotted name (through import aliases)
+   matches a known function: ``config_to_dict(cfg)`` after
+   ``from repro.core.manifest import config_to_dict``, ``mod.func(...)``,
+   or a local module-level function;
+2. **self** — ``self.method(...)`` resolves on the enclosing class,
+   walking project-local base classes (class-hierarchy approximation);
+3. **class** — ``SomeClass(...)`` links to ``SomeClass.__init__``, and
+   ``SomeClass.method(...)`` to the method through the same hierarchy
+   walk;
+4. **fallback** — ``obj.method(...)`` on an object of unknown type links
+   to *every* project method of that name.  Over-approximate by design:
+   for the taint and race passes a spurious edge can only create a
+   false positive (surfaced, reviewed, waived), never hide a hazard.
+
+Known limits, documented in DESIGN.md §13: no dynamic dispatch beyond
+the hierarchy walk, no property-getter edges (attribute reads are not
+calls), no decorator or module-import-time edges, and calls through
+containers/callback tables are invisible.  Nested ``def``/``lambda``
+bodies are attributed to their enclosing function, which is the calling
+scope that matters for reachability.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.deepcheck.symbols import FunctionInfo, SymbolTable
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site: caller -> callee at a line."""
+
+    caller: str
+    callee: str
+    line: int
+    kind: str  # "direct" | "self" | "class" | "fallback"
+
+
+class CallGraph:
+    """Forward edges plus reachability with witness chains."""
+
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+        self.edges: dict[str, list[CallEdge]] = {}
+        for info in symbols.functions.values():
+            self.edges[info.qualname] = _resolve_calls(info, symbols)
+
+    def callees(self, qualname: str) -> list[CallEdge]:
+        return self.edges.get(qualname, [])
+
+    def reachable_from(self, roots: list[str]) -> dict[str, CallEdge | None]:
+        """Every function reachable from ``roots`` (BFS, deterministic).
+
+        Returns ``{qualname: discovering_edge}``; roots map to ``None``.
+        The discovering edge links each function back toward its root so
+        diagnostics can print the full call chain as a witness.
+        """
+        seen: dict[str, CallEdge | None] = {}
+        frontier = [root for root in sorted(roots) if root in self.symbols.functions]
+        for root in frontier:
+            seen[root] = None
+        while frontier:
+            next_frontier: list[str] = []
+            for caller in frontier:
+                for edge in self.callees(caller):
+                    if edge.callee not in seen:
+                        seen[edge.callee] = edge
+                        next_frontier.append(edge.callee)
+            frontier = sorted(next_frontier)
+        return seen
+
+    def chain(self, reachable: dict[str, CallEdge | None], qualname: str) -> list[str]:
+        """Witness path root -> ... -> ``qualname`` from a reachability map."""
+        path = [qualname]
+        edge = reachable.get(qualname)
+        while edge is not None:
+            path.append(edge.caller)
+            edge = reachable.get(edge.caller)
+        return list(reversed(path))
+
+
+def _resolve_calls(info: FunctionInfo, symbols: SymbolTable) -> list[CallEdge]:
+    module = symbols.project.by_path[info.path]
+    mod = info.qualname.rsplit(".", 1)[0]
+    if info.class_name is not None:
+        mod = mod.rsplit(".", 1)[0]  # strip the class component
+    out: list[CallEdge] = []
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = _resolve_one(node, info, module, mod, symbols)
+        out.extend(
+            CallEdge(caller=info.qualname, callee=callee, line=node.lineno, kind=kind)
+            for callee, kind in resolved
+        )
+    out.sort(key=lambda e: (e.line, e.callee))
+    return out
+
+
+def _resolve_one(
+    node: ast.Call,
+    info: FunctionInfo,
+    module,  # Module; untyped to avoid an import cycle in annotations
+    mod: str,
+    symbols: SymbolTable,
+) -> list[tuple[str, str]]:
+    dotted = module.dotted(node.func)
+
+    # self.method() — the enclosing class and its ancestors.
+    if dotted is not None and dotted.startswith("self.") and info.class_name:
+        parts = dotted.split(".")
+        if len(parts) == 2:
+            cls = symbols.resolve_class(f"{mod}.{info.class_name}")
+            if cls is not None:
+                method = symbols.method_on(cls, parts[1])
+                if method is not None:
+                    return [(method.qualname, "self")]
+        # self.attr.method(...) or unresolvable: fall through to fallback.
+        return _fallback(node, symbols)
+
+    if dotted is not None:
+        # Bare local name: a module-level function or class in this file.
+        if "." not in dotted:
+            local = f"{mod}.{dotted}"
+            if local in symbols.functions:
+                return [(local, "direct")]
+            ctor = _constructor(local, symbols)
+            if ctor is not None:
+                return [(ctor, "class")]
+        # Alias-resolved dotted name: function, constructor, or
+        # Class.method through the hierarchy walk.
+        if dotted in symbols.functions:
+            return [(dotted, "direct")]
+        ctor = _constructor(dotted, symbols)
+        if ctor is not None:
+            return [(ctor, "class")]
+        if "." in dotted:
+            prefix, method_name = dotted.rsplit(".", 1)
+            cls = symbols.resolve_class(prefix)
+            if cls is not None:
+                method = symbols.method_on(cls, method_name)
+                if method is not None:
+                    return [(method.qualname, "class")]
+                return []  # known class, unknown method: nothing to link
+        # Unknown dotted target (stdlib, numpy, ...): if it is an
+        # attribute call, the fallback may still find project methods.
+        if isinstance(node.func, ast.Attribute):
+            return _fallback(node, symbols)
+        return []
+
+    # Non-name callee (call on a call result, subscript, ...).
+    if isinstance(node.func, ast.Attribute):
+        return _fallback(node, symbols)
+    return []
+
+
+def _constructor(name: str, symbols: SymbolTable) -> str | None:
+    """``__init__`` (possibly inherited) for a class qualname, if known."""
+    cls = symbols.classes.get(name)
+    if cls is None:
+        return None
+    init = symbols.method_on(cls, "__init__")
+    return init.qualname if init is not None else None
+
+
+def _fallback(node: ast.Call, symbols: SymbolTable) -> list[tuple[str, str]]:
+    """Name-match ``obj.method()`` against every project method ``method``."""
+    assert isinstance(node.func, ast.Attribute)
+    name = node.func.attr
+    return [(qual, "fallback") for qual in sorted(symbols.methods_by_name.get(name, []))]
+
+
+def build_call_graph(symbols: SymbolTable) -> CallGraph:
+    """Resolve every call site in the project (one pass per function)."""
+    return CallGraph(symbols)

@@ -1,0 +1,319 @@
+"""DEEP002 — fork/thread safety of module-level mutable state.
+
+The sweep stack executes the same mission code from three kinds of
+worker: forked pool processes (``SweepRunner``), batched lanes
+(``repro.batch``), and service shard threads
+(``ShardWorker``/``ThreadedWorkerHost``).  Forked workers inherit every
+module-level object warm — deliberately, for the memo caches — which
+makes any *write* to module-level state from worker-reachable code a
+hazard: in threads it is a data race, in forked processes it silently
+diverges per-worker state from the serial run that golden traces were
+recorded against (the PR 6 ``_pool_initializer`` reseed fixed exactly
+such a bug by hand).
+
+The pass computes the forward call-graph closure of the worker entry
+points and flags every write to a module-level (or class-level) variable
+inside it, unless the write is **blessed**:
+
+* it happens inside ``_pool_initializer`` or a reset hook registered
+  with ``register_transient_reset`` (or anything those call) — the
+  sanctioned per-spawn reset path;
+* it is lexically inside a ``with`` block whose context manager is a
+  lock (a module-level ``threading.Lock()``/``RLock()`` global, or any
+  context expression whose name contains ``lock``);
+* it is a bare ``X.setdefault(k, v)`` — the GIL-atomic memo-insert
+  idiom, deterministic because the inserted value is a pure function of
+  the key (the memo caches' contract).
+
+Intentional exceptions are waived at the write site with
+``# repro: allow[DEEP002] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.deepcheck.callgraph import CallGraph, build_call_graph
+from repro.analysis.deepcheck.symbols import (
+    FunctionInfo,
+    SymbolTable,
+    build_symbols,
+    module_name,
+)
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import Module, ProjectModel
+from repro.analysis.lint.registry import project_rule
+
+#: Entry points that run inside pool workers, batch lanes, or shard
+#: threads.  Roots absent from a tree are skipped (fixture trees
+#: reproduce the ones they exercise).
+WORKER_ENTRYPOINTS = (
+    "repro.sweep.runner._execute_task",
+    "repro.sweep.runner._execute_batch",
+    "repro.sweep.runner._pool_initializer",
+    "repro.serve.workers.ShardWorker.step",
+    "repro.serve.workers.ShardWorker.drain",
+    "repro.serve.workers.ThreadedWorkerHost._serve",
+    "repro.batch.engine.run_batch",
+    "repro.batch.engine.BatchEngine.run",
+)
+
+#: Container-method calls that mutate the receiver in place.
+#: ``setdefault`` is deliberately absent — see the module docstring.
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "add",
+    "update",
+    "clear",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "insert",
+    "sort",
+    "reverse",
+    "appendleft",
+    "extendleft",
+}
+
+_LOCK_CALLS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+}
+
+
+def _blessed_resets(project: ProjectModel, symbols: SymbolTable, graph: CallGraph) -> set[str]:
+    """Functions on the sanctioned reset path (plus their callees).
+
+    Reset hooks are discovered two ways: arguments to any
+    ``register_transient_reset(...)`` call, and elements of the
+    ``_TRANSIENT_RESETS`` list literal itself (the built-in hooks the
+    runner ships with are listed there directly).
+    """
+    roots: list[str] = [
+        qual for qual in symbols.functions if qual.endswith("._pool_initializer")
+    ]
+
+    def add(module: Module, expr: ast.expr) -> None:
+        target = module.dotted(expr)
+        if target is None:
+            return
+        if target in symbols.functions:
+            roots.append(target)
+            return
+        local = f"{module_name(module.path)}.{target}"
+        if local in symbols.functions:
+            roots.append(local)
+
+    for module in project.modules:
+        for node in module.walk():
+            if isinstance(node, ast.Call):
+                dotted = module.call_name(node)
+                if dotted is not None and dotted.endswith("register_transient_reset"):
+                    for arg in node.args:
+                        add(module, arg)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)) and isinstance(
+                node.value, ast.List
+            ):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                if any(
+                    isinstance(t, ast.Name) and t.id == "_TRANSIENT_RESETS"
+                    for t in targets
+                ):
+                    for element in node.value.elts:
+                        add(module, element)
+    return set(graph.reachable_from(sorted(set(roots))))
+
+
+def _transient_globals(
+    blessed: set[str], symbols: SymbolTable
+) -> set[str]:
+    """Globals a blessed reset hook writes: sanctioned per-process state.
+
+    A write inside a reset hook is the declaration that this cell is
+    per-process transient bookkeeping — cleared on every pool (re)spawn —
+    so worker-side writes to the same cell are the design, not a race.
+    """
+    transient: set[str] = set()
+    for qualname in blessed:
+        info = symbols.functions[qualname]
+        module = symbols.project.by_path[info.path]
+        for _, _, target, _, _ in function_global_writes(info, module, symbols):
+            transient.add(target)
+    return transient
+
+
+def _lock_globals(symbols: SymbolTable) -> set[str]:
+    """Module-level variables initialized to a lock object."""
+    locks: set[str] = set()
+    for var in symbols.globals.values():
+        module = symbols.project.by_path[var.path]
+        # Re-find the initializer: cheap, and keeps GlobalVar lean.
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == var.name for t in node.targets
+            ):
+                if isinstance(node.value, ast.Call):
+                    dotted = module.call_name(node.value)
+                    if dotted in _LOCK_CALLS or (
+                        dotted is not None and dotted.rsplit(".", 1)[-1] in ("Lock", "RLock")
+                    ):
+                        locks.add(var.qualname)
+    return locks
+
+
+def _locked_nodes(
+    func: FunctionInfo, module: Module, mod: str, symbols: SymbolTable, locks: set[str]
+) -> set[int]:
+    """ids of AST nodes lexically inside a lock-guarded ``with`` block."""
+    guarded: set[int] = set()
+    for node in ast.walk(func.node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(_is_lock_expr(item.context_expr, module, mod, symbols, locks)
+                   for item in node.items):
+            continue
+        for stmt in node.body:
+            for child in ast.walk(stmt):
+                guarded.add(id(child))
+    return guarded
+
+
+def _is_lock_expr(
+    expr: ast.expr, module: Module, mod: str, symbols: SymbolTable, locks: set[str]
+) -> bool:
+    dotted = module.dotted(expr)
+    if dotted is None:
+        return False
+    for candidate in (dotted, f"{mod}.{dotted}"):
+        if candidate in locks:
+            return True
+    return "lock" in dotted.lower()
+
+
+def _global_target(
+    expr: ast.expr, module: Module, mod: str, symbols: SymbolTable
+) -> str | None:
+    """Resolve an expression to a known module/class-level variable."""
+    dotted = module.dotted(expr)
+    if dotted is None or dotted.startswith("self."):
+        return None
+    for candidate in (dotted, f"{mod}.{dotted}"):
+        if candidate in symbols.globals:
+            return candidate
+    return None
+
+
+def function_global_writes(
+    func: FunctionInfo, module: Module, symbols: SymbolTable
+) -> list[tuple[int, int, str, str, int]]:
+    """Writes to module/class-level state in one function body.
+
+    Returns ``(line, col, target_qualname, description, node_id)`` rows;
+    ``node_id`` lets the caller test lock-block membership.
+    """
+    mod = func.qualname.rsplit(".", 1)[0]
+    if func.class_name is not None:
+        mod = mod.rsplit(".", 1)[0]
+    declared_global: set[str] = set()
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    out: list[tuple[int, int, str, str, int]] = []
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared_global:
+                    qual = f"{mod}.{target.id}"
+                    if qual in symbols.globals:
+                        out.append(
+                            (node.lineno, node.col_offset, qual,
+                             f"rebinds module global {target.id}", id(node))
+                        )
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    qual = _global_target(target.value, module, mod, symbols)
+                    if qual is not None:
+                        kind = "item" if isinstance(target, ast.Subscript) else "attribute"
+                        out.append(
+                            (node.lineno, node.col_offset, qual,
+                             f"{kind} write to module-level {qual.rsplit('.', 1)[-1]}",
+                             id(node))
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    qual = _global_target(target.value, module, mod, symbols)
+                    if qual is not None:
+                        out.append(
+                            (node.lineno, node.col_offset, qual,
+                             f"del on module-level {qual.rsplit('.', 1)[-1]}", id(node))
+                        )
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                qual = _global_target(node.func.value, module, mod, symbols)
+                if qual is not None:
+                    out.append(
+                        (node.lineno, node.col_offset, qual,
+                         f".{node.func.attr}() on module-level "
+                         f"{qual.rsplit('.', 1)[-1]}", id(node))
+                    )
+    return out
+
+
+@project_rule(
+    "DEEP002",
+    "no unsynchronized module-level writes from worker-reachable code",
+    "pool tasks, batch lanes, and shard threads all execute the mission "
+    "stack; a write to module-level mutable state anywhere in their call "
+    "graph is a thread race and a fork-divergence hazard unless it goes "
+    "through the blessed _pool_initializer/register_transient_reset path, "
+    "a lock, or the atomic setdefault memo idiom",
+)
+def deep002_worker_state_races(project: ProjectModel) -> list[Diagnostic]:
+    symbols = build_symbols(project)
+    graph = build_call_graph(symbols)
+    blessed = _blessed_resets(project, symbols, graph)
+    transient = _transient_globals(blessed, symbols)
+    locks = _lock_globals(symbols)
+    roots = [r for r in WORKER_ENTRYPOINTS if r in symbols.functions]
+    reachable = graph.reachable_from(roots)
+    findings: dict[tuple[str, int, int, str], Diagnostic] = {}
+    for qualname in sorted(reachable):
+        if qualname in blessed:
+            continue
+        info = symbols.functions[qualname]
+        module = project.by_path[info.path]
+        mod = info.qualname.rsplit(".", 1)[0]
+        if info.class_name is not None:
+            mod = mod.rsplit(".", 1)[0]
+        writes = function_global_writes(info, module, symbols)
+        if not writes:
+            continue
+        guarded = _locked_nodes(info, module, mod, symbols, locks)
+        for line, col, target, description, node_id in writes:
+            if node_id in guarded or target in transient:
+                continue
+            key = (info.path, line, col, target)
+            if key in findings:
+                continue
+            chain = " -> ".join(graph.chain(reachable, qualname))
+            findings[key] = Diagnostic(
+                path=info.path,
+                line=line,
+                col=col,
+                rule="DEEP002",
+                message=f"{description} from worker-reachable code [{chain}]",
+                hint="guard with a module-level lock, convert to the atomic "
+                "setdefault memo idiom, or register a reset via "
+                "register_transient_reset so _pool_initializer clears it",
+            )
+    return [findings[key] for key in sorted(findings)]

@@ -1,0 +1,230 @@
+"""Whole-program symbol table: every function, class, and module global.
+
+The per-module :class:`~repro.analysis.lint.engine.Module` objects know
+their own AST; this layer gives them *names*.  Each definition gets a
+fully qualified name derived from its repo-relative path —
+``repro/core/bridge.py`` defines symbols under ``repro.core.bridge`` —
+so the call graph, the taint pass, and diagnostics all speak one
+vocabulary that survives across modules.
+
+Indexed facts:
+
+* **functions** — module-level functions and methods, by qualified name
+  (``repro.core.bridge.RoseBridge.grant_step``) plus bare-name and
+  method-name indices for the resolver's fallbacks;
+* **classes** — base-class names (resolved through import aliases) for
+  the class-hierarchy approximation of method dispatch;
+* **globals** — module-level assignments, with a mutability judgement
+  (literal/constructor containers are mutable; constants are not), the
+  raw material of the fork-safety pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.engine import Module, ProjectModel
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``repro/core/bridge.py`` -> ``repro.core.bridge``;
+    ``repro/core/__init__.py`` -> ``repro.core``.
+    """
+    parts = path[:-3].split("/") if path.endswith(".py") else path.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # "repro.core.bridge.RoseBridge.grant_step"
+    path: str  # repo-relative POSIX path
+    line: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(repr=False)
+    class_name: str | None = None  # bare class name for methods
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition: resolved base names and its methods."""
+
+    qualname: str  # "repro.core.bridge.RoseBridge"
+    name: str  # "RoseBridge"
+    path: str
+    line: int
+    bases: tuple[str, ...]  # dotted, alias-resolved base names
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+#: Constructor calls whose results are shared mutable containers.
+_MUTABLE_CALLS = {
+    "dict",
+    "list",
+    "set",
+    "collections.defaultdict",
+    "collections.deque",
+    "collections.OrderedDict",
+    "collections.Counter",
+}
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    """One module-level assignment (a candidate shared-state cell)."""
+
+    qualname: str  # "repro.env.worlds._WORLD_CACHE"
+    name: str  # "_WORLD_CACHE"
+    path: str
+    line: int
+    mutable: bool  # initialized to a mutable container
+
+
+class SymbolTable:
+    """Name-indexed view over every definition in a :class:`ProjectModel`."""
+
+    def __init__(self, project: ProjectModel):
+        self.project = project
+        self.functions: dict[str, FunctionInfo] = {}
+        #: bare function name -> qualnames (module-level functions only).
+        self.by_name: dict[str, list[str]] = {}
+        #: method name -> qualnames across every class in the project.
+        self.methods_by_name: dict[str, list[str]] = {}
+        self.classes: dict[str, ClassInfo] = {}  # by qualname
+        self.classes_by_name: dict[str, list[str]] = {}  # bare name -> qualnames
+        self.globals: dict[str, GlobalVar] = {}  # by qualname
+        #: module dotted name -> repo-relative path (for alias resolution).
+        self.module_paths: dict[str, str] = {}
+        for module in project.modules:
+            self._index_module(module)
+
+    # ------------------------------------------------------------------
+    def _index_module(self, module: Module) -> None:
+        mod = module_name(module.path)
+        self.module_paths[mod] = module.path
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, mod, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, mod, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._index_global(module, mod, node)
+
+    def _add_function(
+        self,
+        module: Module,
+        scope: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> FunctionInfo:
+        qualname = f"{scope}.{node.name}"
+        info = FunctionInfo(
+            qualname=qualname,
+            path=module.path,
+            line=node.lineno,
+            node=node,
+            class_name=class_name,
+        )
+        self.functions.setdefault(qualname, info)
+        if class_name is None:
+            self.by_name.setdefault(node.name, []).append(qualname)
+        else:
+            self.methods_by_name.setdefault(node.name, []).append(qualname)
+        return info
+
+    def _index_class(self, module: Module, mod: str, node: ast.ClassDef) -> None:
+        qualname = f"{mod}.{node.name}"
+        bases = tuple(
+            dotted for base in node.bases if (dotted := module.dotted(base)) is not None
+        )
+        info = ClassInfo(
+            qualname=qualname,
+            name=node.name,
+            path=module.path,
+            line=node.lineno,
+            bases=bases,
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._add_function(module, qualname, stmt, class_name=node.name)
+                info.methods[stmt.name] = method
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                # Class-level attributes are module-level state for the
+                # fork-safety pass: one object shared by every instance.
+                self._index_global(module, qualname, stmt)
+        self.classes[qualname] = info
+        self.classes_by_name.setdefault(node.name, []).append(qualname)
+
+    def _index_global(
+        self, module: Module, scope: str, node: ast.Assign | ast.AnnAssign
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            self.globals.setdefault(
+                f"{scope}.{target.id}",
+                GlobalVar(
+                    qualname=f"{scope}.{target.id}",
+                    name=target.id,
+                    path=module.path,
+                    line=node.lineno,
+                    mutable=_is_mutable_init(node.value, module),
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def resolve_class(self, name: str) -> ClassInfo | None:
+        """A class by qualified name, or by bare name when unambiguous."""
+        if name in self.classes:
+            return self.classes[name]
+        candidates = self.classes_by_name.get(name.rsplit(".", 1)[-1], [])
+        if len(candidates) == 1:
+            return self.classes[candidates[0]]
+        return None
+
+    def method_on(self, class_info: ClassInfo, method: str) -> FunctionInfo | None:
+        """Resolve ``method`` on a class or its (project-local) ancestors."""
+        seen: set[str] = set()
+        stack = [class_info]
+        while stack:
+            cls = stack.pop()
+            if cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            if method in cls.methods:
+                return cls.methods[method]
+            for base in cls.bases:
+                parent = self.resolve_class(base)
+                if parent is not None:
+                    stack.append(parent)
+        return None
+
+
+def _is_mutable_init(value: ast.expr | None, module: Module) -> bool:
+    """Whether a module-level initializer builds a mutable container."""
+    if value is None:
+        return False
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        dotted = module.call_name(value)
+        if dotted in _MUTABLE_CALLS:
+            return True
+    if isinstance(value, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return False
+
+
+def build_symbols(project: ProjectModel) -> SymbolTable:
+    """Index every definition in ``project`` (one pass, no resolution)."""
+    return SymbolTable(project)

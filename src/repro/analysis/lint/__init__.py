@@ -41,9 +41,17 @@ documented leftovers.
 from repro.analysis.lint.baseline import Baseline, baseline_path_for
 from repro.analysis.lint.diagnostics import Diagnostic, render_json, render_text
 from repro.analysis.lint.engine import LintEngine, LintReport, Module, ProjectModel
-from repro.analysis.lint.registry import Rule, all_rules, get_rule, rule
+from repro.analysis.lint.registry import (
+    Rule,
+    all_rules,
+    default_rules,
+    get_rule,
+    project_rule,
+    rule,
+)
 
-# Importing the rule modules registers every shipped rule.
+# Importing the rule modules registers every shipped rule.  The deepcheck
+# package registers the whole-program DEEP rules the same way.
 from repro.analysis.lint import (  # noqa: E402  (registration side effect)
     rules_cfg,  # noqa: F401
     rules_det,  # noqa: F401
@@ -53,7 +61,9 @@ from repro.analysis.lint import (  # noqa: E402  (registration side effect)
     rules_proto,  # noqa: F401
     rules_res,  # noqa: F401
     rules_srv,  # noqa: F401
+    rules_waive,  # noqa: F401
 )
+from repro.analysis import deepcheck  # noqa: E402,F401  (registers DEEP rules)
 
 __all__ = [
     "Baseline",
@@ -65,7 +75,9 @@ __all__ = [
     "Rule",
     "all_rules",
     "baseline_path_for",
+    "default_rules",
     "get_rule",
+    "project_rule",
     "render_json",
     "render_text",
     "rule",

@@ -115,6 +115,21 @@ class Baseline:
             if key not in self._consumed
         ]
 
+    def pruned(self) -> "Baseline":
+        """A copy keeping only the entries consumed during the last run.
+
+        Run the engine against this baseline first (``matches`` records
+        consumption), then write the pruned copy back — that is what
+        ``lint --prune-baseline`` does.
+        """
+        kept = [
+            entry
+            for entry in self.entries
+            if (str(entry["rule"]), str(entry["path"]), int(entry["line"]))  # type: ignore[arg-type]
+            in self._consumed
+        ]
+        return Baseline(entries=kept, path=self.path)
+
     def __len__(self) -> int:
         return len(self._index)
 

@@ -20,14 +20,16 @@ Two passes:
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.analysis.lint.baseline import Baseline
 from repro.analysis.lint.diagnostics import Diagnostic
-from repro.analysis.lint.registry import Rule, all_rules
+from repro.analysis.lint.registry import Rule, all_rules, default_rules
 
 #: Inline waiver: ``# repro: allow[DET002]`` or ``# repro: allow[DET002,NUM001]``
 #: on the flagged line or the line directly above it.  ``allow[*]`` waives
@@ -77,7 +79,10 @@ class Module:
         #: "perf_counter" -> "time.perf_counter", "time" -> "time").
         self.aliases: dict[str, str] = _import_aliases(tree)
         #: 1-based line -> set of waived rule ids (may contain "*").
-        self.waivers: dict[int, set[str]] = _waivers(self.lines)
+        self.waivers: dict[int, set[str]] = _waivers(source, self.lines)
+        #: Waiver lines that suppressed at least one diagnostic this run
+        #: (fed by :meth:`is_waived`; unconsumed lines become WAIVE001).
+        self.consumed_waivers: set[int] = set()
 
     def dotted(self, node: ast.AST) -> str | None:
         """Dotted name of an expression, resolved through import aliases.
@@ -104,10 +109,16 @@ class Module:
         return ast.walk(self.tree)
 
     def is_waived(self, rule_id: str, line: int) -> bool:
-        """Inline waiver on ``line`` or the line directly above it."""
+        """Inline waiver on ``line`` or the line directly above it.
+
+        A match marks the waiver line *consumed*: waivers that finish a
+        run unconsumed no longer suppress anything and are reported as
+        stale (WAIVE001) when the engine runs with waiver checking on.
+        """
         for at in (line, line - 1):
             rules = self.waivers.get(at)
             if rules and (rule_id in rules or "*" in rules):
+                self.consumed_waivers.add(at)
                 return True
         return False
 
@@ -130,14 +141,34 @@ def _import_aliases(tree: ast.Module) -> dict[str, str]:
     return aliases
 
 
-def _waivers(lines: list[str]) -> dict[int, set[str]]:
+def _waivers(source: str, lines: list[str]) -> dict[int, set[str]]:
+    """Collect inline waivers, keyed by 1-based line number.
+
+    Only real ``#`` comment tokens count, and the waiver must *start*
+    the comment — a waiver quoted inside a docstring, a hint string, or
+    the prose of another comment (this very module documents the syntax)
+    is documentation, not a suppression, and must not trip WAIVE001.
+    """
     waivers: dict[int, set[str]] = {}
-    for index, text in enumerate(lines, start=1):
-        match = _WAIVER_RE.search(text)
+
+    def record(line: int, text: str) -> None:
+        match = _WAIVER_RE.match(text)
         if match:
             rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
             if rules:
-                waivers[index] = rules
+                waivers[line] = rules
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparsable tail (the file still ast-parsed, so this is rare):
+        # fall back to a per-line scan of comment-looking text.
+        for index, text in enumerate(lines, start=1):
+            stripped = text.lstrip()
+            if stripped.startswith("#"):
+                record(index, stripped)
     return waivers
 
 
@@ -265,17 +296,33 @@ class LintReport:
 
 
 class LintEngine:
-    """Run the registered rules over one source tree."""
+    """Run the registered rules over one source tree.
+
+    ``deep=True`` adds the registered whole-program project rules (the
+    deepcheck passes) to the default per-module set; an explicit
+    ``rules`` list is always used as-is.  ``check_waivers=True`` turns
+    inline waivers that suppressed nothing into WAIVE001 findings —
+    meaningful only when the full rule set runs (a waiver for an
+    unselected rule is not stale), so it is opt-in.
+    """
 
     def __init__(
         self,
         root: str | Path,
         rules: Iterable[Rule] | None = None,
         baseline: Baseline | None = None,
+        deep: bool = False,
+        check_waivers: bool = False,
     ):
         self.root = Path(root)
-        self.rules = list(rules) if rules is not None else list(all_rules().values())
+        if rules is not None:
+            self.rules = list(rules)
+        elif deep:
+            self.rules = list(all_rules().values())
+        else:
+            self.rules = list(default_rules().values())
         self.baseline = baseline if baseline is not None else Baseline.empty()
+        self.check_waivers = check_waivers
 
     # ------------------------------------------------------------------
     def load(self) -> tuple[ProjectModel, list[str]]:
@@ -294,7 +341,13 @@ class LintEngine:
         return ProjectModel(modules), errors
 
     def run(self) -> LintReport:
-        """Parse, run every rule, apply waivers and the baseline."""
+        """Parse, run every rule, apply waivers and the baseline.
+
+        Module rules run per file, project rules once over the whole
+        model; both funnel through the same waiver/baseline suppression.
+        Diagnostics are sorted by ``(path, line, rule, ...)`` so output
+        (and the baseline file) is stable across filesystem walk order.
+        """
         project, errors = self.load()
         report = LintReport(
             root=str(self.root),
@@ -303,14 +356,48 @@ class LintEngine:
         )
         for module in project.modules:
             for rule in self.rules:
-                if not rule.applies_to(module.path):
+                if rule.func is None or not rule.applies_to(module.path):
                     continue
                 for diag in rule.check(module, project):
-                    diag = diag.suppressed(
-                        waived=module.is_waived(diag.rule, diag.line),
-                        baselined=self.baseline.matches(diag),
-                    )
-                    report.diagnostics.append(diag)
+                    report.diagnostics.append(self._suppress(diag, project))
+        for rule in self.rules:
+            if rule.project_func is None:
+                continue
+            for diag in rule.check_project(project):
+                report.diagnostics.append(self._suppress(diag, project))
+        if self.check_waivers:
+            for diag in _stale_waivers(project):
+                # Stale-waiver findings can be baselined but not waived:
+                # a waiver that waives its own staleness would never rot.
+                report.diagnostics.append(
+                    diag.suppressed(baselined=self.baseline.matches(diag))
+                )
         report.diagnostics.sort()
         report.stale_baseline = self.baseline.stale()
         return report
+
+    def _suppress(self, diag: Diagnostic, project: ProjectModel) -> Diagnostic:
+        """Apply inline-waiver and baseline state to one finding."""
+        module = project.by_path.get(diag.path)
+        waived = module.is_waived(diag.rule, diag.line) if module is not None else False
+        return diag.suppressed(waived=waived, baselined=self.baseline.matches(diag))
+
+
+#: Stale-waiver rule id (implemented by the engine, not a rule function,
+#: because consumption is only known after every other rule has run).
+WAIVE001 = "WAIVE001"
+
+
+def _stale_waivers(project: ProjectModel) -> Iterator[Diagnostic]:
+    """WAIVE001 findings: inline waivers that suppressed nothing."""
+    for module in project.modules:
+        for line in sorted(set(module.waivers) - module.consumed_waivers):
+            rules = ",".join(sorted(module.waivers[line]))
+            yield Diagnostic(
+                path=module.path,
+                line=line,
+                rule=WAIVE001,
+                message=f"stale waiver allow[{rules}] suppresses no finding",
+                hint="delete the '# repro: allow[...]' comment (the code it "
+                "excused has moved or been fixed)",
+            )

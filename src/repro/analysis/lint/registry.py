@@ -6,15 +6,27 @@ along with the whole-project :class:`~.engine.ProjectModel`, so a rule
 can be purely local (bare ``except:``) or cross-module (a dispatch map in
 one file checked against an enum defined in another).
 
+Two rule shapes share the registry:
+
+* **module rules** (:func:`rule`) run once per module in scope and see
+  ``(module, project)``;
+* **project rules** (:func:`project_rule`) run once per engine run over
+  the whole :class:`~.engine.ProjectModel` — the shape the deepcheck
+  passes (call-graph taint, race detection, protocol conformance) need.
+  Project rules are ``deep`` by default: the engine only runs them when
+  deep analysis is requested (``lint --deep``) or the rule is selected
+  explicitly, keeping the fast per-file path fast.
+
 Scoping lives on the rule: ``paths`` / ``exclude`` are repo-relative
-POSIX prefixes (or exact file paths).  A rule only sees modules it
-applies to, which keeps e.g. the wall-clock rule out of analysis code
-that legitimately measures wall time.
+POSIX prefixes (or exact file paths).  A module rule only sees modules it
+applies to; a project rule sees the whole tree but its findings are
+filtered to in-scope paths, which keeps e.g. the wall-clock rule out of
+analysis code that legitimately measures wall time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, List
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -22,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.analysis.lint.engine import Module, ProjectModel
 
 RuleFunc = Callable[["Module", "ProjectModel"], List["Diagnostic"]]
+ProjectRuleFunc = Callable[["ProjectModel"], List["Diagnostic"]]
 
 _REGISTRY: dict[str, "Rule"] = {}
 
@@ -33,9 +46,13 @@ class Rule:
     id: str  # "DET001", "CFG001", ...
     title: str  # short imperative summary
     rationale: str  # why violating this breaks reproducibility
-    func: RuleFunc
+    func: RuleFunc | None = None  # module rules: run per file in scope
+    project_func: ProjectRuleFunc | None = None  # project rules: run once
     paths: tuple[str, ...] = ()  # apply only under these prefixes ("" = everywhere)
     exclude: tuple[str, ...] = ()  # blessed files/prefixes the rule skips
+    #: Deep rules (whole-program dataflow) only run under ``lint --deep``
+    #: or when selected explicitly with ``--rule``.
+    deep: bool = False
 
     @property
     def family(self) -> str:
@@ -50,12 +67,25 @@ class Rule:
         return any(_matches(path, prefix) for prefix in self.paths)
 
     def check(self, module: "Module", project: "ProjectModel") -> list["Diagnostic"]:
+        if self.func is None:
+            return []
         return self.func(module, project)
+
+    def check_project(self, project: "ProjectModel") -> list["Diagnostic"]:
+        if self.project_func is None:
+            return []
+        return [d for d in self.project_func(project) if self.applies_to(d.path)]
 
 
 def _matches(path: str, prefix: str) -> bool:
     """Exact file match or directory-prefix match."""
     return path == prefix or path.startswith(prefix.rstrip("/") + "/")
+
+
+def _register(entry: Rule) -> None:
+    if entry.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {entry.id!r}")
+    _REGISTRY[entry.id] = entry
 
 
 def rule(
@@ -65,18 +95,45 @@ def rule(
     paths: Iterable[str] = (),
     exclude: Iterable[str] = (),
 ) -> Callable[[RuleFunc], RuleFunc]:
-    """Register a rule function under ``id`` (decorator)."""
+    """Register a per-module rule function under ``id`` (decorator)."""
 
     def register(func: RuleFunc) -> RuleFunc:
-        if id in _REGISTRY:
-            raise ValueError(f"duplicate rule id {id!r}")
-        _REGISTRY[id] = Rule(
-            id=id,
-            title=title,
-            rationale=rationale,
-            func=func,
-            paths=tuple(paths),
-            exclude=tuple(exclude),
+        _register(
+            Rule(
+                id=id,
+                title=title,
+                rationale=rationale,
+                func=func,
+                paths=tuple(paths),
+                exclude=tuple(exclude),
+            )
+        )
+        return func
+
+    return register
+
+
+def project_rule(
+    id: str,
+    title: str,
+    rationale: str,
+    paths: Iterable[str] = (),
+    exclude: Iterable[str] = (),
+    deep: bool = True,
+) -> Callable[[ProjectRuleFunc], ProjectRuleFunc]:
+    """Register a whole-program rule function under ``id`` (decorator)."""
+
+    def register(func: ProjectRuleFunc) -> ProjectRuleFunc:
+        _register(
+            Rule(
+                id=id,
+                title=title,
+                rationale=rationale,
+                project_func=func,
+                paths=tuple(paths),
+                exclude=tuple(exclude),
+                deep=deep,
+            )
         )
         return func
 
@@ -86,6 +143,11 @@ def rule(
 def all_rules() -> dict[str, Rule]:
     """Every registered rule, by id (import the rule modules first)."""
     return dict(_REGISTRY)
+
+
+def default_rules() -> dict[str, Rule]:
+    """The fast per-file rule set: everything except deep project rules."""
+    return {rule_id: r for rule_id, r in _REGISTRY.items() if not r.deep}
 
 
 def get_rule(rule_id: str) -> Rule:

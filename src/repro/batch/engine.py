@@ -331,7 +331,7 @@ class BatchEngine:
             kernels.integrate_velocities(w, dt, p)
             speed = np.array(
                 [
-                    math.hypot(a, b)  # repro: allow[PERF001] no bit-identical vector hypot
+                    math.hypot(a, b)  # no bit-identical vector hypot
                     for a, b in zip(w.u.tolist(), w.v.tolist())
                 ]
             )

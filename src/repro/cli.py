@@ -472,11 +472,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     import repro
+    from repro.analysis.deepcheck import render_sarif
     from repro.analysis.lint import (
         Baseline,
         LintEngine,
         all_rules,
         baseline_path_for,
+        default_rules,
         render_json,
         render_text,
     )
@@ -486,7 +488,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule_id in sorted(rules):
             rule = rules[rule_id]
             scope = ", ".join(rule.paths) if rule.paths else "entire tree"
-            print(f"{rule.id}: {rule.title}")
+            tag = " [deep]" if rule.deep else ""
+            print(f"{rule.id}: {rule.title}{tag}")
             print(f"  scope: {scope}")
             if rule.exclude:
                 print(f"  blessed: {', '.join(rule.exclude)}")
@@ -502,26 +505,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: lint root {root} is not a directory", file=sys.stderr)
         return 2
 
-    selected = list(rules.values())
     if args.rule:
         unknown = [rule_id for rule_id in args.rule if rule_id not in rules]
         if unknown:
             print(f"error: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
         selected = [rules[rule_id] for rule_id in args.rule]
+    elif args.deep:
+        selected = list(rules.values())
+    else:
+        selected = list(default_rules().values())
 
     baseline_path = Path(args.baseline) if args.baseline else baseline_path_for(root)
     if args.write_baseline:
-        report = LintEngine(root, rules=selected, baseline=Baseline.empty()).run()
+        report = LintEngine(
+            root,
+            rules=selected,
+            baseline=Baseline.empty(),
+            check_waivers=args.check_waivers,
+        ).run()
         baseline = Baseline.from_diagnostics(report.diagnostics, path=baseline_path)
         written = baseline.write()
         print(f"wrote {len(baseline)} baseline entr(y/ies) to {written}")
         return 0
 
     baseline = Baseline.empty() if args.no_baseline else Baseline.load(baseline_path)
-    report = LintEngine(root, rules=selected, baseline=baseline).run()
+    report = LintEngine(
+        root, rules=selected, baseline=baseline, check_waivers=args.check_waivers
+    ).run()
 
-    if args.format == "json":
+    if args.prune_baseline:
+        if args.no_baseline:
+            print("error: --prune-baseline conflicts with --no-baseline",
+                  file=sys.stderr)
+            return 2
+        pruned = baseline.pruned()
+        dropped = len(baseline) - len(pruned)
+        if dropped:
+            written = pruned.write()
+            print(f"pruned {dropped} stale baseline entr(y/ies) from {written}")
+        else:
+            print("baseline has no stale entries; nothing to prune")
+
+    if args.format == "sarif":
+        print(render_sarif(report.diagnostics))
+    elif args.format == "json":
         print(render_json(report.diagnostics))
     else:
         rendered = render_text(
@@ -827,9 +855,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static analysis: determinism / protocol / cache-key rules",
         description="Run the repro.analysis.lint rule families (DET, NUM, "
-        "PROTO, CFG) over a source tree.  Exit 0 when no active diagnostics "
-        "remain (inline '# repro: allow[RULE]' waivers and the committed "
-        "baseline suppress accepted findings), 1 otherwise.",
+        "PROTO, CFG) over a source tree.  --deep adds the whole-program "
+        "semantic passes (DEEP001 determinism taint, DEEP002 fork/thread "
+        "races, DEEP003 protocol conformance).  Exit 0 when no active "
+        "diagnostics remain (inline '# repro: allow[RULE]' waivers and the "
+        "committed baseline suppress accepted findings), 1 otherwise.",
     )
     lint.add_argument(
         "path",
@@ -839,7 +869,16 @@ def build_parser() -> argparse.ArgumentParser:
         "parent, i.e. src/ in a checkout)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text", help="report format"
+        "--deep",
+        action="store_true",
+        help="also run the whole-program passes (call graph, determinism "
+        "taint, race and protocol analysis)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif emits SARIF 2.1.0 for code-scanning upload)",
     )
     lint.add_argument(
         "--rule",
@@ -860,6 +899,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="accept every current finding into the baseline file and exit",
+    )
+    lint.add_argument(
+        "--check-waivers",
+        action="store_true",
+        help="report inline waivers that suppress nothing as WAIVE001 "
+        "(meaningful when the full rule set runs)",
+    )
+    lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file keeping only entries a finding "
+        "still matches",
     )
     lint.add_argument(
         "--show-suppressed",

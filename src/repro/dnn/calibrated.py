@@ -155,17 +155,21 @@ def classifier_profile(name: str, quantized: bool = False) -> ClassifierProfile:
             f"no classifier profile for {name!r}; available: {sorted(_PROFILE_PARAMS)}"
         )
     key = (name, quantized)
-    if key not in _PROFILE_CACHE:
+    profile = _PROFILE_CACHE.get(key)
+    if profile is None:
         accuracy, temperature = _PROFILE_PARAMS[name]
         suffix = ""
         if quantized:
             accuracy -= _QUANTIZATION_ACCURACY_DROP
             temperature *= _QUANTIZATION_TEMPERATURE_FACTOR
             suffix = "-int8"
-        _PROFILE_CACHE[key] = ClassifierProfile.from_accuracy(
-            name + suffix, accuracy, temperature
+        # setdefault: check-then-set from shard threads would race; the
+        # profile is a pure function of (name, quantized), so whichever
+        # thread wins inserts an identical object.
+        profile = _PROFILE_CACHE.setdefault(
+            key, ClassifierProfile.from_accuracy(name + suffix, accuracy, temperature)
         )
-    return _PROFILE_CACHE[key]
+    return profile
 
 
 @dataclass(frozen=True)

@@ -71,7 +71,9 @@ def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
     """
     merged: dict[str, Any] = {}
     for snapshot in snapshots:
-        for name, entry in snapshot.items():
+        # sorted(): merge order (and the report_signature digest downstream)
+        # must not depend on how a shard happened to construct its snapshot.
+        for name, entry in sorted(snapshot.items()):
             mine = merged.get(name)
             if mine is None:
                 copied: dict[str, Any] = {

@@ -44,9 +44,9 @@ def code_fingerprint() -> str:
         digest.update(b"\0")
         digest.update(path.read_bytes())
         digest.update(b"\0")
-    fingerprint = digest.hexdigest()
-    _FINGERPRINT_CACHE["fingerprint"] = fingerprint
-    return fingerprint
+    # setdefault: atomic under the GIL, and the value is a pure function
+    # of the source tree, so a racing thread computes the same digest.
+    return _FINGERPRINT_CACHE.setdefault("fingerprint", digest.hexdigest())
 
 
 def config_key(config: CoSimConfig) -> str:

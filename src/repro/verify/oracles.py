@@ -778,6 +778,30 @@ def _oracle_lint_clean() -> list[Divergence]:
 
 
 @oracle(
+    "deepcheck-clean",
+    "repro.analysis.deepcheck whole-program passes (determinism taint, "
+    "fork/thread races, protocol conformance) plus stale-waiver detection "
+    "over the shipped tree vs. an empty report",
+)
+def _oracle_deepcheck_clean() -> list[Divergence]:
+    import repro
+    from repro.analysis.lint import Baseline, LintEngine, baseline_path_for
+
+    root = Path(repro.__file__).resolve().parent.parent
+    baseline = Baseline.load(baseline_path_for(root))
+    report = LintEngine(root, baseline=baseline, deep=True, check_waivers=True).run()
+    return [
+        Divergence(
+            site="deepcheck-clean",
+            field=f"{diag.path}:{diag.line}",
+            expected="no finding",
+            actual=f"{diag.rule} {diag.message}",
+        )
+        for diag in report.active
+    ]
+
+
+@oracle(
     "cache-roundtrip",
     "ResultCache store/load round-trip vs. the in-memory result "
     "(bit-identical signature and payload)",

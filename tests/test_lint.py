@@ -920,6 +920,83 @@ class TestWaivers:
         assert run_lint(tmp_path, rules=["DET002"]).active == []
 
 
+class TestStaleWaivers:
+    def _run(self, root, rules):
+        selected = [get_rule(r) for r in rules]
+        return LintEngine(root, rules=selected, check_waivers=True).run()
+
+    def test_stale_waiver_reported(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                def stamp():
+                    return 0  # repro: allow[DET002] nothing here anymore
+            """,
+        })
+        [diag] = self._run(tmp_path, ["DET002"]).active
+        assert diag.rule == "WAIVE001"
+        assert diag.line == 3
+        assert "allow[DET002]" in diag.message
+
+    def test_consumed_waiver_not_reported(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # repro: allow[DET002] host time by design
+            """,
+        })
+        report = self._run(tmp_path, ["DET002"])
+        assert active_rules(report) == []
+
+    def test_waiver_mentioned_in_docstring_is_not_a_waiver(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": '''
+                """Waive with ``# repro: allow[DET002] reason`` at the site."""
+
+                HELP = "add '# repro: allow[DET002]' to suppress"
+                # The syntax is `# repro: allow[DET002]`, mid-comment.
+            ''',
+        })
+        assert self._run(tmp_path, ["DET002"]).active == []
+
+    def test_stale_waiver_is_not_inline_waivable(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                def stamp():
+                    return 0  # repro: allow[DET002,WAIVE001]
+            """,
+        })
+        # A waiver cannot excuse its own staleness — it would never rot.
+        assert active_rules(self._run(tmp_path, ["DET002"])) == ["WAIVE001"]
+
+    def test_stale_waiver_can_be_baselined(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                def stamp():
+                    return 0  # repro: allow[DET002]
+            """,
+        })
+        baseline = Baseline(entries=[
+            {"rule": "WAIVE001", "path": "repro/core/link.py", "line": 3},
+        ])
+        report = LintEngine(
+            tmp_path, rules=[get_rule("DET002")], baseline=baseline,
+            check_waivers=True,
+        ).run()
+        assert report.active == []
+        assert [d.baselined for d in report.diagnostics] == [True]
+
+    def test_without_flag_stale_waivers_stay_silent(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/core/link.py": """
+                def stamp():
+                    return 0  # repro: allow[DET002]
+            """,
+        })
+        assert run_lint(tmp_path, rules=["DET002"]).diagnostics == []
+
+
 class TestBaseline:
     def _tree(self, tmp_path):
         return make_tree(tmp_path / "src", {
@@ -990,6 +1067,31 @@ class TestEngine:
         assert "repro/core/bad.py" in report.parse_errors[0]
         assert not report.ok
 
+    def test_empty_file_scans_clean(self, tmp_path):
+        make_tree(tmp_path, {"repro/core/empty.py": ""})
+        report = run_lint(tmp_path)
+        assert report.files_scanned == 1
+        assert report.ok
+
+    def test_files_outside_root_are_not_scanned(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/core/ok.py": "x = 1\n",
+            "scripts/helper.py": "import time\nx = time.time()\n",
+        })
+        report = run_lint(tmp_path / "src", rules=["DET002"])
+        assert report.files_scanned == 1
+        assert report.active == []
+
+    def test_duplicate_rule_registration_raises(self):
+        from repro.analysis.lint.registry import rule
+
+        with pytest.raises(ValueError, match="duplicate rule id 'DET002'"):
+            rule("DET002", "again", "collides with the real DET002")(
+                lambda module, project: []
+            )
+        # The original registration survives the failed attempt.
+        assert get_rule("DET002").title != "again"
+
     def test_diagnostics_sorted_by_location(self, tmp_path):
         make_tree(tmp_path, {
             "repro/core/b.py": "import time\nx = time.time()\n",
@@ -998,6 +1100,17 @@ class TestEngine:
         report = run_lint(tmp_path, rules=["DET002"])
         locations = [(d.path, d.line) for d in report.active]
         assert locations == sorted(locations)
+
+    def test_ordering_breaks_ties_on_rule_id(self):
+        # Same (path, line): order falls back to the rule id, and the
+        # suppression flags never influence position.
+        from repro.analysis.lint.diagnostics import Diagnostic
+
+        srv = Diagnostic(path="repro/a.py", line=3, rule="SRV001", message="m")
+        det = Diagnostic(path="repro/a.py", line=3, rule="DET002", message="m")
+        waived_det = det.suppressed(waived=True)
+        assert sorted([srv, det]) == [det, srv]
+        assert sorted([srv, waived_det])[0].rule == "DET002"
 
 
 # ---------------------------------------------------------------------------
@@ -1058,7 +1171,69 @@ class TestCli:
         assert data["summary"]["active"] == 1
         [finding] = data["diagnostics"]
         assert finding["rule"] == "DET002"
-        assert finding["path"] == "repro/core/link.py"
+
+    def test_sarif_format(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        code = main(["lint", str(root), "--format", "sarif", "--no-baseline"])
+        log = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert log["version"] == "2.1.0"
+        [result] = log["runs"][0]["results"]
+        assert result["ruleId"] == "DET002" and result["level"] == "error"
+
+    def test_deep_flag_runs_project_rules(self, tmp_path, capsys):
+        root = make_tree(tmp_path / "src", {
+            "repro/sweep/signature.py": """
+                import time
+
+                def mission_signature(result):
+                    return (time.time(), result)
+            """,
+        })
+        # The default run skips deep rules (DET002 is out of scope here);
+        # --deep finds the tainted root.
+        assert main(["lint", str(root), "--no-baseline"]) == 0
+        capsys.readouterr()
+        code = main(["lint", str(root), "--deep", "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DEEP001" in out and "mission_signature" in out
+
+    def test_check_waivers_flag(self, tmp_path, capsys):
+        root = make_tree(tmp_path / "src", {
+            "repro/core/ok.py": "x = 1  # repro: allow[DET002] gone\n",
+        })
+        assert main(["lint", str(root)]) == 0
+        capsys.readouterr()
+        code = main(["lint", str(root), "--check-waivers"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "WAIVE001" in out and "allow[DET002]" in out
+
+    def test_prune_baseline_rewrites_file(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        baseline_path = tmp_path / "lint-baseline.json"
+        baseline_path.write_text(json.dumps({
+            "format": "rose-lint-baseline/1",
+            "entries": [
+                {"rule": "DET002", "path": "repro/core/link.py", "line": 5},
+                {"rule": "DET002", "path": "repro/core/gone.py", "line": 1},
+            ],
+        }))
+        code = main([
+            "lint", str(root), "--baseline", str(baseline_path), "--prune-baseline",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pruned 1 stale baseline entr" in out
+        kept = json.loads(baseline_path.read_text())["entries"]
+        assert [e["path"] for e in kept] == ["repro/core/link.py"]
+
+    def test_prune_baseline_conflicts_with_no_baseline(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        assert main([
+            "lint", str(root), "--no-baseline", "--prune-baseline",
+        ]) == 2
 
     def test_rule_filter(self, tmp_path, capsys):
         root = self._tree(tmp_path)
