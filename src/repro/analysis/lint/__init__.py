@@ -28,6 +28,10 @@ Rule families (see the modules for the catalog):
 * **RES** (:mod:`.rules_res`) — resilience: retry loops in the sweep
   engine must be bounded, and every sweep-side wait must route through
   the shared backoff helper in :mod:`repro.sweep.resilience`;
+* **SCN** (:mod:`.rules_scn`) — fuzzer determinism: scenario/fuzzing
+  code draws randomness only from the campaign's injected seeded
+  :class:`random.Random`, never the module-level ``random.*`` /
+  ``np.random.*`` APIs;
 * **SRV** (:mod:`.rules_srv`) — serve determinism: the sweep service
   reads time only through the injected :class:`~repro.serve.clock.Clock`
   seam, keeping the end-to-end service harness fake-clock drivable.
@@ -60,6 +64,7 @@ from repro.analysis.lint import (  # noqa: E402  (registration side effect)
     rules_perf,  # noqa: F401
     rules_proto,  # noqa: F401
     rules_res,  # noqa: F401
+    rules_scn,  # noqa: F401
     rules_srv,  # noqa: F401
     rules_waive,  # noqa: F401
 )

@@ -1,0 +1,72 @@
+"""SCN rules: randomness discipline in the scenario/fuzzing package.
+
+The fuzzer's whole contract is *replayable discovery*: the same seed and
+budget must reproduce the same corpus, coverage map and minimized
+reproducers byte for byte.  That only holds while every random draw in
+``repro.scenario`` flows through the one injected, seeded
+:class:`random.Random` the campaign owns.  A single module-level
+``random.uniform()`` or ``np.random.normal()`` call couples a mutation
+to interpreter-global state — which the sweep engine deliberately
+reseeds per task — and silently breaks corpus reproducibility without
+failing any single mission.  This rule pins the seam.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import Module, ProjectModel
+from repro.analysis.lint.registry import rule
+
+#: Module-level RNG namespaces that bypass the injected generator.
+_FORBIDDEN_PREFIXES = ("random.", "np.random.", "numpy.random.")
+
+#: Seeded constructors are the *approved* way to obtain a generator —
+#: ``random.Random(seed)`` / ``np.random.default_rng(seed)`` create the
+#: injected instance rather than touching shared state.
+_ALLOWED_CALLS = frozenset(
+    {
+        "random.Random",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.Generator",
+        "numpy.random.Generator",
+    }
+)
+
+
+@rule(
+    "SCN001",
+    "scenario code draws randomness only from an injected seeded RNG",
+    "fuzzing campaigns are content-addressed and replayable (same seed + "
+    "budget => byte-identical corpus, coverage map and reproducers) only "
+    "while every draw comes from the campaign's own random.Random; a "
+    "module-level random.* / np.random.* call uses interpreter-global "
+    "state that the sweep engine reseeds per task, so it breaks corpus "
+    "determinism without failing any individual mission",
+    paths=("repro/scenario/",),
+)
+def scn001_global_rng(module: Module, project: ProjectModel) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for node in module.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        name = module.call_name(node)
+        if not name or name in _ALLOWED_CALLS:
+            continue
+        if name.startswith(_FORBIDDEN_PREFIXES):
+            out.append(
+                Diagnostic(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="SCN001",
+                    message=f"module-level RNG call {name}() in scenario code",
+                    hint="draw from the injected seeded generator instead "
+                    "(pass random.Random(seed) down from the campaign); "
+                    "constructing a generator via random.Random(...) or "
+                    "np.random.default_rng(...) is allowed",
+                )
+            )
+    return out

@@ -46,6 +46,12 @@ def batch_eligible(config: CoSimConfig) -> tuple[bool, str]:
         return False, "fault injection perturbs the per-lane link"
     if config.transport != "inprocess":
         return False, f"transport {config.transport!r} is not in-process"
+    if config.world == "scenario":
+        return False, "scenario-compiled worlds (obstacles) are not vectorized"
+    if config.noise is not None:
+        return False, "scenario sensor-noise profiles are not vectorized"
+    if config.initial_lateral_offset != 0.0:
+        return False, "off-center spawn is not vectorized"
     return True, ""
 
 

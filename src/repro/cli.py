@@ -568,6 +568,70 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    # Imported here so mission commands never pay for the fuzzing stack.
+    from pathlib import Path
+
+    from repro.scenario.fuzz import (
+        FuzzSettings,
+        load_corpus_journal,
+        load_scenario,
+        minimize_scenario,
+        replay,
+        run_fuzz,
+    )
+
+    corpus_dir = Path(args.corpus)
+    settings = FuzzSettings(
+        budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+        round_size=args.round_size,
+        max_sim_time=args.max_sim_time,
+    )
+
+    if args.fuzz_command == "run":
+        report = run_fuzz(settings, corpus_dir)
+        data = report.to_dict()
+        print(
+            f"fuzz: {data['evaluated']} mutants evaluated, "
+            f"{data['admitted']} admitted, coverage "
+            f"{data['baseline_bins']} -> {data['coverage_bins']} bins"
+        )
+        for key, modes in data["failures"].items():
+            print(f"  failure {key[:12]}: {', '.join(modes)}")
+        for source, minimized in data["minimized"].items():
+            print(f"  minimized {source[:12]} -> {minimized[:12]}")
+        return 0
+
+    if args.fuzz_command == "corpus":
+        for entry in load_corpus_journal(corpus_dir):
+            modes = ",".join(entry["failure_modes"]) or "-"
+            print(
+                f"{entry['key'][:12]}  round {entry['round']:>2}  "
+                f"+{len(entry['new_bins'])} bin(s)  {modes}  {entry['name']}"
+            )
+        return 0
+
+    if args.fuzz_command == "replay":
+        match, expected, actual = replay(corpus_dir, args.key, settings)
+        if match:
+            print(f"replay OK: {args.key[:12]} reproduces {expected[:16]}")
+            return 0
+        print(
+            f"replay DIVERGED for {args.key[:12]}:\n"
+            f"  expected {expected}\n  actual   {actual}"
+        )
+        return 1
+
+    # minimize
+    scenario = load_scenario(corpus_dir, args.key)
+    minimized, runs = minimize_scenario(scenario, args.mode, settings)
+    print(minimized.canonical_json())
+    print(f"# minimized in {runs} runs, preserves {args.mode!r}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here so mission commands never pay for the serve stack.
     from repro.serve import ServiceServer, SweepService
@@ -921,6 +985,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzing (rose-scenario/1 documents)",
+        description="Mutate scenario documents from the legacy-world seed "
+        "corpus, admit coverage-advancing mutants, and minimize discovered "
+        "failures.  Fully deterministic: the same --seed and --budget "
+        "reproduce the corpus, coverage map and reproducers byte for byte.",
+    )
+    fuzz_commands = fuzz.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_shared = argparse.ArgumentParser(add_help=False)
+    fuzz_shared.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default="fuzz-corpus",
+        help="corpus directory (scenarios/, corpus.jsonl, coverage.json)",
+    )
+    fuzz_shared.add_argument(
+        "--seed", type=int, default=0, help="campaign RNG seed"
+    )
+    fuzz_shared.add_argument(
+        "--budget", type=int, default=25, help="mutants to evaluate"
+    )
+    fuzz_shared.add_argument(
+        "--workers", type=int, default=1, help="sweep workers per round"
+    )
+    fuzz_shared.add_argument(
+        "--round-size", type=int, default=5, help="mutants per sweep round"
+    )
+    fuzz_shared.add_argument(
+        "--max-sim-time",
+        type=float,
+        default=8.0,
+        help="simulated-seconds budget per mission",
+    )
+    fuzz_run = fuzz_commands.add_parser(
+        "run", parents=[fuzz_shared], help="run one fuzzing campaign"
+    )
+    fuzz_run.set_defaults(handler=_cmd_fuzz)
+    fuzz_corpus = fuzz_commands.add_parser(
+        "corpus", parents=[fuzz_shared], help="list the admission journal"
+    )
+    fuzz_corpus.set_defaults(handler=_cmd_fuzz)
+    fuzz_replay = fuzz_commands.add_parser(
+        "replay",
+        parents=[fuzz_shared],
+        help="re-run one corpus scenario and check its recorded signature",
+    )
+    fuzz_replay.add_argument("key", help="scenario content key (sha256)")
+    fuzz_replay.set_defaults(handler=_cmd_fuzz)
+    fuzz_minimize = fuzz_commands.add_parser(
+        "minimize",
+        parents=[fuzz_shared],
+        help="greedily minimize one corpus scenario preserving a failure mode",
+    )
+    fuzz_minimize.add_argument("key", help="scenario content key (sha256)")
+    fuzz_minimize.add_argument(
+        "--mode",
+        default="crash",
+        choices=("crash", "deadline-miss", "watchdog", "link-timeout", "crc-storm"),
+        help="failure mode the reduction must preserve",
+    )
+    fuzz_minimize.set_defaults(handler=_cmd_fuzz)
 
     serve = commands.add_parser(
         "serve",

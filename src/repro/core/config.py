@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.faults import FaultPlan
+from repro.env.sensors import SensorNoiseProfile
 from repro.env.simulator import EnvConfig
 from repro.errors import ConfigError
 from repro.soc import calib
@@ -103,6 +104,10 @@ class CoSimConfig:
     model: str = "resnet14"  # DNN variant ("fusion": the camera backbone; "mpc": ignored)
     target_velocity: float = 3.0  # m/s forward target (the §5.2 sweep knob)
     initial_angle_deg: float = 0.0
+    #: Spawn offset from the centerline, meters (scenario spawn knob).
+    #: ``0.0`` is the legacy spawn; serialization omits the field at its
+    #: default so pre-scenario configs keep their cache keys.
+    initial_lateral_offset: float = 0.0
     sync: SyncConfig = field(default_factory=SyncConfig)
     max_sim_time: float = 60.0  # give up after this much simulated time
     dynamic_runtime: bool = False  # Section 5.3's adaptive DNN selection
@@ -116,6 +121,11 @@ class CoSimConfig:
     seed: int = 0
     transport: str = "inprocess"
     faults: FaultPlan | None = None  # seeded link/sensor fault injection
+    #: Scenario sensor-noise multipliers.  ``None`` builds stock sensors
+    #: (the legacy path); the scenario compiler only sets a profile when
+    #: it is non-identity, and serialization omits ``None``, so legacy
+    #: configs keep their cache keys and golden config dicts.
+    noise: SensorNoiseProfile | None = None
     #: App-layer sensor watchdog, in synchronization periods.  Only armed
     #: when ``faults`` is set, so fault-free runs are bit-identical to the
     #: happy-path configuration.
@@ -161,6 +171,18 @@ class CoSimConfig:
             raise ConfigError(
                 f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
             )
+        if self.noise is not None and not isinstance(self.noise, SensorNoiseProfile):
+            raise ConfigError(
+                f"noise must be a SensorNoiseProfile or None, "
+                f"got {type(self.noise).__name__}"
+            )
+        if not isinstance(self.initial_lateral_offset, (int, float)) or isinstance(
+            self.initial_lateral_offset, bool
+        ):
+            raise ConfigError(
+                f"initial_lateral_offset must be a number, "
+                f"got {self.initial_lateral_offset!r}"
+            )
         if self.sensor_timeout_syncs < 1:
             raise ConfigError("sensor_timeout_syncs must be at least 1")
         if self.sensor_retries < 0:
@@ -177,5 +199,7 @@ class CoSimConfig:
             vehicle=self.vehicle,
             frame_rate=self.sync.frame_rate_hz,
             initial_angle_deg=self.initial_angle_deg,
+            initial_lateral_offset=self.initial_lateral_offset,
             seed=self.seed,
+            noise=self.noise,
         )

@@ -16,6 +16,7 @@ from typing import Any
 
 from repro.core.config import CoSimConfig, SyncConfig
 from repro.core.faults import FaultPlan
+from repro.env.sensors import SensorNoiseProfile
 from repro.errors import ConfigError
 
 MANIFEST_FORMAT = "rose-repro-manifest/1"
@@ -36,6 +37,18 @@ def config_to_dict(config: CoSimConfig) -> dict[str, Any]:
     # asdict() mangles the fault plan (enum members, nested rule tuples);
     # the plan serializes itself with packet types by name.
     data["faults"] = config.faults.to_dict() if config.faults is not None else None
+    # The scenario fields entered the config after thousands of cache
+    # entries and ten golden records were keyed without them: at their
+    # defaults (no profile, centered spawn) they are omitted so every
+    # pre-scenario config keeps its exact serialized form — and with it
+    # its config_key.  Non-default values always serialize, so two
+    # configs differing in either field never share a key.
+    if config.noise is None:
+        del data["noise"]
+    else:
+        data["noise"] = config.noise.to_dict()
+    if config.initial_lateral_offset == 0.0:
+        del data["initial_lateral_offset"]
     return data
 
 
@@ -46,8 +59,13 @@ def config_from_dict(data: dict[str, Any]) -> CoSimConfig:
     sync = SyncConfig(**sync_data) if sync_data else SyncConfig()
     faults_data = data.pop("faults", None)
     faults = FaultPlan.from_dict(faults_data) if faults_data else None
+    noise_data = data.pop("noise", None)
     try:
-        return CoSimConfig(sync=sync, faults=faults, **data)
+        noise = SensorNoiseProfile.from_dict(noise_data) if noise_data else None
+    except ValueError as exc:
+        raise ConfigError(f"invalid noise profile: {exc}") from exc
+    try:
+        return CoSimConfig(sync=sync, faults=faults, noise=noise, **data)
     except TypeError as exc:
         raise ConfigError(f"invalid configuration fields: {exc}") from exc
 

@@ -1,0 +1,64 @@
+"""Shared centerline constructors for corridor worlds.
+
+The two legacy procedural families (``tunnel_world`` / ``s_shape_world``
+in :mod:`repro.env.worlds`) and scenario-compiled worlds
+(:mod:`repro.scenario.generate`) build their corridors from the same
+small set of centerline shapes.  This module is the single source for
+those shapes so the scenario compiler never duplicates the legacy
+expressions — bit-identity between a legacy world and its scenario
+equivalent reduces to "both call the same function".
+
+Every constructor returns an ``(N, 2)`` float array of centerline
+vertices suitable for :class:`repro.env.geometry.Polyline`; the caller
+owns width/goal metadata.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def straight_centerline(length: float) -> np.ndarray:
+    """A straight course along +x: the ``tunnel`` family's centerline.
+
+    One vertex per meter (minimum two), exactly the expression
+    ``tunnel_world`` has always used, so existing golden traces are
+    unaffected by the refactor.
+    """
+    n = max(2, int(length) + 1)
+    return np.column_stack([np.linspace(0.0, length, n), np.zeros(n)])
+
+
+def sine_centerline(
+    length: float,
+    amplitude: float,
+    resolution: int,
+    periods: float = 1.0,
+) -> np.ndarray:
+    """A sinusoidal course: the ``s-shape`` family's centerline.
+
+    ``periods = 1.0`` reproduces the legacy s-shape bit-for-bit (the
+    scalar prefactor ``2*pi*1.0`` is exactly ``2*pi``); other period
+    counts generalize the family for scenario-compiled worlds.
+    """
+    x = np.linspace(0.0, length, resolution)
+    y = amplitude * np.sin(2.0 * math.pi * periods * x / length)
+    return np.column_stack([x, y])
+
+
+def zigzag_centerline(length: float, amplitude: float, segments: int) -> np.ndarray:
+    """A triangle-wave course: straight legs with alternating corners.
+
+    Interior vertices alternate between ``+amplitude`` and
+    ``-amplitude``; both endpoints sit on the course axis, so spawn and
+    goal behave like the straight family.  Only scenario-compiled
+    worlds use this shape — there is no legacy equivalent.
+    """
+    n = segments + 1
+    x = np.linspace(0.0, length, n)
+    y = np.zeros(n)
+    for i in range(1, n - 1):
+        y[i] = amplitude if i % 2 == 1 else -amplitude
+    return np.column_stack([x, y])

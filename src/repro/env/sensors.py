@@ -24,6 +24,65 @@ from repro.env.worlds import World
 
 GRAVITY = 9.81
 
+#: Largest accepted noise multiplier — far above anything a mission
+#: survives, but finite so a fuzzer mutation cannot wander off to inf.
+MAX_NOISE_SCALE = 16.0
+
+
+@dataclass(frozen=True)
+class SensorNoiseProfile:
+    """Per-sensor noise multipliers for a scenario (``rose-scenario/1``).
+
+    Each scale multiplies the corresponding sensor's default noise
+    parameters: the IMU's noise/bias-walk sigmas, the depth sensor's
+    additive and range-proportional sigmas, the lidar's beam sigma, and
+    the camera's texture-noise amplitude.  ``1.0`` everywhere is the
+    identity profile — the environment applies no profile at all in that
+    case, so legacy configurations build bit-identical sensors.
+    """
+
+    imu_scale: float = 1.0
+    depth_scale: float = 1.0
+    lidar_scale: float = 1.0
+    camera_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("imu_scale", "depth_scale", "lidar_scale", "camera_scale"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{name} must be a number, got {value!r}")
+            if not (0.0 <= float(value) <= MAX_NOISE_SCALE):
+                raise ValueError(
+                    f"{name} must lie in [0, {MAX_NOISE_SCALE}], got {value!r}"
+                )
+
+    @property
+    def is_identity(self) -> bool:
+        return (
+            self.imu_scale == 1.0
+            and self.depth_scale == 1.0
+            and self.lidar_scale == 1.0
+            and self.camera_scale == 1.0
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "imu_scale": float(self.imu_scale),
+            "depth_scale": float(self.depth_scale),
+            "lidar_scale": float(self.lidar_scale),
+            "camera_scale": float(self.camera_scale),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SensorNoiseProfile":
+        if not isinstance(data, dict):
+            raise ValueError(f"noise profile must be an object, got {data!r}")
+        known = {"imu_scale", "depth_scale", "lidar_scale", "camera_scale"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown noise profile field(s): {', '.join(unknown)}")
+        return cls(**{key: float(value) for key, value in data.items()})
+
 
 @dataclass(frozen=True)
 class ImuReading:

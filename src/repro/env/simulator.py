@@ -15,14 +15,22 @@ sensor reads (camera / IMU / depth / kinematic state), actuation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.env.camera import CameraParams, FpvCamera
 from repro.env.flightctl import SimpleFlightController, SimpleFlightGains, VelocityTarget
 from repro.env.physics import DroneState, QuadrotorDynamics, QuadrotorParams
-from repro.env.sensors import DepthSensor, Imu, Lidar
+from repro.env.sensors import (
+    DepthParams,
+    DepthSensor,
+    Imu,
+    ImuParams,
+    Lidar,
+    LidarParams,
+    SensorNoiseProfile,
+)
 from repro.env.worlds import World, cached_world
 from repro.errors import SimulationError
 
@@ -41,6 +49,10 @@ class EnvConfig:
     camera: CameraParams = field(default_factory=CameraParams)
     quadrotor: QuadrotorParams = field(default_factory=QuadrotorParams)
     gains: SimpleFlightGains = field(default_factory=SimpleFlightGains)
+    #: Scenario sensor-noise multipliers.  ``None`` (the default) builds
+    #: every sensor with its stock parameters — the pre-scenario code
+    #: path, bit-identical to the seed.
+    noise: SensorNoiseProfile | None = None
 
     def __post_init__(self) -> None:
         if self.frame_rate <= 0:
@@ -80,10 +92,36 @@ class EnvSimulator:
     def __init__(self, config: EnvConfig | None = None, world: World | None = None):
         self.config = config or EnvConfig()
         self.world = world if world is not None else cached_world(self.config.world)
-        self.camera = FpvCamera(self.config.camera, seed=self.config.seed + 2)
-        self.imu = Imu(seed=self.config.seed)
-        self.depth_sensor = DepthSensor(seed=self.config.seed + 1)
-        self.lidar = Lidar(seed=self.config.seed + 3)
+        noise = self.config.noise
+        if noise is None:
+            camera_params = self.config.camera
+            imu_params = None
+            depth_params = None
+            lidar_params = None
+        else:
+            camera_params = replace(
+                self.config.camera,
+                texture_noise=self.config.camera.texture_noise * noise.camera_scale,
+            )
+            base_imu, base_depth, base_lidar = ImuParams(), DepthParams(), LidarParams()
+            imu_params = ImuParams(
+                accel_noise_std=base_imu.accel_noise_std * noise.imu_scale,
+                gyro_noise_std=base_imu.gyro_noise_std * noise.imu_scale,
+                accel_bias_walk=base_imu.accel_bias_walk * noise.imu_scale,
+                gyro_bias_walk=base_imu.gyro_bias_walk * noise.imu_scale,
+            )
+            depth_params = replace(
+                base_depth,
+                noise_std=base_depth.noise_std * noise.depth_scale,
+                noise_range_fraction=base_depth.noise_range_fraction * noise.depth_scale,
+            )
+            lidar_params = replace(
+                base_lidar, noise_std=base_lidar.noise_std * noise.lidar_scale
+            )
+        self.camera = FpvCamera(camera_params, seed=self.config.seed + 2)
+        self.imu = Imu(imu_params, seed=self.config.seed)
+        self.depth_sensor = DepthSensor(depth_params, seed=self.config.seed + 1)
+        self.lidar = Lidar(lidar_params, seed=self.config.seed + 3)
         spawn = self.world.spawn_pose(
             initial_angle=np.deg2rad(self.config.initial_angle_deg),
             lateral_offset=self.config.initial_lateral_offset,

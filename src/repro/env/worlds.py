@@ -15,12 +15,14 @@ answers the queries the rest of the stack needs:
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.env.geometry import Polyline, Pose2, SegmentSoup
+from repro.env.courses import sine_centerline, straight_centerline
+from repro.env.geometry import Polyline, Pose2, Segment2, SegmentSoup
 from repro.errors import SimulationError
 
 
@@ -68,12 +70,19 @@ class World:
         Lateral distance from the centerline to each wall.
     goal_arclength:
         Arclength at which the mission counts as complete.
+    obstacles:
+        Extra solid segments inside the corridor (scenario-compiled
+        worlds place diamond/box obstacles here).  They join the wall
+        soup *after* the walls and end caps, so a world with no
+        obstacles builds a segment list identical to the pre-obstacle
+        code — every legacy golden trace is unaffected.
     """
 
     name: str
     centerline: Polyline
     half_width: float
     goal_arclength: float
+    obstacles: tuple[Segment2, ...] = ()
     walls: SegmentSoup = field(init=False)
     left_wall: Polyline = field(init=False)
     right_wall: Polyline = field(init=False)
@@ -91,6 +100,7 @@ class World:
         self.right_wall = self.centerline.offset(-self.half_width)
         segments = self.left_wall.to_segments() + self.right_wall.to_segments()
         segments.extend(self._end_caps())
+        segments.extend(self.obstacles)
         self.walls = SegmentSoup(segments)
         self.centerline_arrays = CenterlineArrays.from_polyline(self.centerline)
 
@@ -101,8 +111,6 @@ class World:
             (self.left_wall.points[0], self.right_wall.points[0]),
             (self.left_wall.points[-1], self.right_wall.points[-1]),
         ):
-            from repro.env.geometry import Segment2
-
             caps.append(
                 Segment2(float(left[0]), float(left[1]), float(right[0]), float(right[1]))
             )
@@ -211,12 +219,9 @@ def tunnel_world(length: float = 50.0, width: float = 3.2) -> World:
 
     Walls sit at y = +/-1.6 m, matching Figure 10's gray dashed boundaries.
     """
-    points = np.column_stack(
-        [np.linspace(0.0, length, max(2, int(length) + 1)), np.zeros(max(2, int(length) + 1))]
-    )
     return World(
         name="tunnel",
-        centerline=Polyline(points),
+        centerline=Polyline(straight_centerline(length)),
         half_width=width / 2.0,
         goal_arclength=length - 1.0,
     )
@@ -235,9 +240,7 @@ def s_shape_world(
     full sine period over the course length; the mission completes at
     x = 80 m as in Figure 11.
     """
-    x = np.linspace(0.0, length, resolution)
-    y = amplitude * np.sin(2.0 * math.pi * x / length)
-    centerline = Polyline(np.column_stack([x, y]))
+    centerline = Polyline(sine_centerline(length, amplitude, resolution))
     return World(
         name="s-shape",
         centerline=centerline,
@@ -246,18 +249,33 @@ def s_shape_world(
     )
 
 
+def _scenario_world(**params) -> World:
+    """Dispatch ``make_world("scenario", spec=...)`` to the compiler.
+
+    Imported lazily so the env layer never depends on ``repro.scenario``
+    at import time (the scenario package imports this module).
+    """
+    from repro.scenario.generate import world_from_spec
+
+    return world_from_spec(**params)
+
+
 _BUILDERS = {
     "tunnel": tunnel_world,
     "s-shape": s_shape_world,
     "s_shape": s_shape_world,
+    "scenario": _scenario_world,
 }
 
 
 def make_world(name: str, **params) -> World:
-    """Build a world by name (``"tunnel"`` or ``"s-shape"``).
+    """Build a world by name (``"tunnel"``, ``"s-shape"``, ``"scenario"``).
 
     Keyword parameters are forwarded to the builder (e.g.
-    ``make_world("s-shape", amplitude=8.0)``).
+    ``make_world("s-shape", amplitude=8.0)``); the ``"scenario"`` builder
+    takes a ``spec`` dict (the geometry/obstacles slice of a
+    ``rose-scenario/1`` document) and compiles it via
+    :mod:`repro.scenario.generate`.
     """
     try:
         builder = _BUILDERS[name]
@@ -278,14 +296,20 @@ def cached_world(name: str, **params) -> World:
     and course metadata are all fixed in ``__post_init__``), so every
     simulator in a process can share one instance.  Building an s-shape
     world costs milliseconds of wall geometry; a sweep re-running hundreds
-    of missions on the same map pays it once.  Unhashable parameter values
-    fall back to an uncached build.
+    of missions on the same map pays it once.  Unhashable parameter
+    values (scenario ``spec`` dicts) key on their canonical JSON instead;
+    parameters that survive neither hashing nor JSON fall back to an
+    uncached build.
     """
+    key: tuple[str, object]
     try:
         key = (name, tuple(sorted(params.items())))
         hash(key)
     except TypeError:
-        return make_world(name, **params)
+        try:
+            key = (name, json.dumps(params, sort_keys=True, separators=(",", ":")))
+        except (TypeError, ValueError):
+            return make_world(name, **params)
     world = _WORLD_CACHE.get(key)
     if world is None:
         world = _WORLD_CACHE.setdefault(key, make_world(name, **params))

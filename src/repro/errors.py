@@ -16,6 +16,18 @@ class ConfigError(ReproError):
     """A configuration object is inconsistent or out of range."""
 
 
+class ScenarioError(ConfigError):
+    """A ``rose-scenario/1`` document is invalid or infeasible.
+
+    Raised by :mod:`repro.scenario` for schema violations (unknown
+    fields, out-of-range parameters, bad format tags) *and* for
+    constraint failures found while compiling a scenario into a world
+    (obstacle inside a wall, blocked corridor, obstacle on the spawn
+    point or goal).  The fuzzer's mutators treat it as "this mutation
+    produced an infeasible candidate — draw again"; nothing under
+    ``repro.scenario`` raises a bare exception for a bad document."""
+
+
 class PacketError(ReproError):
     """A packet failed to encode, decode, or validate."""
 

@@ -1,0 +1,179 @@
+"""Deterministic scenario coverage: binned mission-outcome envelopes.
+
+Coverage here means *behavioural* coverage, not line coverage: each
+``(scenario, result)`` pair maps to a small set of discrete feature bins
+— geometry family, obstacle density, outcome, failure modes, progress
+decile, velocity band, fault-injection envelope — and a
+:class:`CoverageMap` counts how often each bin has been hit.  The fuzzer
+admits a mutant into its corpus exactly when the mutant's mission lights
+up a bin nobody hit before.
+
+Everything is derived from fields inside the mission's *signed* payload
+(:func:`repro.sweep.signature.canonical_payload`) plus the scenario
+document itself, so coverage is as deterministic as the missions are:
+the same corpus replayed in any order produces the same map, and the
+map's canonical JSON form is byte-stable (sorted bins, integer counts,
+no timestamps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ConfigError
+from repro.scenario.schema import Scenario, SpawnSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cosim import MissionResult
+
+COVERAGE_FORMAT = "rose-coverage/1"
+
+#: The failure modes the fuzzer hunts.  ``crash``: wall/obstacle strike;
+#: ``deadline-miss``: the mission ran out of its simulated-time budget
+#: without completing (and without a harder failure); ``watchdog`` /
+#: ``link-timeout``: the synchronizer gave up; ``crc-storm``: corruption
+#: faults forced five or more CRC discards on the wire.
+FAILURE_MODES = ("crash", "deadline-miss", "watchdog", "link-timeout", "crc-storm")
+
+#: CRC discards at or above this count a ``crc-storm``.
+CRC_STORM_THRESHOLD = 5
+
+
+def failure_modes(result: "MissionResult") -> tuple[str, ...]:
+    """The (possibly empty) failure modes a mission exhibited."""
+    modes: list[str] = []
+    if result.collisions > 0:
+        modes.append("crash")
+    if result.failure_reason == "watchdog":
+        modes.append("watchdog")
+    elif result.failure_reason == "link_timeout":
+        modes.append("link-timeout")
+    elif not result.completed:
+        modes.append("deadline-miss")
+    if result.sync_stats is not None:
+        summary = result.sync_stats.fault_summary()
+        if summary.get("corrupt_discards", 0) >= CRC_STORM_THRESHOLD:
+            modes.append("crc-storm")
+    return tuple(modes)
+
+
+def _bucket(value: int, edges: tuple[int, ...], labels: tuple[str, ...]) -> str:
+    for edge, label in zip(edges, labels):
+        if value <= edge:
+            return label
+    return labels[-1]
+
+
+def mission_features(scenario: Scenario, result: "MissionResult") -> tuple[str, ...]:
+    """Discrete feature bins of one flown scenario, sorted and unique."""
+    features = {
+        f"family:{scenario.geometry.family}",
+        "obstacles:" + _bucket(
+            len(scenario.obstacles), (0, 1, 2), ("0", "1", "2", "3+")
+        ),
+        "noise:" + ("identity" if scenario.noise.is_identity else "perturbed"),
+        "spawn:" + ("centered" if scenario.spawn == SpawnSpec() else "offset"),
+        f"sync:{scenario.cycles_per_sync // 1_000_000}M",
+    }
+    if scenario.faults is None:
+        features.add("faults:none")
+    else:
+        wire = bool(scenario.faults.rules)
+        scheduled = bool(scenario.faults.scheduled)
+        if wire and scheduled:
+            features.add("faults:both")
+        elif scheduled:
+            features.add("faults:scheduled")
+        else:
+            features.add("faults:wire")
+    if result.completed:
+        features.add("outcome:completed")
+    elif result.failure_reason:
+        features.add("outcome:failure")
+    else:
+        features.add("outcome:dnf")
+    for mode in failure_modes(result):
+        features.add(f"failure:{mode}")
+    decile = min(10, int(result.progress * 10.0))
+    features.add(f"progress:{decile * 10}%")
+    velocity_band = int(result.average_velocity / 0.5)
+    features.add(f"velocity:{velocity_band * 0.5:.1f}")
+    features.add(
+        "collisions:" + _bucket(result.collisions, (0, 1, 3), ("0", "1", "2-3", "4+"))
+    )
+    if result.sync_stats is not None:
+        summary = result.sync_stats.fault_summary()
+        features.add(
+            "crc:" + _bucket(
+                int(summary.get("corrupt_discards", 0)),
+                (0, CRC_STORM_THRESHOLD - 1),
+                ("0", "1-4", "5+"),
+            )
+        )
+        features.add(
+            "regrants:" + _bucket(
+                int(summary.get("sync_regrants", 0)), (0, 2), ("0", "1-2", "3+")
+            )
+        )
+    return tuple(sorted(features))
+
+
+class CoverageMap:
+    """Bin → hit-count map with canonical, byte-stable serialization."""
+
+    def __init__(self, counts: dict[str, int] | None = None):
+        self._counts: dict[str, int] = dict(counts or {})
+
+    def observe(self, features: Iterable[str]) -> tuple[str, ...]:
+        """Record one mission's bins; returns the bins hit for the first time."""
+        new: list[str] = []
+        for feature in features:
+            if feature not in self._counts:
+                new.append(feature)
+                self._counts[feature] = 1
+            else:
+                self._counts[feature] += 1
+        return tuple(sorted(new))
+
+    def would_advance(self, features: Iterable[str]) -> tuple[str, ...]:
+        """The bins ``features`` would newly hit, without recording them."""
+        fresh = dict.fromkeys(features)  # dedup, input order
+        return tuple(sorted(f for f in fresh if f not in self._counts))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, feature: str) -> bool:
+        return feature in self._counts
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"format": COVERAGE_FORMAT, "bins": dict(sorted(self._counts.items()))},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoverageMap":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid coverage JSON: {exc}") from exc
+        if data.get("format") != COVERAGE_FORMAT:
+            raise ConfigError(
+                f"unsupported coverage format {data.get('format')!r}"
+            )
+        bins = data.get("bins", {})
+        if not isinstance(bins, dict):
+            raise ConfigError("coverage bins must be an object")
+        counts: dict[str, int] = {}
+        for key, value in bins.items():
+            if not isinstance(key, str) or isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(f"invalid coverage bin {key!r}: {value!r}")
+            counts[key] = value
+        return cls(counts)

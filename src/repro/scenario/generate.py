@@ -1,0 +1,303 @@
+"""Compile ``rose-scenario/1`` documents into runnable configurations.
+
+Two entry points:
+
+* :func:`compile_config` — scenario → :class:`CoSimConfig`.  Scenarios
+  that are geometrically one of the legacy procedural families (a
+  straight corridor, or a single-period sine) compile to the *native*
+  ``tunnel`` / ``s-shape`` worlds with only their non-default parameters
+  in ``world_params`` — so the two :func:`legacy_scenarios` documents
+  compile to configurations byte-identical to the hand-written golden
+  ones (the `scenario-compile` oracle proves this).  Everything else —
+  obstacles, zigzag geometry, fractional sine periods — compiles to
+  ``world="scenario"`` with the geometry/obstacle slice of the document
+  as the world parameter.
+* :func:`world_from_spec` — the ``"scenario"`` world builder registered
+  in :mod:`repro.env.worlds`; validates and rebuilds the
+  :class:`~repro.env.worlds.World` from that slice.
+
+Compilation is where *feasibility* is enforced: an obstacle may not sit
+on the spawn or the goal, may not cover the centerline corridor the
+waypoint follower needs, must leave a passable gap on at least one side,
+and may not overlap another obstacle.  Violations raise
+:class:`~repro.errors.ScenarioError` — the fuzzer's mutators treat that
+as "draw again", and the hypothesis property test in
+``tests/test_scenario.py`` holds every schema-valid document to the
+compile-or-typed-error contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import CoSimConfig, SyncConfig
+from repro.env.courses import (
+    sine_centerline,
+    straight_centerline,
+    zigzag_centerline,
+)
+from repro.env.geometry import Polyline, Segment2
+from repro.env.worlds import World, cached_world
+from repro.errors import ScenarioError
+from repro.scenario.schema import GeometrySpec, ObstacleSpec, Scenario
+
+#: Vehicle body radius the feasibility checks assume (QuadrotorParams
+#: and CarDynamics both use 0.3 m collision radii).
+VEHICLE_RADIUS = 0.30
+
+#: Minimum passable gap an obstacle must leave on at least one side.
+MIN_GAP = 0.9
+
+#: Obstacles must keep the course origin (spawn region) and the goal
+#: clear by these arclength margins.
+SPAWN_CLEARANCE = 1.5
+GOAL_CLEARANCE = 1.0
+
+#: An obstacle's clearance from the centerline itself: the waypoint
+#: follower tracks d = 0, so obstacles keep ``radius + vehicle + margin``
+#: away from it.  The corridor stays *feasible*; missions still crash
+#: when noise, faults, or aggressive spawn angles push the controller
+#: into the obstacle envelope — which is exactly the failure surface the
+#: fuzzer explores.
+CENTERLINE_MARGIN = 0.15
+
+
+def _centerline_points(geometry: GeometrySpec) -> np.ndarray:
+    if geometry.family == "straight":
+        return straight_centerline(geometry.length)
+    if geometry.family == "sine":
+        return sine_centerline(
+            geometry.length,
+            geometry.amplitude,
+            geometry.resolution,
+            periods=geometry.periods,
+        )
+    return zigzag_centerline(geometry.length, geometry.amplitude, geometry.segments)
+
+
+def _goal_arclength(geometry: GeometrySpec, centerline: Polyline) -> float:
+    # The native builders differ here: tunnel places the goal at
+    # ``length - 1`` in x (== arclength for a straight line), s-shape at
+    # one meter short of the full arclength.  Matching each exactly is
+    # what keeps the native compilation bit-identical.
+    if geometry.family == "straight":
+        return geometry.length - GOAL_CLEARANCE
+    return centerline.length - GOAL_CLEARANCE
+
+
+def _obstacle_segments(
+    obstacle: ObstacleSpec, centerline: Polyline
+) -> tuple[Segment2, ...]:
+    """Compile one obstacle into its four wall segments."""
+    center = centerline.point_at_arclength(obstacle.s) + (
+        obstacle.d * centerline.normal_at_arclength(obstacle.s)
+    )
+    cx, cy = float(center[0]), float(center[1])
+    r = obstacle.radius
+    if obstacle.shape == "box":
+        verts = [
+            (cx - r, cy - r),
+            (cx + r, cy - r),
+            (cx + r, cy + r),
+            (cx - r, cy + r),
+        ]
+    else:  # diamond
+        verts = [(cx + r, cy), (cx, cy + r), (cx - r, cy), (cx, cy - r)]
+    return tuple(
+        Segment2(verts[i][0], verts[i][1], verts[(i + 1) % 4][0], verts[(i + 1) % 4][1])
+        for i in range(4)
+    )
+
+
+def _check_obstacles(
+    geometry: GeometrySpec,
+    obstacles: tuple[ObstacleSpec, ...],
+    goal_arclength: float,
+) -> None:
+    """Feasibility screen — raises :class:`ScenarioError` on violation."""
+    half_width = geometry.width / 2.0
+    for i, ob in enumerate(obstacles):
+        label = f"obstacle[{i}]"
+        if ob.s - ob.radius < SPAWN_CLEARANCE:
+            raise ScenarioError(
+                f"{label} at s={ob.s} intrudes into the spawn region "
+                f"(needs s - radius >= {SPAWN_CLEARANCE})"
+            )
+        if ob.s + ob.radius > goal_arclength - GOAL_CLEARANCE:
+            raise ScenarioError(
+                f"{label} at s={ob.s} blocks the goal "
+                f"(needs s + radius <= {goal_arclength - GOAL_CLEARANCE:.2f})"
+            )
+        if abs(ob.d) > half_width:
+            raise ScenarioError(
+                f"{label} center d={ob.d} lies outside the corridor "
+                f"(half-width {half_width:.2f})"
+            )
+        min_d = ob.radius + VEHICLE_RADIUS + CENTERLINE_MARGIN
+        if abs(ob.d) < min_d:
+            raise ScenarioError(
+                f"{label} covers the centerline corridor: |d|={abs(ob.d):.2f} "
+                f"< radius + vehicle + margin = {min_d:.2f}"
+            )
+        left_gap = half_width - (ob.d + ob.radius)
+        right_gap = (ob.d - ob.radius) + half_width
+        if max(left_gap, right_gap) < MIN_GAP:
+            raise ScenarioError(
+                f"{label} leaves no passable gap "
+                f"(left {left_gap:.2f} m, right {right_gap:.2f} m, "
+                f"need {MIN_GAP} m on one side)"
+            )
+        for j in range(i):
+            other = obstacles[j]
+            closing = ob.radius + other.radius + 0.5
+            if abs(ob.s - other.s) < closing and abs(ob.d - other.d) < closing:
+                raise ScenarioError(
+                    f"{label} overlaps obstacle[{j}] "
+                    f"(centers {abs(ob.s - other.s):.2f} m apart in s, "
+                    f"{abs(ob.d - other.d):.2f} m in d; need {closing:.2f})"
+                )
+
+
+def _build_world(
+    geometry: GeometrySpec, obstacles: tuple[ObstacleSpec, ...]
+) -> World:
+    try:
+        centerline = Polyline(_centerline_points(geometry))
+    except ValueError as exc:
+        raise ScenarioError(f"degenerate centerline: {exc}") from exc
+    goal = _goal_arclength(geometry, centerline)
+    if goal <= 0:
+        raise ScenarioError(
+            f"course too short for a goal: arclength {centerline.length:.2f}"
+        )
+    _check_obstacles(geometry, obstacles, goal)
+    segments: list[Segment2] = []
+    for obstacle in obstacles:
+        segments.extend(_obstacle_segments(obstacle, centerline))
+    return World(
+        name="scenario",
+        centerline=centerline,
+        half_width=geometry.width / 2.0,
+        goal_arclength=goal,
+        obstacles=tuple(segments),
+    )
+
+
+def world_from_spec(spec: Any = None, **extra: Any) -> World:
+    """Build the ``"scenario"`` world from a geometry/obstacles spec dict.
+
+    This is the builder :func:`repro.env.worlds.make_world` dispatches to
+    for ``world="scenario"``; ``spec`` is the slice
+    ``{"geometry": ..., "obstacles": [...]}`` that
+    :func:`compile_config` placed in ``world_params``.
+    """
+    if extra:
+        raise ScenarioError(
+            f"unknown scenario world parameter(s): {', '.join(sorted(extra))}"
+        )
+    if not isinstance(spec, dict):
+        raise ScenarioError(
+            f"scenario world requires a 'spec' dict, got {type(spec).__name__}"
+        )
+    unknown = sorted(set(spec) - {"geometry", "obstacles"})
+    if unknown:
+        raise ScenarioError(f"unknown spec field(s): {', '.join(unknown)}")
+    geometry = GeometrySpec.from_dict(spec.get("geometry", {}))
+    obstacles_data = spec.get("obstacles", [])
+    if not isinstance(obstacles_data, (list, tuple)):
+        raise ScenarioError("spec.obstacles must be a list")
+    obstacles = tuple(ObstacleSpec.from_dict(entry) for entry in obstacles_data)
+    return _build_world(geometry, obstacles)
+
+
+def _native_world(scenario: Scenario) -> tuple[str, dict[str, Any]] | None:
+    """``(world, world_params)`` when a scenario maps onto a legacy family.
+
+    Only non-default builder parameters enter ``world_params`` so the
+    legacy documents compile to configurations with ``world_params={}``
+    — byte-identical to the hand-written golden configs.
+    """
+    if scenario.obstacles:
+        return None
+    geometry = scenario.geometry
+    if geometry.family == "straight":
+        params: dict[str, Any] = {}
+        if geometry.length != 50.0:
+            params["length"] = geometry.length
+        if geometry.width != 3.2:
+            params["width"] = geometry.width
+        return "tunnel", params
+    if geometry.family == "sine" and geometry.periods == 1.0:
+        params = {}
+        if geometry.length != 80.0:
+            params["length"] = geometry.length
+        if geometry.width != 6.4:
+            params["width"] = geometry.width
+        if geometry.amplitude != 10.0:
+            params["amplitude"] = geometry.amplitude
+        if geometry.resolution != 161:
+            params["resolution"] = geometry.resolution
+        return "s-shape", params
+    return None
+
+
+def compile_config(
+    scenario: Scenario, max_sim_time: float | None = None
+) -> CoSimConfig:
+    """Compile a scenario into a runnable :class:`CoSimConfig`.
+
+    Validates feasibility (the world is actually built once, so every
+    constraint the ``"scenario"`` builder enforces is checked here too),
+    then emits either a native legacy-family configuration or a
+    ``world="scenario"`` one.  ``max_sim_time`` overrides the document's
+    budget (the fuzzer shortens missions without changing identity).
+    """
+    native = _native_world(scenario)
+    if native is not None:
+        world, world_params = native
+    else:
+        world = "scenario"
+        world_params = {
+            "spec": {
+                "geometry": scenario.geometry.to_dict(),
+                "obstacles": [ob.to_dict() for ob in scenario.obstacles],
+            }
+        }
+    # Build (and thereby validate) the world now: a returned config must
+    # never fail world construction at mission time.
+    _build_world(scenario.geometry, scenario.obstacles)
+    noise = None if scenario.noise.is_identity else scenario.noise
+    return CoSimConfig(
+        world=world,
+        world_params=world_params,
+        vehicle=scenario.vehicle.kind,
+        soc=scenario.vehicle.soc,
+        controller=scenario.vehicle.controller,
+        model=scenario.vehicle.model,
+        target_velocity=scenario.vehicle.target_velocity,
+        initial_angle_deg=scenario.spawn.angle_deg,
+        initial_lateral_offset=scenario.spawn.lateral_offset,
+        sync=SyncConfig(cycles_per_sync=scenario.cycles_per_sync),
+        max_sim_time=(
+            scenario.max_sim_time if max_sim_time is None else max_sim_time
+        ),
+        seed=scenario.seed,
+        faults=scenario.faults,
+        noise=noise,
+    )
+
+
+def world_from_scenario(scenario: Scenario) -> World:
+    """The world a scenario's compiled configuration will fly in.
+
+    Goes through :func:`compile_config` + the world registry rather than
+    :func:`_build_world` directly, so native-mapped scenarios return the
+    *same shared instance* a mission run would use — bit-identity with
+    the legacy builders is structural, not coincidental.
+    """
+    config = compile_config(scenario)
+    if config.world_params:
+        return cached_world(config.world, **config.world_params)
+    return cached_world(config.world)

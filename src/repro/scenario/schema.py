@@ -1,0 +1,543 @@
+"""The ``rose-scenario/1`` declarative scenario schema.
+
+A *scenario* is everything one deployment situation means: the world
+geometry family and its parameters, obstacle placement inside the
+corridor, the spawn pose, a sensor-noise profile, an optional
+:class:`~repro.core.faults.FaultPlan`, the vehicle/software stack, and
+the synchronization granularity.  The paper evaluates its SoCs over just
+two procedural worlds; this schema is the scenario-breadth axis —
+every document here compiles (via :mod:`repro.scenario.generate`) into a
+:class:`~repro.core.config.CoSimConfig` the existing mission runner,
+sweep engine and result cache execute unchanged.
+
+Design rules, in the repo's house style:
+
+* **Strict validation** — every level rejects unknown fields and
+  out-of-range values with a typed
+  :class:`~repro.errors.ScenarioError`; a schema-valid document never
+  produces a bare exception downstream.
+* **Canonical JSON round-trip** — :meth:`Scenario.to_dict` emits only
+  the fields relevant to the chosen geometry family, in canonical form;
+  ``from_dict(to_dict(s))`` reproduces ``s`` exactly.
+* **Content-addressed identity** — :func:`scenario_key` is the sha256 of
+  the canonical JSON, the same content-addressing discipline as
+  ``config_key``/``mission_signature``, so fuzzer corpora are
+  deduplicated and replayable by key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.core.faults import FaultPlan
+from repro.env.sensors import SensorNoiseProfile
+from repro.errors import ConfigError, ScenarioError
+
+SCENARIO_FORMAT = "rose-scenario/1"
+
+#: Geometry families the compiler knows how to build.
+GEOMETRY_FAMILIES = ("straight", "sine", "zigzag")
+
+#: Obstacle cross-section shapes (compiled to four wall segments each).
+OBSTACLE_SHAPES = ("diamond", "box")
+
+#: Scenario names are corpus file stems; keep them filesystem-safe.
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_-]{0,63}$")
+
+#: Hard bound on obstacles per scenario (keeps worlds and fuzz missions
+#: small; the mutators respect it).
+MAX_OBSTACLES = 8
+
+#: Geometry parameter bounds.  Mutators clamp into these; validation
+#: rejects anything outside so hand-written documents get the same
+#: treatment as fuzzed ones.
+LENGTH_RANGE = (20.0, 200.0)
+WIDTH_RANGE = (2.0, 12.0)
+PERIODS_RANGE = (0.25, 4.0)
+RESOLUTION_RANGE = (33, 1601)
+SEGMENTS_RANGE = (2, 32)
+OBSTACLE_RADIUS_RANGE = (0.15, 1.5)
+SPAWN_ANGLE_RANGE = (-45.0, 45.0)
+VELOCITY_RANGE = (0.5, 12.0)
+CYCLES_RANGE = (10_000_000, 400_000_000)
+MAX_SIM_TIME_RANGE = (1.0, 300.0)
+
+#: Clearance the spawn pose keeps from each wall (vehicle radius plus
+#: margin); cross-checked against the corridor width at schema level.
+SPAWN_WALL_CLEARANCE = 0.4
+
+
+def _require_mapping(data: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise ScenarioError(f"{what} must be a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _reject_unknown(data: Mapping[str, Any], known: set[str], what: str) -> None:
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ScenarioError(f"unknown {what} field(s): {', '.join(unknown)}")
+
+
+def _number(data: Mapping[str, Any], key: str, default: float, what: str) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{what}.{key} must be a number, got {value!r}")
+    return float(value)
+
+
+def _integer(data: Mapping[str, Any], key: str, default: int, what: str) -> int:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{what}.{key} must be an integer, got {value!r}")
+    return int(value)
+
+
+def _check_range(name: str, value: float, bounds: tuple[float, float]) -> None:
+    lo, hi = bounds
+    if not (lo <= value <= hi):
+        raise ScenarioError(f"{name} must lie in [{lo}, {hi}], got {value}")
+
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+def _relevant_geometry_params(family: str) -> tuple[str, ...]:
+    """The shape parameters a geometry family actually consumes."""
+    if family == "sine":
+        return ("length", "width", "amplitude", "periods", "resolution")
+    if family == "zigzag":
+        return ("length", "width", "amplitude", "segments")
+    return ("length", "width")
+
+
+@dataclass(frozen=True)
+class GeometrySpec:
+    """One corridor geometry: a family plus its shape parameters.
+
+    Family-irrelevant parameters are normalized back to their defaults
+    at construction, and :meth:`to_dict` emits only the relevant subset
+    — so two specs that build the same corridor always share one
+    canonical form (and therefore one ``scenario_key``).
+    """
+
+    family: str = "straight"
+    length: float = 50.0
+    width: float = 3.2
+    amplitude: float = 10.0  # sine / zigzag
+    periods: float = 1.0  # sine
+    resolution: int = 161  # sine
+    segments: int = 8  # zigzag
+
+    def __post_init__(self) -> None:
+        if self.family not in GEOMETRY_FAMILIES:
+            raise ScenarioError(
+                f"geometry.family must be one of {GEOMETRY_FAMILIES}, "
+                f"got {self.family!r}"
+            )
+        _check_range("geometry.length", self.length, LENGTH_RANGE)
+        _check_range("geometry.width", self.width, WIDTH_RANGE)
+        if self.family == "sine":
+            _check_range("geometry.periods", self.periods, PERIODS_RANGE)
+            _check_range("geometry.resolution", self.resolution, RESOLUTION_RANGE)
+            _check_range(
+                "geometry.amplitude", self.amplitude, (0.5, self.length / 4.0)
+            )
+        elif self.family == "zigzag":
+            _check_range("geometry.segments", self.segments, SEGMENTS_RANGE)
+            # Bounded corner sharpness: each leg spans length/segments
+            # meters of course, so amplitude above half that makes the
+            # averaged-normal wall offset fold over itself.
+            _check_range(
+                "geometry.amplitude",
+                self.amplitude,
+                (0.5, self.length / (2.0 * self.segments)),
+            )
+        # Normalize family-irrelevant knobs to their defaults so they
+        # never leak into equality or the canonical document.
+        defaults = GeometrySpec.__dataclass_fields__
+        for name in ("amplitude", "periods", "resolution", "segments"):
+            if name not in _relevant_geometry_params(self.family):
+                object.__setattr__(self, name, defaults[name].default)
+
+    def _relevant(self) -> tuple[str, ...]:
+        return _relevant_geometry_params(self.family)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"family": self.family}
+        for name in self._relevant():
+            data[name] = getattr(self, name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "GeometrySpec":
+        data = _require_mapping(data, "geometry")
+        family = data.get("family", "straight")
+        if family not in GEOMETRY_FAMILIES:
+            raise ScenarioError(
+                f"geometry.family must be one of {GEOMETRY_FAMILIES}, got {family!r}"
+            )
+        relevant = _relevant_geometry_params(family)
+        _reject_unknown(data, {"family", *relevant}, "geometry")
+        defaults = cls.__dataclass_fields__
+        kwargs: dict[str, Any] = {"family": family}
+        for name in relevant:
+            default = defaults[name].default
+            if name in ("resolution", "segments"):
+                kwargs[name] = _integer(data, name, default, "geometry")
+            else:
+                kwargs[name] = _number(data, name, default, "geometry")
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Obstacles, spawn, vehicle
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObstacleSpec:
+    """One solid obstacle in course coordinates.
+
+    ``s`` is arclength along the centerline, ``d`` the signed lateral
+    offset of the obstacle's center, ``radius`` its half-extent.  The
+    compiler rejects placements that block the corridor, sit on the
+    spawn/goal, or cover the centerline waypoints (see
+    :mod:`repro.scenario.generate`).
+    """
+
+    s: float
+    d: float
+    radius: float = 0.4
+    shape: str = "diamond"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.s, bool) or not isinstance(self.s, (int, float)):
+            raise ScenarioError(f"obstacle.s must be a number, got {self.s!r}")
+        if isinstance(self.d, bool) or not isinstance(self.d, (int, float)):
+            raise ScenarioError(f"obstacle.d must be a number, got {self.d!r}")
+        if self.s < 0.0:
+            raise ScenarioError(f"obstacle.s must be non-negative, got {self.s}")
+        _check_range("obstacle.radius", self.radius, OBSTACLE_RADIUS_RANGE)
+        if self.shape not in OBSTACLE_SHAPES:
+            raise ScenarioError(
+                f"obstacle.shape must be one of {OBSTACLE_SHAPES}, got {self.shape!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "s": float(self.s),
+            "d": float(self.d),
+            "radius": float(self.radius),
+            "shape": self.shape,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ObstacleSpec":
+        data = _require_mapping(data, "obstacle")
+        _reject_unknown(data, {"s", "d", "radius", "shape"}, "obstacle")
+        if "s" not in data or "d" not in data:
+            raise ScenarioError("obstacle requires 's' and 'd'")
+        shape = data.get("shape", "diamond")
+        if not isinstance(shape, str):
+            raise ScenarioError(f"obstacle.shape must be a string, got {shape!r}")
+        return cls(
+            s=_number(data, "s", 0.0, "obstacle"),
+            d=_number(data, "d", 0.0, "obstacle"),
+            radius=_number(data, "radius", 0.4, "obstacle"),
+            shape=shape,
+        )
+
+
+@dataclass(frozen=True)
+class SpawnSpec:
+    """The initial pose, relative to the course origin."""
+
+    angle_deg: float = 0.0
+    lateral_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_range("spawn.angle_deg", self.angle_deg, SPAWN_ANGLE_RANGE)
+        if isinstance(self.lateral_offset, bool) or not isinstance(
+            self.lateral_offset, (int, float)
+        ):
+            raise ScenarioError(
+                f"spawn.lateral_offset must be a number, got {self.lateral_offset!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "angle_deg": float(self.angle_deg),
+            "lateral_offset": float(self.lateral_offset),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SpawnSpec":
+        data = _require_mapping(data, "spawn")
+        _reject_unknown(data, {"angle_deg", "lateral_offset"}, "spawn")
+        return cls(
+            angle_deg=_number(data, "angle_deg", 0.0, "spawn"),
+            lateral_offset=_number(data, "lateral_offset", 0.0, "spawn"),
+        )
+
+
+@dataclass(frozen=True)
+class VehicleSpec:
+    """The vehicle and software stack flying the scenario."""
+
+    kind: str = "quadrotor"
+    controller: str = "dnn"
+    model: str = "resnet14"
+    soc: str = "A"
+    target_velocity: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("quadrotor", "car"):
+            raise ScenarioError(
+                f"vehicle.kind must be 'quadrotor' or 'car', got {self.kind!r}"
+            )
+        if self.controller not in ("dnn", "mpc", "fusion", "slam", "ros"):
+            raise ScenarioError(
+                f"vehicle.controller must be one of dnn/mpc/fusion/slam/ros, "
+                f"got {self.controller!r}"
+            )
+        if not isinstance(self.model, str) or not self.model:
+            raise ScenarioError(f"vehicle.model must be a non-empty string")
+        if not isinstance(self.soc, str) or not self.soc:
+            raise ScenarioError(f"vehicle.soc must be a non-empty string")
+        _check_range(
+            "vehicle.target_velocity", self.target_velocity, VELOCITY_RANGE
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "controller": self.controller,
+            "model": self.model,
+            "soc": self.soc,
+            "target_velocity": float(self.target_velocity),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "VehicleSpec":
+        data = _require_mapping(data, "vehicle")
+        _reject_unknown(
+            data, {"kind", "controller", "model", "soc", "target_velocity"}, "vehicle"
+        )
+        kwargs: dict[str, Any] = {}
+        for name in ("kind", "controller", "model", "soc"):
+            if name in data:
+                value = data[name]
+                if not isinstance(value, str):
+                    raise ScenarioError(
+                        f"vehicle.{name} must be a string, got {value!r}"
+                    )
+                kwargs[name] = value
+        kwargs["target_velocity"] = _number(data, "target_velocity", 3.0, "vehicle")
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The scenario document
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One complete ``rose-scenario/1`` document."""
+
+    name: str
+    geometry: GeometrySpec = field(default_factory=GeometrySpec)
+    obstacles: tuple[ObstacleSpec, ...] = ()
+    spawn: SpawnSpec = field(default_factory=SpawnSpec)
+    noise: SensorNoiseProfile = field(default_factory=SensorNoiseProfile)
+    faults: FaultPlan | None = None
+    vehicle: VehicleSpec = field(default_factory=VehicleSpec)
+    seed: int = 0
+    cycles_per_sync: int = 10_000_000
+    max_sim_time: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _NAME_RE.match(self.name):
+            raise ScenarioError(
+                f"scenario name must match {_NAME_RE.pattern}, got {self.name!r}"
+            )
+        object.__setattr__(self, "obstacles", tuple(self.obstacles))
+        if len(self.obstacles) > MAX_OBSTACLES:
+            raise ScenarioError(
+                f"at most {MAX_OBSTACLES} obstacles per scenario, "
+                f"got {len(self.obstacles)}"
+            )
+        for part, cls_ in (
+            (self.geometry, GeometrySpec),
+            (self.spawn, SpawnSpec),
+            (self.noise, SensorNoiseProfile),
+            (self.vehicle, VehicleSpec),
+        ):
+            if not isinstance(part, cls_):
+                raise ScenarioError(
+                    f"expected {cls_.__name__}, got {type(part).__name__}"
+                )
+        for obstacle in self.obstacles:
+            if not isinstance(obstacle, ObstacleSpec):
+                raise ScenarioError(
+                    f"obstacles must be ObstacleSpec, got {type(obstacle).__name__}"
+                )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ScenarioError(
+                f"faults must be a FaultPlan or null, got {type(self.faults).__name__}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ScenarioError(f"seed must be an integer, got {self.seed!r}")
+        if not (0 <= self.seed < 2**32):
+            raise ScenarioError(f"seed must lie in [0, 2**32), got {self.seed}")
+        if isinstance(self.cycles_per_sync, bool) or not isinstance(
+            self.cycles_per_sync, int
+        ):
+            raise ScenarioError(
+                f"cycles_per_sync must be an integer, got {self.cycles_per_sync!r}"
+            )
+        _check_range("cycles_per_sync", self.cycles_per_sync, CYCLES_RANGE)
+        _check_range("max_sim_time", self.max_sim_time, MAX_SIM_TIME_RANGE)
+        # Cross-field: the spawn must clear both walls with margin.
+        limit = self.geometry.width / 2.0 - SPAWN_WALL_CLEARANCE
+        if abs(self.spawn.lateral_offset) > limit:
+            raise ScenarioError(
+                f"spawn.lateral_offset {self.spawn.lateral_offset} exceeds "
+                f"the corridor's usable half-width {limit:.2f} "
+                f"(width {self.geometry.width})"
+            )
+
+    # -- canonical document --------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": SCENARIO_FORMAT,
+            "name": self.name,
+            "geometry": self.geometry.to_dict(),
+            "obstacles": [obstacle.to_dict() for obstacle in self.obstacles],
+            "spawn": self.spawn.to_dict(),
+            "noise": self.noise.to_dict(),
+            "faults": self.faults.to_dict() if self.faults is not None else None,
+            "vehicle": self.vehicle.to_dict(),
+            "seed": int(self.seed),
+            "cycles_per_sync": int(self.cycles_per_sync),
+            "max_sim_time": float(self.max_sim_time),
+        }
+
+    def canonical_json(self) -> str:
+        """The document in canonical form: sorted keys, no whitespace."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "Scenario":
+        data = _require_mapping(data, "scenario")
+        if data.get("format") != SCENARIO_FORMAT:
+            raise ScenarioError(
+                f"unsupported scenario format {data.get('format')!r} "
+                f"(expected {SCENARIO_FORMAT!r})"
+            )
+        _reject_unknown(
+            data,
+            {
+                "format",
+                "name",
+                "geometry",
+                "obstacles",
+                "spawn",
+                "noise",
+                "faults",
+                "vehicle",
+                "seed",
+                "cycles_per_sync",
+                "max_sim_time",
+            },
+            "scenario",
+        )
+        name = data.get("name")
+        if not isinstance(name, str):
+            raise ScenarioError(f"scenario.name must be a string, got {name!r}")
+        obstacles_data = data.get("obstacles", [])
+        if not isinstance(obstacles_data, (list, tuple)):
+            raise ScenarioError(
+                f"scenario.obstacles must be a list, got {obstacles_data!r}"
+            )
+        faults_data = data.get("faults")
+        faults: FaultPlan | None = None
+        if faults_data is not None:
+            try:
+                faults = FaultPlan.from_dict(faults_data)
+            except ConfigError as exc:
+                raise ScenarioError(f"invalid fault plan: {exc}") from exc
+        noise_data = data.get("noise")
+        if noise_data is None:
+            noise = SensorNoiseProfile()
+        else:
+            try:
+                noise = SensorNoiseProfile.from_dict(noise_data)
+            except (ValueError, TypeError) as exc:
+                raise ScenarioError(f"invalid noise profile: {exc}") from exc
+        spawn_data = data.get("spawn")
+        vehicle_data = data.get("vehicle")
+        return cls(
+            name=name,
+            geometry=GeometrySpec.from_dict(data.get("geometry", {})),
+            obstacles=tuple(
+                ObstacleSpec.from_dict(entry) for entry in obstacles_data
+            ),
+            spawn=SpawnSpec.from_dict(spawn_data) if spawn_data is not None else SpawnSpec(),
+            noise=noise,
+            faults=faults,
+            vehicle=(
+                VehicleSpec.from_dict(vehicle_data)
+                if vehicle_data is not None
+                else VehicleSpec()
+            ),
+            seed=_integer(data, "seed", 0, "scenario"),
+            cycles_per_sync=_integer(
+                data, "cycles_per_sync", 10_000_000, "scenario"
+            ),
+            max_sim_time=_number(data, "max_sim_time", 60.0, "scenario"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def with_name(self, name: str) -> "Scenario":
+        return replace(self, name=name)
+
+
+def scenario_key(scenario: Scenario) -> str:
+    """Content address of a scenario: sha256 of its canonical JSON."""
+    return hashlib.sha256(scenario.canonical_json().encode()).hexdigest()
+
+
+def legacy_scenarios() -> dict[str, Scenario]:
+    """The two paper worlds expressed as ``rose-scenario/1`` documents.
+
+    These are the fuzzer's seed corpus and the `scenario-compile`
+    oracle's ground truth: compiled through
+    :func:`repro.scenario.generate.compile_config` they must reproduce
+    the legacy ``tunnel`` / ``s-shape`` configurations exactly.
+    """
+    return {
+        "tunnel": Scenario(
+            name="tunnel",
+            geometry=GeometrySpec(family="straight", length=50.0, width=3.2),
+        ),
+        "s-shape": Scenario(
+            name="s-shape",
+            geometry=GeometrySpec(
+                family="sine",
+                length=80.0,
+                width=6.4,
+                amplitude=10.0,
+                periods=1.0,
+                resolution=161,
+            ),
+        ),
+    }

@@ -39,6 +39,9 @@ GOLDEN_FORMAT = "rose-golden/1"
 #: Default corpus location, relative to the repository root.
 DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
 
+#: Committed fuzzer-discovered scenario documents (rose-scenario/1).
+SCENARIO_DIR = Path(__file__).resolve().parents[3] / "tests" / "scenarios"
+
 #: The scalar metrics surfaced in records and drift reports.
 METRIC_FIELDS = (
     "completed",
@@ -54,6 +57,15 @@ METRIC_FIELDS = (
     "inference_count",
     "mean_inference_latency_ms",
 )
+
+
+def _scenario_mission(filename: str, max_sim_time: float | None = None) -> CoSimConfig:
+    """Compile a committed rose-scenario/1 document into a mission config."""
+    from repro.scenario import compile_config
+    from repro.scenario.schema import Scenario
+
+    doc = json.loads((SCENARIO_DIR / filename).read_text())
+    return compile_config(Scenario.from_dict(doc), max_sim_time=max_sim_time)
 
 
 def golden_missions() -> dict[str, CoSimConfig]:
@@ -131,6 +143,17 @@ def golden_missions() -> dict[str, CoSimConfig]:
                 ),
             ),
         ),
+        # Fuzzer-discovered (coverage-guided campaign, seed 1): an
+        # aggressive all-sensor corruption plan on a short sine course.
+        # Trips the CRC-storm degradation path within 2 s; the committed
+        # document reproduces a crash on its full 8 s budget.
+        "scenario-fuzz-crc-storm": _scenario_mission(
+            "fuzz-crc-storm.json", max_sim_time=2.0
+        ),
+        # Fuzzer-discovered coverage frontier: a fault-free straight
+        # course flown fast enough to finish inside the budget — the
+        # first corpus entry to reach the completed/100%-progress bins.
+        "scenario-fuzz-frontier": _scenario_mission("fuzz-frontier.json"),
     }
 
 

@@ -634,6 +634,85 @@ def _oracle_fault_noop() -> list[Divergence]:
     )
 
 
+@oracle(
+    "scenario-compile",
+    "rose-scenario/1 documents of the legacy families vs. the hand-built "
+    "tunnel / s-shape worlds and configs: bit-identical geometry, config "
+    "dicts, and mission signatures",
+)
+def _oracle_scenario_compile() -> list[Divergence]:
+    # Imported here so the oracle registry never pays for the scenario
+    # package unless this oracle runs.
+    from repro.core.manifest import config_to_dict
+    from repro.env.worlds import make_world
+    from repro.scenario import compile_config, legacy_scenarios, world_from_scenario
+
+    out: list[Divergence] = []
+    for name, scenario in sorted(legacy_scenarios().items()):
+        site = f"scenario-compile[{name}]"
+        want_world = make_world(name)
+        got_world = world_from_scenario(scenario)
+
+        hit = array_divergence(
+            site,
+            want_world.centerline.points,
+            got_world.centerline.points,
+            layer="centerline",
+            exact=True,
+        )
+        if hit is not None:
+            out.append(hit)
+        for field_name in ("half_width", "goal_arclength"):
+            want_value = getattr(want_world, field_name)
+            got_value = getattr(got_world, field_name)
+            if want_value != got_value:
+                out.append(
+                    Divergence(
+                        site=site,
+                        field=field_name,
+                        expected=want_value,
+                        actual=got_value,
+                    )
+                )
+        want_segments = np.array(
+            [(s.ax, s.ay, s.bx, s.by) for s in want_world.walls.segments]
+        )
+        got_segments = np.array(
+            [(s.ax, s.ay, s.bx, s.by) for s in got_world.walls.segments]
+        )
+        hit = array_divergence(
+            site, want_segments, got_segments, layer="walls", exact=True
+        )
+        if hit is not None:
+            out.append(hit)
+
+        # The compiled config must be byte-for-byte the hand-written one.
+        want_cfg = CoSimConfig(world=name)
+        got_cfg = compile_config(scenario)
+        want_dict, got_dict = config_to_dict(want_cfg), config_to_dict(got_cfg)
+        if want_dict != got_dict:
+            hit = first_divergence(want_dict, got_dict, f"{site}.config")
+            if hit is not None:
+                out.append(hit)
+
+    # A scenario *forced* through the generic compiler (world="scenario"
+    # with an explicit spec) must fly bit-identically to the native
+    # config: the mission signature covers behaviour, not world labels.
+    import dataclasses
+
+    tunnel = legacy_scenarios()["tunnel"]
+    native = compile_config(tunnel, max_sim_time=1.5)
+    forced = dataclasses.replace(
+        native,
+        world="scenario",
+        world_params={
+            "spec": {"geometry": tunnel.geometry.to_dict(), "obstacles": []}
+        },
+    )
+    out.extend(_mission_pair_divergence("scenario-compile[forced]", native, forced))
+    return out
+
+
 def _series_sum(snapshot: dict[str, Any], name: str, **labels: str) -> int | float:
     """Sum the series of ``name`` whose labels match every given pair."""
     entry = snapshot.get(name, {})

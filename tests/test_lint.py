@@ -49,7 +49,7 @@ class TestRegistry:
     def test_all_families_registered(self):
         families = {r.family for r in all_rules().values()}
         assert {
-            "DET", "NUM", "PROTO", "CFG", "OBS", "RES", "PERF", "SRV",
+            "DET", "NUM", "PROTO", "CFG", "OBS", "RES", "PERF", "SCN", "SRV",
         } <= families
 
     def test_get_rule_unknown_raises(self):
@@ -864,6 +864,70 @@ class TestSrv001DirectTime:
         assert active_rules(report) == []
         # Every time.* call under repro/serve/ lives in the blessed
         # clock module, which the rule excludes entirely.
+        assert report.diagnostics == []
+
+
+class TestScn001GlobalRng:
+    def test_flags_module_level_rng_calls(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/scenario/mutators.py": """
+                import random
+
+                import numpy as np
+
+                def jiggle(value):
+                    return value + random.uniform(-1.0, 1.0)
+
+                def noise(shape):
+                    return np.random.normal(size=shape)
+            """,
+        })
+        report = run_lint(tmp_path, rules=["SCN001"])
+        assert active_rules(report) == ["SCN001", "SCN001"]
+        assert "seeded" in report.active[0].hint
+
+    def test_injected_generator_is_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/scenario/mutators.py": """
+                def jiggle(rng, value):
+                    return value + rng.uniform(-1.0, 1.0)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["SCN001"]).active == []
+
+    def test_seeded_constructors_are_allowed(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/scenario/fuzz.py": """
+                import random
+
+                import numpy as np
+
+                def campaign_rng(seed):
+                    return random.Random(seed)
+
+                def kernel_rng(seed):
+                    return np.random.default_rng(seed)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["SCN001"]).active == []
+
+    def test_outside_scenario_is_out_of_scope(self, tmp_path):
+        make_tree(tmp_path, {
+            "repro/sweep/runner.py": """
+                import random
+
+                def reseed(seed):
+                    random.seed(seed)
+            """,
+        })
+        assert run_lint(tmp_path, rules=["SCN001"]).active == []
+
+    def test_shipped_scenario_tree_is_rng_clean(self):
+        root = Path(__file__).resolve().parent.parent / "src"
+        report = run_lint(root, rules=["SCN001"])
+        assert active_rules(report) == []
+        # Every draw in the shipped fuzzer flows through the injected
+        # random.Random; nothing is even waived.
         assert report.diagnostics == []
 
 

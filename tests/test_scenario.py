@@ -1,0 +1,399 @@
+"""Tests for the rose-scenario/1 schema and compiler.
+
+The two contracts pinned here:
+
+* **Strict, typed validation** — every malformed or infeasible document
+  raises :class:`ScenarioError` (never a bare exception), and canonical
+  JSON round-trips exactly.
+* **Legacy bit-identity** — the two paper worlds expressed as scenario
+  documents compile to configurations and world geometry byte-identical
+  to the hand-written ``tunnel`` / ``s-shape`` ones.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import FaultPlan, FaultRule, PacketType
+from repro.core.manifest import config_to_dict
+from repro.env.sensors import SensorNoiseProfile
+from repro.env.worlds import make_world, s_shape_world, tunnel_world
+from repro.errors import ConfigError, ScenarioError
+from repro.scenario import (
+    GeometrySpec,
+    ObstacleSpec,
+    Scenario,
+    SpawnSpec,
+    VehicleSpec,
+    compile_config,
+    legacy_scenarios,
+    scenario_key,
+    world_from_scenario,
+    world_from_spec,
+)
+
+
+def scenario(**overrides) -> Scenario:
+    base = dict(name="t", geometry=GeometrySpec())
+    base.update(overrides)
+    return Scenario(**base)
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+class TestSchemaValidation:
+    def test_defaults_are_valid(self):
+        s = scenario()
+        assert s.geometry.family == "straight"
+        assert s.noise.is_identity
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(name="Bad Name!"),
+            dict(name=""),
+            dict(seed=-1),
+            dict(seed=2**32),
+            dict(seed=1.5),
+            dict(cycles_per_sync=1_000),
+            dict(max_sim_time=0.0),
+            dict(max_sim_time=1e9),
+            dict(faults="nope"),
+            dict(obstacles=(ObstacleSpec(s=10.0, d=1.0),) * 9),
+        ],
+    )
+    def test_bad_scenario_fields(self, overrides):
+        with pytest.raises(ScenarioError):
+            scenario(**overrides)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(family="moebius"),
+            dict(length=5.0),
+            dict(length=500.0),
+            dict(width=0.5),
+            dict(family="sine", amplitude=0.1),
+            dict(family="sine", amplitude=30.0, length=40.0),
+            dict(family="sine", periods=9.0),
+            dict(family="sine", resolution=5),
+            dict(family="zigzag", segments=1),
+            dict(family="zigzag", amplitude=20.0),
+        ],
+    )
+    def test_bad_geometry(self, kwargs):
+        with pytest.raises(ScenarioError):
+            GeometrySpec(**kwargs)
+
+    def test_irrelevant_params_normalized(self):
+        # A straight corridor ignores amplitude/periods/segments: they are
+        # reset to defaults so equal corridors share one canonical form.
+        a = GeometrySpec(family="straight", amplitude=3.0, segments=5)
+        b = GeometrySpec(family="straight")
+        assert a == b
+        assert "amplitude" not in a.to_dict()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(s=-1.0, d=1.0),
+            dict(s=10.0, d=1.0, radius=0.01),
+            dict(s=10.0, d=1.0, radius=5.0),
+            dict(s=10.0, d=1.0, shape="sphere"),
+            dict(s=True, d=1.0),
+        ],
+    )
+    def test_bad_obstacle(self, kwargs):
+        with pytest.raises(ScenarioError):
+            ObstacleSpec(**kwargs)
+
+    def test_spawn_bounds(self):
+        with pytest.raises(ScenarioError):
+            SpawnSpec(angle_deg=90.0)
+        # Cross-field: offset vs. corridor width.
+        with pytest.raises(ScenarioError):
+            scenario(spawn=SpawnSpec(lateral_offset=1.5))  # width 3.2
+
+    def test_vehicle_bounds(self):
+        with pytest.raises(ScenarioError):
+            VehicleSpec(kind="submarine")
+        with pytest.raises(ScenarioError):
+            VehicleSpec(controller="pid")
+        with pytest.raises(ScenarioError):
+            VehicleSpec(target_velocity=0.0)
+
+
+class TestRoundTrip:
+    def full_scenario(self) -> Scenario:
+        return Scenario(
+            name="full-doc",
+            geometry=GeometrySpec(family="zigzag", length=60.0, width=4.0,
+                                  amplitude=2.0, segments=6),
+            obstacles=(
+                ObstacleSpec(s=20.0, d=1.2, radius=0.4, shape="box"),
+                ObstacleSpec(s=40.0, d=-1.2, radius=0.3),
+            ),
+            spawn=SpawnSpec(angle_deg=10.0, lateral_offset=0.5),
+            noise=SensorNoiseProfile(imu_scale=2.0, depth_scale=0.5),
+            faults=FaultPlan(
+                seed=7,
+                rules=(FaultRule(ptype=PacketType.IMU_RESP, drop=0.1),),
+            ),
+            vehicle=VehicleSpec(target_velocity=4.0),
+            seed=42,
+            cycles_per_sync=40_000_000,
+            max_sim_time=12.0,
+        )
+
+    def test_canonical_round_trip(self):
+        s = self.full_scenario()
+        assert Scenario.from_dict(s.to_dict()) == s
+        assert Scenario.from_json(s.canonical_json()) == s
+
+    def test_scenario_key_stable_and_content_addressed(self):
+        s = self.full_scenario()
+        assert scenario_key(s) == scenario_key(Scenario.from_dict(s.to_dict()))
+        assert scenario_key(s) != scenario_key(replace(s, seed=43))
+
+    def test_canonical_json_is_canonical(self):
+        text = self.full_scenario().canonical_json()
+        assert text == json.dumps(
+            json.loads(text), sort_keys=True, separators=(",", ":")
+        )
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda d: d.update(format="rose-scenario/2"),
+            lambda d: d.update(surprise=1),
+            lambda d: d["geometry"].update(surprise=1),
+            lambda d: d["spawn"].update(surprise=1),
+            lambda d: d["vehicle"].update(surprise=1),
+            lambda d: d["obstacles"][0].update(surprise=1),
+            lambda d: d.update(name=7),
+            lambda d: d.update(obstacles="lots"),
+            lambda d: d.update(faults={"rules": [{"ptype": "NOPE"}]}),
+            lambda d: d.update(noise={"imu_scale": "big"}),
+        ],
+    )
+    def test_unknown_or_bad_fields_rejected(self, mangle):
+        doc = self.full_scenario().to_dict()
+        mangle(doc)
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict(doc)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_json("{not json")
+
+
+# ---------------------------------------------------------------------------
+# Legacy bit-identity
+# ---------------------------------------------------------------------------
+class TestLegacyIdentity:
+    def test_tunnel_config_identical(self):
+        cfg = compile_config(legacy_scenarios()["tunnel"])
+        assert config_to_dict(cfg) == config_to_dict(
+            __import__("repro.core.config", fromlist=["CoSimConfig"]).CoSimConfig(
+                world="tunnel"
+            )
+        )
+
+    def test_s_shape_config_identical(self):
+        from repro.core.config import CoSimConfig
+
+        cfg = compile_config(legacy_scenarios()["s-shape"])
+        assert config_to_dict(cfg) == config_to_dict(CoSimConfig(world="s-shape"))
+
+    @pytest.mark.parametrize(
+        "name,builder", [("tunnel", tunnel_world), ("s-shape", s_shape_world)]
+    )
+    def test_world_geometry_identical(self, name, builder):
+        want = builder()
+        got = world_from_scenario(legacy_scenarios()[name])
+        np.testing.assert_array_equal(want.centerline.points, got.centerline.points)
+        assert want.half_width == got.half_width
+        assert want.goal_arclength == got.goal_arclength
+        want_walls = [(s.ax, s.ay, s.bx, s.by) for s in want.walls.segments]
+        got_walls = [(s.ax, s.ay, s.bx, s.by) for s in got.walls.segments]
+        assert want_walls == got_walls
+
+    def test_native_mapping_keeps_only_non_defaults(self):
+        s = scenario(geometry=GeometrySpec(family="straight", length=60.0))
+        cfg = compile_config(s)
+        assert cfg.world == "tunnel"
+        assert cfg.world_params == {"length": 60.0}
+
+    def test_fractional_periods_not_native(self):
+        s = scenario(
+            geometry=GeometrySpec(family="sine", length=80.0, width=6.4,
+                                  amplitude=10.0, periods=0.5)
+        )
+        assert compile_config(s).world == "scenario"
+
+
+# ---------------------------------------------------------------------------
+# Obstacles and feasibility
+# ---------------------------------------------------------------------------
+class TestObstacleCompile:
+    def test_obstacle_world_has_extra_segments(self):
+        s = scenario(obstacles=(ObstacleSpec(s=20.0, d=1.0, radius=0.4),))
+        world = world_from_scenario(s)
+        base = world_from_scenario(scenario())
+        assert len(world.walls.segments) == len(base.walls.segments) + 4
+        # The obstacle is solid: a position at its center collides.
+        center = world.centerline.point_at_arclength(20.0) + (
+            1.0 * world.centerline.normal_at_arclength(20.0)
+        )
+        assert world.in_collision(center, radius=0.3)
+
+    def test_box_and_diamond_differ(self):
+        box = scenario(obstacles=(ObstacleSpec(s=20.0, d=1.0, shape="box"),))
+        diamond = scenario(obstacles=(ObstacleSpec(s=20.0, d=1.0),))
+        box_walls = {(s.ax, s.ay) for s in world_from_scenario(box).obstacles}
+        dia_walls = {(s.ax, s.ay) for s in world_from_scenario(diamond).obstacles}
+        assert box_walls != dia_walls
+
+    @pytest.mark.parametrize(
+        "obstacle",
+        [
+            ObstacleSpec(s=0.5, d=1.0),  # spawn region
+            ObstacleSpec(s=48.9, d=1.0),  # goal region
+            ObstacleSpec(s=20.0, d=3.0),  # outside corridor
+            ObstacleSpec(s=20.0, d=0.2),  # covers the centerline
+        ],
+    )
+    def test_infeasible_placement(self, obstacle):
+        with pytest.raises(ScenarioError):
+            compile_config(scenario(obstacles=(obstacle,)))
+
+    def test_overlapping_obstacles_rejected(self):
+        with pytest.raises(ScenarioError):
+            compile_config(
+                scenario(
+                    obstacles=(
+                        ObstacleSpec(s=20.0, d=1.0),
+                        ObstacleSpec(s=20.3, d=1.1),
+                    )
+                )
+            )
+
+    def test_no_passable_gap_rejected(self):
+        # Wide obstacle centered near one wall of a narrow corridor can
+        # still pass; park obstacles on both sides far enough apart in s
+        # to dodge the pairwise check but with no gap is impossible by
+        # construction — instead pin the direct gap arithmetic.
+        wide = scenario(
+            geometry=GeometrySpec(family="straight", width=2.4),
+            obstacles=(ObstacleSpec(s=20.0, d=0.95, radius=0.25),),
+        )
+        # left gap = 1.2 - 1.2 = 0, right gap = 0.7 + 1.2 = 1.9 -> passable
+        compile_config(wide)
+        blocked = scenario(
+            geometry=GeometrySpec(family="straight", width=2.4),
+            obstacles=(ObstacleSpec(s=20.0, d=0.8, radius=0.4),),
+        )
+        with pytest.raises(ScenarioError):
+            compile_config(blocked)
+
+
+class TestWorldFromSpec:
+    def test_registered_as_world_builder(self):
+        world = make_world(
+            "scenario",
+            spec={"geometry": {"family": "straight"}, "obstacles": []},
+        )
+        assert world.name == "scenario"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(),
+            dict(spec="nope"),
+            dict(spec={"geometry": {}, "bogus": 1}),
+            dict(spec={"geometry": {"family": "nope"}}),
+            dict(spec={"geometry": {}, "obstacles": "many"}),
+            dict(spec={"geometry": {}}, extra=1),
+        ],
+    )
+    def test_bad_spec_raises_scenario_error(self, kwargs):
+        with pytest.raises(ScenarioError):
+            world_from_spec(**kwargs)
+
+    def test_scenario_error_is_config_error(self):
+        # Typed hierarchy: callers catching ConfigError catch these too.
+        assert issubclass(ScenarioError, ConfigError)
+
+
+# ---------------------------------------------------------------------------
+# The compile-or-typed-error property
+# ---------------------------------------------------------------------------
+geometries = st.one_of(
+    st.builds(
+        GeometrySpec,
+        family=st.just("straight"),
+        length=st.floats(20.0, 200.0),
+        width=st.floats(2.0, 12.0),
+    ),
+    st.builds(
+        GeometrySpec,
+        family=st.just("sine"),
+        length=st.floats(40.0, 200.0),
+        width=st.floats(2.0, 12.0),
+        amplitude=st.floats(0.5, 10.0),
+        periods=st.floats(0.25, 4.0),
+        resolution=st.integers(33, 401),
+    ),
+    st.builds(
+        GeometrySpec,
+        family=st.just("zigzag"),
+        length=st.floats(64.0, 200.0),
+        width=st.floats(2.0, 12.0),
+        amplitude=st.floats(0.5, 1.0),
+        segments=st.integers(2, 32),
+    ),
+)
+
+obstacles = st.lists(
+    st.builds(
+        ObstacleSpec,
+        s=st.floats(0.0, 100.0),
+        d=st.floats(-6.0, 6.0),
+        radius=st.floats(0.15, 1.5),
+        shape=st.sampled_from(["diamond", "box"]),
+    ),
+    max_size=4,
+)
+
+
+class TestCompileProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(geometry=geometries, obs=obstacles, offset=st.floats(-1.5, 1.5))
+    def test_valid_schema_compiles_or_raises_typed(self, geometry, obs, offset):
+        # Any schema-valid document either compiles into a collision-checked
+        # world or raises ScenarioError — never a bare exception.
+        try:
+            s = Scenario(
+                name="prop",
+                geometry=geometry,
+                obstacles=tuple(obs),
+                spawn=SpawnSpec(lateral_offset=offset),
+            )
+        except ScenarioError:
+            return  # cross-field validation rejected the document: fine
+        try:
+            config = compile_config(s)
+        except ScenarioError:
+            return  # infeasible placement rejected with the typed error
+        world = world_from_scenario(s)
+        assert world.goal_arclength > 0
+        # The spawn pose the mission will use is collision-free.
+        pose = world.spawn_pose(lateral_offset=config.initial_lateral_offset)
+        assert not world.in_collision(pose.position, radius=0.3)

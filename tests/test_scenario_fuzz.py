@@ -1,0 +1,299 @@
+"""Tests for the coverage map and the coverage-guided fuzzer.
+
+Determinism is the product here: the same seed and budget must
+reproduce the corpus, the coverage map and the minimized reproducer
+byte for byte, and every recorded scenario must replay to its recorded
+mission signature.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.scenario import CoverageMap, compile_config, legacy_scenarios, mission_features
+from repro.scenario.coverage import failure_modes
+from repro.scenario.fuzz import (
+    FuzzSettings,
+    load_corpus_journal,
+    load_scenario,
+    minimize_scenario,
+    mutate,
+    replay,
+    run_fuzz,
+)
+from repro.scenario.schema import Scenario
+
+#: One small, fast campaign shared by the determinism tests.
+SETTINGS = FuzzSettings(budget=4, seed=1, round_size=2, max_sim_time=2.0)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    corpus_dir = tmp_path_factory.mktemp("fuzz-corpus")
+    report = run_fuzz(SETTINGS, corpus_dir)
+    return corpus_dir, report
+
+
+# ---------------------------------------------------------------------------
+# Coverage map
+# ---------------------------------------------------------------------------
+class TestCoverageMap:
+    def test_observe_reports_new_bins_once(self):
+        cov = CoverageMap()
+        assert cov.observe(["a", "b"]) == ("a", "b")
+        assert cov.observe(["a", "c"]) == ("c",)
+        assert cov.counts == {"a": 2, "b": 1, "c": 1}
+
+    def test_would_advance_does_not_record(self):
+        cov = CoverageMap()
+        cov.observe(["a"])
+        assert cov.would_advance(["a", "b"]) == ("b",)
+        assert "b" not in cov
+
+    def test_json_round_trip_is_canonical(self):
+        cov = CoverageMap()
+        cov.observe(["z", "a", "m"])
+        text = cov.to_json()
+        assert CoverageMap.from_json(text).to_json() == text
+        assert text.index('"a"') < text.index('"m"') < text.index('"z"')
+
+    @pytest.mark.parametrize(
+        "text",
+        ["{not json", '{"format":"nope"}', '{"format":"rose-coverage/1","bins":[]}',
+         '{"format":"rose-coverage/1","bins":{"a":1.5}}'],
+    )
+    def test_bad_coverage_json(self, text):
+        with pytest.raises(ConfigError):
+            CoverageMap.from_json(text)
+
+    def test_mission_features_deterministic(self):
+        from repro.core.cosim import run_mission
+
+        scenario = legacy_scenarios()["tunnel"]
+        result = run_mission(compile_config(scenario, max_sim_time=1.5))
+        first = mission_features(scenario, result)
+        assert first == mission_features(scenario, result)
+        assert first == tuple(sorted(first))
+        assert "family:straight" in first
+        assert "noise:identity" in first
+
+
+# ---------------------------------------------------------------------------
+# Mutation
+# ---------------------------------------------------------------------------
+class TestMutate:
+    def test_mutants_always_compile(self):
+        import random
+
+        rng = random.Random(3)
+        parent = legacy_scenarios()["tunnel"]
+        for index in range(25):
+            mutant = mutate(rng, parent, f"m-{index}")
+            compile_config(mutant)  # must not raise
+            parent = mutant if index % 3 == 0 else parent
+
+    def test_mutation_stream_is_seed_deterministic(self):
+        import random
+
+        parent = legacy_scenarios()["s-shape"]
+        a = [mutate(random.Random(7), parent, "x").canonical_json() for _ in range(1)]
+        b = [mutate(random.Random(7), parent, "x").canonical_json() for _ in range(1)]
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# The campaign
+# ---------------------------------------------------------------------------
+class TestCampaign:
+    def test_coverage_exceeds_baseline(self, campaign):
+        _, report = campaign
+        assert report.evaluated == SETTINGS.budget
+        assert report.coverage_bins >= report.baseline_bins
+
+    def test_artifacts_written(self, campaign):
+        corpus_dir, report = campaign
+        assert (corpus_dir / "coverage.json").exists()
+        assert (corpus_dir / "corpus.jsonl").exists()
+        assert (corpus_dir / "report.json").exists()
+        journal = load_corpus_journal(corpus_dir)
+        # Two seeds plus every admitted mutant, in admission order.
+        assert len(journal) == 2 + report.admitted
+        assert journal[0]["round"] == 0 and journal[1]["round"] == 0
+        for entry in journal:
+            assert (corpus_dir / "scenarios" / f"{entry['key']}.json").exists()
+
+    def test_same_seed_reproduces_artifacts_byte_for_byte(self, campaign, tmp_path):
+        corpus_dir, _ = campaign
+        rerun_dir = tmp_path / "rerun"
+        run_fuzz(SETTINGS, rerun_dir)
+        for rel in ("coverage.json", "corpus.jsonl", "report.json"):
+            assert (rerun_dir / rel).read_bytes() == (corpus_dir / rel).read_bytes()
+        want = sorted(p.name for p in (corpus_dir / "scenarios").iterdir())
+        got = sorted(p.name for p in (rerun_dir / "scenarios").iterdir())
+        assert want == got
+        for name in want:
+            assert (rerun_dir / "scenarios" / name).read_bytes() == (
+                corpus_dir / "scenarios" / name
+            ).read_bytes()
+        want_min = sorted(p.name for p in (corpus_dir / "minimized").iterdir())
+        assert sorted(p.name for p in (rerun_dir / "minimized").iterdir()) == want_min
+        for name in want_min:
+            assert (rerun_dir / "minimized" / name).read_bytes() == (
+                corpus_dir / "minimized" / name
+            ).read_bytes()
+
+    def test_different_seed_diverges(self, campaign, tmp_path):
+        corpus_dir, _ = campaign
+        other = tmp_path / "other"
+        run_fuzz(
+            FuzzSettings(budget=4, seed=2, round_size=2, max_sim_time=2.0), other
+        )
+        assert (other / "corpus.jsonl").read_bytes() != (
+            corpus_dir / "corpus.jsonl"
+        ).read_bytes()
+
+    def test_replay_matches_recorded_signature(self, campaign):
+        corpus_dir, _ = campaign
+        for entry in load_corpus_journal(corpus_dir):
+            match, expected, actual = replay(corpus_dir, entry["key"], SETTINGS)
+            assert match, f"{entry['key']}: {expected} != {actual}"
+
+    def test_replay_unknown_key(self, campaign):
+        corpus_dir, _ = campaign
+        with pytest.raises(ConfigError):
+            replay(corpus_dir, "0" * 64, SETTINGS)
+
+    def test_scenario_documents_are_canonical(self, campaign):
+        corpus_dir, _ = campaign
+        for entry in load_corpus_journal(corpus_dir):
+            scenario = load_scenario(corpus_dir, entry["key"])
+            assert isinstance(scenario, Scenario)
+            from repro.scenario import scenario_key
+
+            assert scenario_key(scenario) == entry["key"]
+
+    def test_minimized_reproducer_exhibits_failure(self, campaign):
+        from repro.core.cosim import run_mission
+
+        corpus_dir, report = campaign
+        if not report.minimized:
+            pytest.skip("this tiny budget found no minimizable failure")
+        for source, _ in report.minimized.items():
+            doc = json.loads((corpus_dir / "minimized" / f"{source}.json").read_text())
+            assert doc["format"] == "rose-fuzz-min/1"
+            minimized = Scenario.from_dict(doc["scenario"])
+            config = compile_config(minimized, max_sim_time=SETTINGS.max_sim_time)
+            modes = failure_modes(run_mission(config))
+            assert doc["failure_mode"] in modes
+
+
+class TestMinimize:
+    def test_strips_irrelevant_knobs(self):
+        from dataclasses import replace
+
+        from repro.env.sensors import SensorNoiseProfile
+
+        # deadline-miss on a short budget does not depend on noise or the
+        # spawn pose: minimization must strip both.
+        base = legacy_scenarios()["tunnel"]
+        cluttered = replace(
+            base,
+            name="cluttered",
+            noise=SensorNoiseProfile(imu_scale=2.0),
+            max_sim_time=2.0,
+        )
+        minimal, runs = minimize_scenario(
+            cluttered, "deadline-miss", FuzzSettings(budget=1, max_sim_time=2.0)
+        )
+        assert runs >= 1
+        assert minimal.noise.is_identity
+
+
+# ---------------------------------------------------------------------------
+# The committed golden scenario corpus (fuzzer discoveries)
+# ---------------------------------------------------------------------------
+SCENARIO_DIR = Path(__file__).resolve().parent / "scenarios"
+
+#: Content-addressed keys of the committed discovery documents.  These
+#: pin the artifacts byte-for-byte: editing a document without updating
+#: its key (and re-recording the goldens) is a test failure by design.
+COMMITTED_KEYS = {
+    "fuzz-crc-storm.json": (
+        "26c767851e62915bcd3d0d88f816989fbeeebf4b3f2924cfe1a73bc614d269c9"
+    ),
+    "fuzz-frontier.json": (
+        "6ca2989debb9c9070b84c98b0bb77fe1b14e26d66d7dea75001da6bf2b918447"
+    ),
+}
+
+
+class TestGoldenScenarioCorpus:
+    def test_committed_documents_are_content_addressed(self):
+        from repro.scenario import scenario_key
+
+        for filename, want in COMMITTED_KEYS.items():
+            doc = json.loads((SCENARIO_DIR / filename).read_text())
+            assert doc["format"] == "rose-scenario/1", filename
+            assert scenario_key(Scenario.from_dict(doc)) == want, filename
+
+    def test_golden_corpus_includes_fuzz_discoveries(self):
+        from repro.verify.golden import golden_missions
+
+        missions = golden_missions()
+        assert "scenario-fuzz-crc-storm" in missions
+        assert "scenario-fuzz-frontier" in missions
+        # The frontier mission must actually be the committed document.
+        assert missions["scenario-fuzz-frontier"].target_velocity == 7.56
+
+    def test_minimized_reproducer_still_crashes(self):
+        from repro.core.cosim import run_mission
+        from repro.scenario import scenario_key
+        from repro.sweep.signature import mission_signature
+
+        doc = json.loads((SCENARIO_DIR / "fuzz-crash-min.json").read_text())
+        assert doc["format"] == "rose-fuzz-min/1"
+        scenario = Scenario.from_dict(doc["scenario"])
+        assert scenario_key(scenario) == doc["scenario_key"]
+        result = run_mission(compile_config(scenario))
+        assert mission_signature(result) == doc["signature"]
+        assert doc["failure_mode"] in failure_modes(result)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestFuzzCli:
+    def test_run_corpus_replay(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        args = ["--corpus", str(corpus), "--budget", "2", "--round-size", "2",
+                "--max-sim-time", "2.0", "--seed", "1"]
+        assert main(["fuzz", "run", *args]) == 0
+        out = capsys.readouterr().out
+        assert "mutants evaluated" in out
+
+        assert main(["fuzz", "corpus", *args]) == 0
+        out = capsys.readouterr().out
+        assert "seed-tunnel" in out and "round" in out
+
+        key = load_corpus_journal(corpus)[0]["key"]
+        assert main(["fuzz", "replay", *args, key]) == 0
+        assert "replay OK" in capsys.readouterr().out
+
+    def test_minimize_command(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        args = ["--corpus", str(corpus), "--budget", "2", "--round-size", "2",
+                "--max-sim-time", "2.0", "--seed", "1"]
+        assert main(["fuzz", "run", *args]) == 0
+        capsys.readouterr()
+        journal = load_corpus_journal(corpus)
+        target = next(e for e in journal if "deadline-miss" in e["failure_modes"])
+        assert main(
+            ["fuzz", "minimize", *args, "--mode", "deadline-miss", target["key"]]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "rose-scenario/1"

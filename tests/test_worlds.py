@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import math
 
 import numpy as np
@@ -218,3 +219,115 @@ class TestCachedWorld:
         # break the memo key construction before that.
         with pytest.raises(TypeError):
             cached_world("tunnel", bogus=[1, 2])
+
+
+class TestCourseHelpers:
+    """The shared centerline generators (repro.env.courses)."""
+
+    def test_straight_matches_legacy_tunnel(self):
+        from repro.env.courses import straight_centerline
+
+        pts = straight_centerline(50.0)
+        np.testing.assert_array_equal(pts, tunnel_world().centerline.points)
+
+    def test_sine_single_period_matches_legacy(self):
+        from repro.env.courses import sine_centerline
+
+        pts = sine_centerline(80.0, 10.0, 161)
+        np.testing.assert_array_equal(pts, s_shape_world().centerline.points)
+
+    def test_sine_periods_parameter(self):
+        from repro.env.courses import sine_centerline
+
+        two = sine_centerline(80.0, 10.0, 161, periods=2.0)
+        # Two full periods: y returns to zero at the quarter points.
+        assert two[80][1] == pytest.approx(0.0, abs=1e-9)
+        assert two[0][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_zigzag_alternates(self):
+        from repro.env.courses import zigzag_centerline
+
+        pts = zigzag_centerline(64.0, 2.0, 8)
+        assert pts.shape == (9, 2)
+        assert pts[1][1] == 2.0 and pts[2][1] == -2.0
+        assert pts[0][1] == 0.0 and pts[-1][1] == 0.0
+
+
+class TestEdgeGeometry:
+    """Degenerate and boundary world geometry."""
+
+    def test_short_centerline_still_builds(self):
+        # The shortest legal course: a two-point centerline.
+        from repro.env.geometry import Polyline
+
+        world = World(
+            name="short",
+            centerline=Polyline(np.array([[0.0, 0.0], [20.0, 0.0]])),
+            half_width=1.0,
+            goal_arclength=19.0,
+        )
+        assert world.reached_goal(np.array([19.5, 0.0]))
+        assert not world.in_collision(np.array([10.0, 0.0]), radius=0.3)
+
+    def test_single_point_centerline_rejected(self):
+        from repro.env.geometry import Polyline
+
+        with pytest.raises(ValueError):
+            Polyline(np.array([[0.0, 0.0]]))
+
+    def test_duplicate_point_centerline_rejected(self):
+        from repro.env.geometry import Polyline
+
+        with pytest.raises(ValueError):
+            Polyline(np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]]))
+
+    def test_obstacle_touching_wall_still_collides(self):
+        # An obstacle whose rim touches the wall: both surfaces are solid.
+        from repro.scenario import ObstacleSpec, Scenario, world_from_scenario
+        from repro.scenario.schema import GeometrySpec
+
+        world = world_from_scenario(
+            Scenario(
+                name="wall-hugger",
+                geometry=GeometrySpec(family="straight"),
+                obstacles=(ObstacleSpec(s=25.0, d=1.6, radius=0.4),),
+            )
+        )
+        # Positions near the obstacle's inner rim and near the wall both
+        # register as collisions.
+        assert world.in_collision(np.array([25.0, 1.2]), radius=0.1)
+        assert world.in_collision(np.array([25.0, 1.55]), radius=0.1)
+
+    def test_empty_obstacles_identical_soup(self):
+        # A World with obstacles=() must build the exact pre-obstacle
+        # segment list (golden-trace invariance of the refactor).
+        legacy = tunnel_world()
+        explicit = World(
+            name="tunnel",
+            centerline=legacy.centerline,
+            half_width=legacy.half_width,
+            goal_arclength=legacy.goal_arclength,
+            obstacles=(),
+        )
+        want = [(s.ax, s.ay, s.bx, s.by) for s in legacy.walls.segments]
+        got = [(s.ax, s.ay, s.bx, s.by) for s in explicit.walls.segments]
+        assert want == got
+
+
+class TestScenarioWorldCaching:
+    def test_dict_params_cache_by_canonical_json(self):
+        from repro.env.worlds import cached_world
+
+        spec = {"geometry": {"family": "straight"}, "obstacles": []}
+        a = cached_world("scenario", spec=spec)
+        b = cached_world("scenario", spec=json.loads(json.dumps(spec)))
+        assert a is b
+
+    def test_different_specs_distinct(self):
+        from repro.env.worlds import cached_world
+
+        a = cached_world("scenario", spec={"geometry": {"family": "straight"}})
+        b = cached_world(
+            "scenario", spec={"geometry": {"family": "straight", "length": 60.0}}
+        )
+        assert a is not b
